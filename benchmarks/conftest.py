@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+*scaled* simulator configuration.  To keep a full ``pytest benchmarks/
+--benchmark-only`` run in the minutes range, the simulation-heavy figures use
+a representative subset of the ten proxy benchmarks by default; pass
+``--bench-all-workloads`` to sweep all of them (as `EXPERIMENTS.md` documents).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Representative subset used by the heavier sweeps.
+DEFAULT_SUBSET = ("abseil", "clang", "omnetpp", "rapidjson", "sqlite")
+SMALL_SUBSET = ("clang", "sqlite", "rapidjson")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-all-workloads",
+        action="store_true",
+        default=False,
+        help="Run the benchmark harness over all ten proxy benchmarks.",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_workloads(request):
+    """Benchmark names the heavy sweeps should cover."""
+    from repro.workloads.spec import PROXY_BENCHMARK_NAMES
+
+    if request.config.getoption("--bench-all-workloads"):
+        return PROXY_BENCHMARK_NAMES
+    return DEFAULT_SUBSET
+
+
+@pytest.fixture(scope="session")
+def bench_workloads_small(request):
+    from repro.workloads.spec import PROXY_BENCHMARK_NAMES
+
+    if request.config.getoption("--bench-all-workloads"):
+        return PROXY_BENCHMARK_NAMES
+    return SMALL_SUBSET

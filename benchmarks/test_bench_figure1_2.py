@@ -1,0 +1,28 @@
+"""Benchmarks regenerating Figures 1 and 2 (Top-Down breakdowns)."""
+
+from repro.experiments import format_topdown_rows, run_figure1, run_figure2
+
+
+def test_bench_figure1_system_components_topdown(benchmark):
+    rows = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    print("\n[Figure 1] Top-Down of mobile system components (PGO)\n")
+    print(format_topdown_rows(rows))
+    assert len(rows) == 5
+    # The motivation: system components stay frontend-bound even with PGO.
+    assert all(row.frontend_bound > 0.15 for row in rows)
+
+
+def test_bench_figure2_proxy_topdown_pgo_vs_nonpgo(benchmark, bench_workloads_small):
+    rows = benchmark.pedantic(
+        run_figure2, kwargs={"benchmarks": bench_workloads_small}, rounds=1, iterations=1
+    )
+    print("\n[Figure 2] Top-Down of proxies, non-PGO vs PGO (*)\n")
+    print(format_topdown_rows(rows))
+    assert len(rows) == 2 * len(bench_workloads_small)
+    # PGO should raise the retire fraction for at least some benchmarks
+    # (occasional degradations are expected and discussed in Section 2.3).
+    improved = 0
+    for i in range(0, len(rows), 2):
+        no_pgo, pgo = rows[i], rows[i + 1]
+        improved += pgo.fractions["retire"] >= no_pgo.fractions["retire"]
+    assert improved >= 1

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 3 (reuse-distance distribution of hot lines)."""
+
+from repro.experiments import format_figure3, run_figure3
+
+
+def test_bench_figure3_hot_line_reuse_distance(benchmark, bench_workloads):
+    rows = benchmark.pedantic(
+        run_figure3, kwargs={"benchmarks": bench_workloads}, rounds=1, iterations=1
+    )
+    print("\n[Figure 3] Reuse distance of hot lines in the L2 (base and ~)\n")
+    print(format_figure3(rows))
+    assert len(rows) == len(bench_workloads)
+    for row in rows:
+        if row.base_accesses == 0:
+            continue
+        # The hot-only (~) view never shows longer distances than the base
+        # view: removing non-hot lines can only shorten reuse distances.
+        assert (
+            row.hot_only.get("16+", 0.0) <= row.base.get("16+", 0.0) + 1e-9
+            or row.hot_only_accesses == 0
+        )

@@ -1,0 +1,44 @@
+"""Benchmarks regenerating Figure 6 (speedups) and Table 3 (MPKI reductions).
+
+Both views come from the same (benchmark x policy) sweep; the sweep is run
+once and shared between the two benchmark entries.
+"""
+
+from repro.experiments import format_figure6, format_table3, run_figure6
+
+_CACHE: dict = {}
+
+
+def _sweep(benchmarks):
+    key = tuple(benchmarks)
+    if key not in _CACHE:
+        _CACHE[key] = run_figure6(benchmarks=benchmarks)
+    return _CACHE[key]
+
+
+def test_bench_figure6_speedups(benchmark, bench_workloads):
+    sweep = benchmark.pedantic(
+        _sweep, args=(bench_workloads,), rounds=1, iterations=1
+    )
+    print("\n[Figure 6] Speedup (%) over SRRIP\n" + format_figure6(sweep))
+    # Headline shape: TRRIP-1 delivers the best geomean speedup of the
+    # evaluated mechanisms and it is positive.
+    trrip_speedup = sweep.geomean_speedup("trrip-1")
+    assert trrip_speedup > 0
+    # Allow half a percentage point of tolerance on benchmark subsets.
+    for policy in ("lru", "ship", "emissary", "clip", "drrip"):
+        assert trrip_speedup >= sweep.geomean_speedup(policy) - 0.005
+
+
+def test_bench_table3_mpki_reductions(benchmark, bench_workloads):
+    sweep = benchmark.pedantic(
+        _sweep, args=(bench_workloads,), rounds=1, iterations=1
+    )
+    print("\n[Table 3] L2 MPKI and reductions vs SRRIP\n" + format_table3(sweep))
+    # Headline shape: TRRIP reduces instruction MPKI the most among the
+    # evaluated policies, with only a small data MPKI penalty.
+    trrip_inst = sweep.geomean_inst_reduction("trrip-1")
+    assert trrip_inst > 0
+    for policy in ("lru", "brrip", "drrip", "ship", "emissary"):
+        assert trrip_inst >= sweep.geomean_inst_reduction(policy)
+    assert sweep.geomean_data_reduction("trrip-1") > -30.0

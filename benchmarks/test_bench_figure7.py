@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 7 (coverage of costly instruction misses)."""
+
+from repro.experiments import format_figure7, run_figure7
+
+
+def test_bench_figure7_costly_miss_coverage(benchmark, bench_workloads):
+    rows = benchmark.pedantic(
+        run_figure7, kwargs={"benchmarks": bench_workloads}, rounds=1, iterations=1
+    )
+    print("\n[Figure 7] Coverage of costly instruction misses\n")
+    print(format_figure7(rows))
+    assert len(rows) == len(bench_workloads)
+    for row in rows:
+        for percentile, value in row.excluding_external.coverage_percent.items():
+            # Figure 7b: once external code is excluded, coverage never drops
+            # below the including-external view.
+            assert value >= row.including_external.coverage_percent[percentile] - 1e-9

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 8 (sensitivity to the compiler hot threshold)."""
+
+from repro.common.temperature import Temperature
+from repro.experiments import format_figure8, run_figure8
+
+
+def test_bench_figure8_hot_threshold_sensitivity(benchmark, bench_workloads_small):
+    thresholds = (0.10, 0.99, 1.0)
+    points = benchmark.pedantic(
+        run_figure8,
+        kwargs={"benchmarks": bench_workloads_small, "thresholds": thresholds},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Figure 8] Hot-threshold sensitivity (text split and speedup)\n")
+    print(format_figure8(points))
+    assert len(points) == len(bench_workloads_small) * len(thresholds)
+    # Figure 8a shape: the hot text fraction grows monotonically with the
+    # threshold for every benchmark.
+    by_benchmark: dict[str, list] = {}
+    for point in points:
+        by_benchmark.setdefault(point.benchmark, []).append(point)
+    for series in by_benchmark.values():
+        series.sort(key=lambda p: p.percentile_hot)
+        hot_fractions = [p.text_fractions[Temperature.HOT] for p in series]
+        assert hot_fractions == sorted(hot_fractions)

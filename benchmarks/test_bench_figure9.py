@@ -1,0 +1,40 @@
+"""Benchmarks regenerating Figure 9 (cache size and associativity sensitivity)."""
+
+from repro.experiments import (
+    format_figure9a,
+    format_figure9b,
+    run_figure9a,
+    run_figure9b,
+)
+
+
+def test_bench_figure9a_cache_size_sensitivity(benchmark, bench_workloads_small):
+    points = benchmark.pedantic(
+        run_figure9a,
+        kwargs={
+            "benchmarks": bench_workloads_small,
+            "policies": ("trrip-1", "clip"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Figure 9a] L2 size sensitivity (geomean speedup over SRRIP)\n")
+    print(format_figure9a(points))
+    trrip = sorted(
+        (p for p in points if p.policy == "trrip-1"), key=lambda p: p.l2_size_bytes
+    )
+    # Larger caches leave less headroom for replacement optimisation: the gain
+    # at the largest L2 must not exceed the gain at the smallest L2.
+    assert trrip[-1].geomean_speedup <= trrip[0].geomean_speedup + 0.01
+
+
+def test_bench_figure9b_associativity_sensitivity(benchmark, bench_workloads_small):
+    points = benchmark.pedantic(
+        run_figure9b,
+        kwargs={"benchmarks": bench_workloads_small},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Figure 9b] Associativity sensitivity of TRRIP-1\n")
+    print(format_figure9b(points))
+    assert {p.associativity for p in points} == {4, 8, 16}

@@ -1,0 +1,40 @@
+"""Benchmarks regenerating Tables 1, 2, 4 and 5 (configuration/static tables)."""
+
+from repro.experiments import (
+    format_table1,
+    format_table2,
+    format_table4,
+    format_table5,
+    run_table1,
+    run_table2,
+    run_table4,
+    run_table5,
+)
+
+
+def test_bench_table1_simulator_configuration(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print("\n[Table 1] Simulator configuration\n" + format_table1(rows))
+    assert len(rows) == 7
+
+
+def test_bench_table2_benchmark_inputs(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print("\n[Table 2] Benchmarks and inputs\n" + format_table2(rows))
+    assert len(rows) == 10
+
+
+def test_bench_table4_power_and_area(benchmark):
+    reports = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    print("\n[Table 4] Static power and area overheads\n" + format_table4(reports))
+    by_name = {r.mechanism: r for r in reports}
+    assert by_name["ship"].area_percent > by_name["emissary"].area_percent
+    assert by_name["trrip"].area_percent == 0.0
+
+
+def test_bench_table5_pages_and_binary_size(benchmark):
+    rows = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    print("\n[Table 5] Pages used (hot/warm) and binary size\n" + format_table5(rows))
+    assert len(rows) == 10
+    for row in rows:
+        assert row.pages_4k[0] >= row.pages_16k[0] >= row.pages_2m[0] >= 1

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Study how the compiler hot threshold changes TRRIP's behaviour (Figure 8).
+
+Sweeps ``percentile_hot`` from 10% to 100% for a benchmark: at low thresholds
+only the very hottest functions land in ``.text.hot`` (little code protected),
+at 100% every executed block is "hot" (equivalent to CLIP's blind
+prioritisation).  The script prints the text-section split and the TRRIP-1
+speedup over SRRIP at each point, plus the page accounting for the chosen page
+size — the data behind Figures 8a/8b and Table 5.
+
+Run with:  python examples/hot_threshold_study.py [benchmark] [page_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.common.temperature import Temperature
+from repro.core.pipeline import CoDesignPipeline, PipelineOptions
+from repro.experiments.figure8 import run_figure8
+from repro.osmodel.pages import count_pages_by_temperature
+from repro.workloads import get_spec
+
+THRESHOLDS = (0.10, 0.80, 0.99, 0.9999, 1.0)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "sqlite"
+    page_size = int(sys.argv[2]) if len(sys.argv) > 2 else 4096
+
+    print(f"Hot-threshold sweep for {benchmark!r} (page size {page_size} B)\n")
+    points = run_figure8(benchmarks=[benchmark], thresholds=THRESHOLDS)
+
+    print(
+        f"{'pct_hot':>8s} {'hot text':>9s} {'warm text':>10s} {'cold text':>10s} "
+        f"{'TRRIP-1 speedup':>16s}"
+    )
+    for point in points:
+        print(
+            f"{point.percentile_hot:8.4f} "
+            f"{point.text_fractions[Temperature.HOT]:9.3f} "
+            f"{point.text_fractions[Temperature.WARM]:10.3f} "
+            f"{point.text_fractions[Temperature.COLD]:10.3f} "
+            f"{point.speedup_over_srrip * 100:+15.2f}%"
+        )
+
+    print("\nPage accounting at the default threshold (99%):")
+    prepared = CoDesignPipeline(
+        PipelineOptions(percentile_hot=0.99, page_size=page_size)
+    ).prepare(get_spec(benchmark))
+    counts = count_pages_by_temperature(prepared.binary.image, page_size)
+    print(
+        f"  hot pages: {counts[Temperature.HOT]}, warm pages: {counts[Temperature.WARM]}, "
+        f"cold pages: {counts[Temperature.COLD]}"
+    )
+    print(
+        f"  loader tagged {prepared.loaded.tagged_pages} pages, "
+        f"{prepared.loaded.mixed_temperature_pages} pages straddle two temperatures"
+    )
+    print(f"  approximate binary size: {prepared.binary.image.binary_size} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Compare every evaluated replacement policy on a few mobile proxy benchmarks.
+
+Reproduces a miniature Figure 6 / Table 3: for each benchmark the script runs
+the SRRIP baseline plus LRU, DRRIP, SHiP, CLIP, Emissary and both TRRIP
+variants, then prints speedups and instruction/data MPKI reductions, ending
+with the geomean row the paper headlines.
+
+Run with:  python examples/policy_comparison.py [benchmark ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import run_policy_sweep
+from repro.sim.config import EVALUATED_POLICIES
+
+DEFAULT_BENCHMARKS = ("clang", "sqlite", "rapidjson")
+
+
+def main() -> None:
+    benchmarks = tuple(sys.argv[1:]) or DEFAULT_BENCHMARKS
+    print(f"Running policy sweep over: {', '.join(benchmarks)}")
+    print("(policies: " + ", ".join(EVALUATED_POLICIES) + "; baseline: srrip)\n")
+
+    sweep = run_policy_sweep(benchmarks=benchmarks)
+
+    header = f"{'benchmark':12s} {'policy':10s} {'speedup%':>9s} {'iMPKI red%':>11s} {'dMPKI red%':>11s}"
+    print(header)
+    print("-" * len(header))
+    for benchmark in sweep.benchmarks:
+        baseline = sweep.baseline(benchmark)
+        print(
+            f"{benchmark:12s} {'srrip':10s} {'--':>9s} "
+            f"{baseline.l2_inst_mpki:>11.2f} {baseline.l2_data_mpki:>11.2f}  (raw MPKI)"
+        )
+        for policy in sweep.policies:
+            inst_red, data_red = sweep.mpki_reduction(benchmark, policy)
+            print(
+                f"{'':12s} {policy:10s} {sweep.speedup(benchmark, policy) * 100:>+9.2f} "
+                f"{inst_red:>+11.1f} {data_red:>+11.1f}"
+            )
+        print()
+
+    print("geomean over the selected benchmarks:")
+    for policy in sweep.policies:
+        print(
+            f"  {policy:10s} speedup {sweep.geomean_speedup(policy) * 100:+6.2f}%  "
+            f"inst MPKI {sweep.geomean_inst_reduction(policy):+6.1f}%  "
+            f"data MPKI {sweep.geomean_data_reduction(policy):+6.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: run one benchmark under SRRIP and TRRIP-1 and compare.
+
+This walks the whole co-design flow of the paper on the ``sqlite`` proxy
+benchmark:
+
+1. build the synthetic program and collect its instrumentation PGO profile;
+2. re-compile with temperature-separated sections (.text.hot/.warm/.cold);
+3. load it, populating PTE temperature bits;
+4. simulate the measured window twice — once with the SRRIP baseline L2 and
+   once with TRRIP-1 — and print the MPKI / speedup comparison.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import CoDesignPipeline, SimulatorConfig, SystemSimulator
+from repro.workloads import InputSet, get_spec
+
+
+def run_policy(prepared, policy: str):
+    """Simulate the prepared workload with a given L2 replacement policy."""
+    config = SimulatorConfig.scaled().with_l2_policy(policy)
+    simulator = SystemSimulator(
+        config, translator=prepared.mmu(), benchmark=prepared.spec.name
+    )
+    generator = prepared.trace_generator(InputSet.EVALUATION)
+    simulator.warm_up(generator.records(prepared.spec.warmup_instructions))
+    return simulator.run(generator.records(prepared.spec.eval_instructions))
+
+
+def main() -> None:
+    spec = get_spec("sqlite")
+    print(f"Preparing {spec.name!r}: {spec.description}")
+
+    prepared = CoDesignPipeline().prepare(spec)
+    sections = ", ".join(
+        f"{s.name}={s.size_bytes // 1024}kB" for s in prepared.binary.image.sections
+    )
+    print(f"PGO sections: {sections}")
+    print(
+        f"Loader tagged {prepared.loaded.tagged_pages} of "
+        f"{prepared.loaded.code_pages} code pages with temperature bits\n"
+    )
+
+    baseline = run_policy(prepared, "srrip")
+    trrip = run_policy(prepared, "trrip-1")
+
+    print(f"{'metric':28s} {'SRRIP':>12s} {'TRRIP-1':>12s}")
+    print(f"{'cycles':28s} {baseline.cycles:12.0f} {trrip.cycles:12.0f}")
+    print(f"{'IPC':28s} {baseline.ipc:12.3f} {trrip.ipc:12.3f}")
+    print(
+        f"{'L2 instruction MPKI':28s} {baseline.l2_inst_mpki:12.2f} "
+        f"{trrip.l2_inst_mpki:12.2f}"
+    )
+    print(
+        f"{'L2 data MPKI':28s} {baseline.l2_data_mpki:12.2f} "
+        f"{trrip.l2_data_mpki:12.2f}"
+    )
+    inst_red, data_red = trrip.mpki_reduction_over(baseline)
+    print(
+        f"\nTRRIP-1 vs SRRIP: speedup {trrip.speedup_over(baseline) * 100:+.2f}%, "
+        f"instruction MPKI {inst_red:+.1f}%, data MPKI {data_red:+.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

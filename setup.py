@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed editable (``pip install -e .``) on environments whose
+setuptools/pip lack PEP 660 editable-wheel support (e.g. offline machines
+without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Cache hierarchy substrate: caches, prefetchers and replacement policies."""
+
+from repro.cache.block import CacheBlock
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.hierarchy import CacheHierarchy, CacheLevelConfig, HierarchyConfig
+from repro.cache.prefetch import (
+    NextLinePrefetcher,
+    NullPrefetcher,
+    Prefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+from repro.cache.stats import CacheStats, HierarchyStats
+
+__all__ = [
+    "CacheBlock",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "CacheLevelConfig",
+    "HierarchyConfig",
+    "CacheStats",
+    "HierarchyStats",
+    "Prefetcher",
+    "NullPrefetcher",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "make_prefetcher",
+]

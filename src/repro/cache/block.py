@@ -1,0 +1,44 @@
+"""Cache block (line) bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.temperature import Temperature
+
+
+@dataclass
+class CacheBlock:
+    """State of one cache line resident in a set-associative cache.
+
+    Only the fields a real tag array would hold (tag/valid/dirty) influence
+    behaviour; the rest (``is_instruction``, ``temperature``, ``pc``,
+    timestamps) are simulation metadata used by statistics, the analysis
+    modules and back-invalidation.  Replacement policies keep their own state
+    and never read these fields, mirroring the paper's claim that TRRIP needs
+    no extra per-line storage.
+    """
+
+    tag: int = 0
+    address: int = 0
+    valid: bool = False
+    dirty: bool = False
+    is_instruction: bool = False
+    temperature: Temperature = Temperature.NONE
+    pc: int = 0
+    insertion_time: int = 0
+    last_access_time: int = 0
+    access_count: int = 0
+
+    def invalidate(self) -> None:
+        """Clear the block back to its power-on state."""
+        self.tag = 0
+        self.address = 0
+        self.valid = False
+        self.dirty = False
+        self.is_instruction = False
+        self.temperature = Temperature.NONE
+        self.pc = 0
+        self.insertion_time = 0
+        self.last_access_time = 0
+        self.access_count = 0

@@ -1,0 +1,237 @@
+"""Set-associative cache model with pluggable replacement policies."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.stats import CacheStats
+from repro.common.addressing import CACHE_LINE_SIZE, is_power_of_two, line_address
+from repro.common.errors import ConfigurationError
+from repro.common.request import MemoryRequest
+
+
+class SetAssociativeCache:
+    """A single level of set-associative cache.
+
+    The cache only models tags and replacement state — no data payloads — so a
+    "hit" answers *would the line be resident*, which is all the paper's
+    metrics (MPKI, stall cycles) need.
+
+    The allocation decision (when to fill which level) is made by
+    :class:`repro.cache.hierarchy.CacheHierarchy`; this class exposes
+    ``access`` (lookup + replacement-state update on hits), ``fill`` (insert a
+    line, returning the evicted block if any), ``invalidate`` and ``probe``
+    (side-effect free lookup).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        associativity: int,
+        policy: ReplacementPolicy,
+        line_size: int = CACHE_LINE_SIZE,
+    ) -> None:
+        if size_bytes <= 0 or associativity <= 0 or line_size <= 0:
+            raise ConfigurationError(
+                f"{name}: size, associativity and line size must be positive"
+            )
+        if size_bytes % (associativity * line_size) != 0:
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} is not divisible by "
+                f"associativity*line_size = {associativity * line_size}"
+            )
+        num_sets = size_bytes // (associativity * line_size)
+        if not is_power_of_two(num_sets):
+            raise ConfigurationError(
+                f"{name}: number of sets must be a power of two, got {num_sets}"
+            )
+        if policy.num_sets != num_sets or policy.num_ways != associativity:
+            raise ConfigurationError(
+                f"{name}: policy geometry {policy.num_sets}x{policy.num_ways} does "
+                f"not match cache geometry {num_sets}x{associativity}"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_size = line_size
+        self.num_sets = num_sets
+        self.policy = policy
+        self.stats = CacheStats()
+        self._sets: list[list[CacheBlock]] = [
+            [CacheBlock() for _ in range(associativity)] for _ in range(num_sets)
+        ]
+        self._time = 0
+
+    # -------------------------------------------------------------- indexing
+    def set_index_of(self, address: int) -> int:
+        """Set index for a byte address."""
+        return (address // self.line_size) % self.num_sets
+
+    def tag_of(self, address: int) -> int:
+        """Tag for a byte address."""
+        return address // (self.line_size * self.num_sets)
+
+    def blocks_in_set(self, set_index: int) -> list[CacheBlock]:
+        """The blocks of one set (exposed for analysis and tests)."""
+        return self._sets[set_index]
+
+    # -------------------------------------------------------------- lookups
+    def probe(self, address: int) -> Optional[int]:
+        """Return the way holding ``address`` without touching any state."""
+        set_index = self.set_index_of(address)
+        tag = self.tag_of(address)
+        for way, block in enumerate(self._sets[set_index]):
+            if block.valid and block.tag == tag:
+                return way
+        return None
+
+    def contains(self, address: int) -> bool:
+        """Whether the line containing ``address`` is resident."""
+        return self.probe(address) is not None
+
+    # -------------------------------------------------------------- accesses
+    def access(self, request: MemoryRequest) -> bool:
+        """Look up a request; update stats and replacement state on a hit.
+
+        Returns ``True`` on a hit.  Misses do **not** allocate — the hierarchy
+        decides where fills go.
+        """
+        self._time += 1
+        set_index = self.set_index_of(request.address)
+        way = self.probe(request.address)
+        hit = way is not None
+        self._record_access(request, hit)
+        if hit:
+            block = self._sets[set_index][way]
+            block.last_access_time = self._time
+            block.access_count += 1
+            if request.is_write:
+                block.dirty = True
+            self.policy.on_hit(set_index, way, request)
+        return hit
+
+    def fill(self, request: MemoryRequest) -> Optional[CacheBlock]:
+        """Insert the line for ``request``; return the evicted block, if any.
+
+        Filling a line that is already resident refreshes its metadata without
+        evicting anything (this happens with overlapping prefetches).
+        """
+        self._time += 1
+        set_index = self.set_index_of(request.address)
+        tag = self.tag_of(request.address)
+        blocks = self._sets[set_index]
+
+        existing = self.probe(request.address)
+        if existing is not None:
+            self._install(blocks[existing], request, tag)
+            return None
+
+        victim_block: Optional[CacheBlock] = None
+        way = self._find_invalid_way(set_index)
+        if way is None:
+            way = self.policy.select_victim(set_index, request)
+            block = blocks[way]
+            if block.valid:
+                victim_block = self._copy_block(block)
+                self.stats.evictions += 1
+                if block.dirty:
+                    self.stats.writebacks += 1
+                self.policy.on_evict(set_index, way, request)
+
+        self._install(blocks[way], request, tag)
+        self.stats.fills += 1
+        if request.is_prefetch:
+            self.stats.prefetch_fills += 1
+        self.policy.on_insert(set_index, way, request)
+        return victim_block
+
+    def invalidate(self, address: int) -> bool:
+        """Remove the line containing ``address`` (back-invalidation)."""
+        set_index = self.set_index_of(address)
+        way = self.probe(address)
+        if way is None:
+            return False
+        self.policy.on_evict(set_index, way, None)
+        self._sets[set_index][way].invalidate()
+        self.stats.invalidations += 1
+        return True
+
+    def reset(self) -> None:
+        """Clear contents, statistics and replacement state."""
+        for blocks in self._sets:
+            for block in blocks:
+                block.invalidate()
+        self.stats.reset()
+        self.policy.reset()
+        self._time = 0
+
+    # -------------------------------------------------------------- helpers
+    def _find_invalid_way(self, set_index: int) -> Optional[int]:
+        for way, block in enumerate(self._sets[set_index]):
+            if not block.valid:
+                return way
+        return None
+
+    def _install(self, block: CacheBlock, request: MemoryRequest, tag: int) -> None:
+        block.tag = tag
+        block.address = line_address(request.address, self.line_size)
+        block.valid = True
+        block.dirty = request.is_write
+        block.is_instruction = request.is_instruction
+        block.temperature = request.temperature
+        block.pc = request.pc
+        block.insertion_time = self._time
+        block.last_access_time = self._time
+        block.access_count = 0
+
+    @staticmethod
+    def _copy_block(block: CacheBlock) -> CacheBlock:
+        return CacheBlock(
+            tag=block.tag,
+            address=block.address,
+            valid=True,
+            dirty=block.dirty,
+            is_instruction=block.is_instruction,
+            temperature=block.temperature,
+            pc=block.pc,
+            insertion_time=block.insertion_time,
+            last_access_time=block.last_access_time,
+            access_count=block.access_count,
+        )
+
+    def _record_access(self, request: MemoryRequest, hit: bool) -> None:
+        stats = self.stats
+        if request.is_prefetch:
+            stats.prefetch_accesses += 1
+            if hit:
+                stats.prefetch_hits += 1
+            else:
+                stats.prefetch_misses += 1
+            return
+        stats.demand_accesses += 1
+        if hit:
+            stats.demand_hits += 1
+        else:
+            stats.demand_misses += 1
+        if request.is_instruction:
+            stats.inst_accesses += 1
+            if hit:
+                stats.inst_hits += 1
+            else:
+                stats.inst_misses += 1
+        else:
+            stats.data_accesses += 1
+            if hit:
+                stats.data_hits += 1
+            else:
+                stats.data_misses += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache(name={self.name!r}, size={self.size_bytes}, "
+            f"ways={self.associativity}, sets={self.num_sets}, "
+            f"policy={self.policy.name})"
+        )

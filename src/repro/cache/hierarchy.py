@@ -1,0 +1,308 @@
+"""Cache hierarchy model: L1-I, L1-D, unified L2, SLC and DRAM.
+
+The structure matches Table 1 of the paper: private L1 instruction and data
+caches, a shared unified L2 (inclusive of the L1s) where the evaluated
+replacement policies are applied, a shared unified SLC (exclusive,
+victim-filled from L2 evictions) and a fixed-latency DRAM backend.  Each level
+can host a stride/next-line prefetcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.block import CacheBlock
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.prefetch import Prefetcher, make_prefetcher
+from repro.cache.replacement.factory import create_policy
+from repro.cache.stats import HierarchyStats
+from repro.common.addressing import CACHE_LINE_SIZE
+from repro.common.errors import ConfigurationError
+from repro.common.request import AccessResult, AccessType, HitLevel, MemoryRequest
+
+
+@dataclass
+class CacheLevelConfig:
+    """Configuration of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    latency: int
+    policy: str = "lru"
+    policy_kwargs: dict = field(default_factory=dict)
+    prefetcher: str = "none"
+    prefetcher_kwargs: dict = field(default_factory=dict)
+
+    def validate(self, name: str) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"{name}: size must be positive")
+        if self.associativity <= 0:
+            raise ConfigurationError(f"{name}: associativity must be positive")
+        if self.latency < 0:
+            raise ConfigurationError(f"{name}: latency must be non-negative")
+
+
+@dataclass
+class HierarchyConfig:
+    """Configuration of the whole cache hierarchy (Table 1 shape)."""
+
+    l1i: CacheLevelConfig
+    l1d: CacheLevelConfig
+    l2: CacheLevelConfig
+    slc: CacheLevelConfig
+    dram_latency: int = 400
+    line_size: int = CACHE_LINE_SIZE
+    l2_inclusive: bool = True
+    slc_exclusive: bool = True
+
+    def validate(self) -> None:
+        for name in ("l1i", "l1d", "l2", "slc"):
+            getattr(self, name).validate(name)
+        if self.dram_latency < 0:
+            raise ConfigurationError("dram_latency must be non-negative")
+        if self.line_size <= 0:
+            raise ConfigurationError("line_size must be positive")
+
+
+def _build_cache(name: str, cfg: CacheLevelConfig, line_size: int) -> SetAssociativeCache:
+    num_sets = cfg.size_bytes // (cfg.associativity * line_size)
+    policy = create_policy(cfg.policy, num_sets, cfg.associativity, **cfg.policy_kwargs)
+    return SetAssociativeCache(
+        name=name,
+        size_bytes=cfg.size_bytes,
+        associativity=cfg.associativity,
+        policy=policy,
+        line_size=line_size,
+    )
+
+
+class CacheHierarchy:
+    """Drives memory requests through the modelled cache hierarchy."""
+
+    def __init__(self, config: HierarchyConfig) -> None:
+        config.validate()
+        self.config = config
+        line = config.line_size
+        self.l1i = _build_cache("L1I", config.l1i, line)
+        self.l1d = _build_cache("L1D", config.l1d, line)
+        self.l2 = _build_cache("L2", config.l2, line)
+        self.slc = _build_cache("SLC", config.slc, line)
+        self.l1i_prefetcher: Prefetcher = make_prefetcher(
+            config.l1i.prefetcher, **config.l1i.prefetcher_kwargs
+        )
+        self.l1d_prefetcher: Prefetcher = make_prefetcher(
+            config.l1d.prefetcher, **config.l1d.prefetcher_kwargs
+        )
+        self.l2_prefetcher: Prefetcher = make_prefetcher(
+            config.l2.prefetcher, **config.l2.prefetcher_kwargs
+        )
+        self.stats = HierarchyStats()
+        #: Optional hook invoked as ``observer(request, hit)`` for every
+        #: *demand* access that reaches the L2 (i.e. every L1 miss).  Used by
+        #: the reuse-distance analysis (Figure 3) without perturbing timing.
+        self.l2_access_observer = None
+
+    # ----------------------------------------------------------- public API
+    def access_instruction(self, request: MemoryRequest) -> AccessResult:
+        """Service an instruction fetch (or instruction prefetch)."""
+        if not request.is_instruction:
+            raise ValueError("access_instruction requires an instruction request")
+        return self._access(request, self.l1i, self.l1i_prefetcher)
+
+    def access_data(self, request: MemoryRequest) -> AccessResult:
+        """Service a data load/store (or data prefetch)."""
+        if request.is_instruction:
+            raise ValueError("access_data requires a data request")
+        return self._access(request, self.l1d, self.l1d_prefetcher)
+
+    def access(self, request: MemoryRequest) -> AccessResult:
+        """Dispatch a request to the instruction or data path."""
+        if request.is_instruction:
+            return self.access_instruction(request)
+        return self.access_data(request)
+
+    def reset(self) -> None:
+        for cache in (self.l1i, self.l1d, self.l2, self.slc):
+            cache.reset()
+        for prefetcher in (self.l1i_prefetcher, self.l1d_prefetcher, self.l2_prefetcher):
+            prefetcher.reset()
+        self.stats.reset()
+
+    def reset_stats(self) -> None:
+        """Clear statistics while keeping cache contents and policy state.
+
+        Used after the warm-up (fast-forward) phase so that only the measured
+        window contributes to MPKI and latency counters.
+        """
+        for cache in (self.l1i, self.l1d, self.l2, self.slc):
+            cache.stats.reset()
+        self.stats.reset()
+
+    # -------------------------------------------------------------- internals
+    def _access(
+        self,
+        request: MemoryRequest,
+        l1: SetAssociativeCache,
+        l1_prefetcher: Prefetcher,
+        allow_prefetch: bool = True,
+    ) -> AccessResult:
+        demand = not request.is_prefetch
+        if demand:
+            if request.is_instruction:
+                self.stats.instruction_fetches += 1
+            else:
+                self.stats.data_accesses += 1
+
+        result = self._walk_hierarchy(request, l1)
+
+        # Instruction-side L2 misses are counted for demand fetches *and* for
+        # FDIP instruction prefetches: with a decoupled frontend the run-ahead
+        # prefetcher issues the demand stream early, so its misses are the
+        # instruction misses the program pays for (the later demand fetch then
+        # hits the L1-I).  Data prefetches stay excluded from MPKI.
+        if result.l2_miss and request.is_instruction:
+            self.stats.l2_inst_misses += 1
+
+        if demand:
+            self.stats.total_latency += result.latency
+            if not result.l1_hit:
+                if request.is_instruction:
+                    self.stats.l1i_misses += 1
+                else:
+                    self.stats.l1d_misses += 1
+            if result.l2_miss and not request.is_instruction:
+                self.stats.l2_data_misses += 1
+            if not result.slc_hit and result.l2_miss:
+                self.stats.slc_misses += 1
+            if result.dram_access:
+                self.stats.dram_accesses += 1
+
+        if allow_prefetch and demand:
+            self._run_prefetchers(request, result, l1, l1_prefetcher)
+        return result
+
+    def _walk_hierarchy(
+        self, request: MemoryRequest, l1: SetAssociativeCache
+    ) -> AccessResult:
+        cfg = self.config
+        evicted: list[int] = []
+
+        # L1 lookup.
+        if l1.access(request):
+            latency = self._l1_latency(request)
+            return AccessResult(
+                request=request,
+                hit_level=HitLevel.L1,
+                latency=latency,
+                l1_hit=True,
+            )
+        latency = self._l1_latency(request)
+
+        # L2 lookup (the level whose replacement policy is under evaluation).
+        l2_hit = self.l2.access(request)
+        if self.l2_access_observer is not None and not request.is_prefetch:
+            self.l2_access_observer(request, l2_hit)
+        if l2_hit:
+            latency += cfg.l2.latency
+            self._fill(l1, request, evicted)
+            return AccessResult(
+                request=request,
+                hit_level=HitLevel.L2,
+                latency=latency,
+                l2_hit=True,
+                evicted_lines=tuple(evicted),
+            )
+        latency += cfg.l2.latency
+
+        # SLC lookup.
+        if self.slc.access(request):
+            latency += cfg.slc.latency
+            if cfg.slc_exclusive:
+                self.slc.invalidate(request.address)
+            self._fill_l2(request, evicted)
+            self._fill(l1, request, evicted)
+            return AccessResult(
+                request=request,
+                hit_level=HitLevel.SLC,
+                latency=latency,
+                slc_hit=True,
+                evicted_lines=tuple(evicted),
+            )
+        latency += cfg.slc.latency
+
+        # DRAM.
+        latency += cfg.dram_latency
+        self._fill_l2(request, evicted)
+        if not cfg.slc_exclusive:
+            self.slc.fill(request)
+        self._fill(l1, request, evicted)
+        return AccessResult(
+            request=request,
+            hit_level=HitLevel.DRAM,
+            latency=latency,
+            evicted_lines=tuple(evicted),
+        )
+
+    def _l1_latency(self, request: MemoryRequest) -> int:
+        if request.is_instruction:
+            return self.config.l1i.latency
+        return self.config.l1d.latency
+
+    def _fill(
+        self,
+        cache: SetAssociativeCache,
+        request: MemoryRequest,
+        evicted: list[int],
+    ) -> None:
+        victim = cache.fill(request)
+        if victim is not None:
+            evicted.append(victim.address)
+
+    def _fill_l2(self, request: MemoryRequest, evicted: list[int]) -> None:
+        victim = self.l2.fill(request)
+        if victim is None:
+            return
+        evicted.append(victim.address)
+        if self.config.l2_inclusive:
+            # Back-invalidate the victim from the private L1s.
+            self.l1i.invalidate(victim.address)
+            self.l1d.invalidate(victim.address)
+        if self.config.slc_exclusive:
+            # Exclusive SLC acts as a victim cache for L2 evictions.
+            self.slc.fill(self._victim_request(victim))
+
+    @staticmethod
+    def _victim_request(victim: CacheBlock) -> MemoryRequest:
+        access_type = (
+            AccessType.INSTRUCTION_FETCH
+            if victim.is_instruction
+            else AccessType.DATA_LOAD
+        )
+        return MemoryRequest(
+            address=victim.address,
+            access_type=access_type,
+            pc=victim.pc,
+            is_prefetch=True,
+        )
+
+    def _run_prefetchers(
+        self,
+        request: MemoryRequest,
+        result: AccessResult,
+        l1: SetAssociativeCache,
+        l1_prefetcher: Prefetcher,
+    ) -> None:
+        targets: list[int] = []
+        targets.extend(l1_prefetcher.observe(request, result.l1_hit))
+        targets.extend(self.l2_prefetcher.observe(request, result.l2_hit))
+        for address in targets:
+            self.stats.prefetches_issued += 1
+            prefetch = request.as_prefetch(address)
+            self._access(prefetch, l1, l1_prefetcher, allow_prefetch=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheHierarchy(l1i={self.l1i.size_bytes}, l1d={self.l1d.size_bytes}, "
+            f"l2={self.l2.size_bytes}/{self.l2.policy.name}, slc={self.slc.size_bytes})"
+        )

@@ -1,0 +1,135 @@
+"""Hardware prefetcher models.
+
+Table 1 of the paper attaches stride-based prefetchers (including next-line)
+to every cache.  The frontend additionally runs a pseudo-FDIP prefetcher
+(modelled in :mod:`repro.cpu.frontend`); the classes here are the per-cache
+engines the hierarchy invokes on demand accesses.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.common.addressing import CACHE_LINE_SIZE, line_address
+from repro.common.request import MemoryRequest
+
+
+class Prefetcher(abc.ABC):
+    """Interface of a per-cache prefetch engine."""
+
+    name: str = "none"
+
+    @abc.abstractmethod
+    def observe(self, request: MemoryRequest, hit: bool) -> list[int]:
+        """Observe a demand access and return line addresses to prefetch."""
+
+    def reset(self) -> None:
+        """Restore the prefetcher to its power-on state."""
+
+
+class NullPrefetcher(Prefetcher):
+    """Prefetcher that never issues anything."""
+
+    name = "none"
+
+    def observe(self, request: MemoryRequest, hit: bool) -> list[int]:
+        return []
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Sequential next-line prefetcher (degree configurable).
+
+    Effective for instruction streams where fall-through execution dominates,
+    which PGO's layout optimisations deliberately encourage.
+    """
+
+    name = "nextline"
+
+    def __init__(self, degree: int = 1, line_size: int = CACHE_LINE_SIZE) -> None:
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+        self.line_size = line_size
+
+    def observe(self, request: MemoryRequest, hit: bool) -> list[int]:
+        base = line_address(request.address, self.line_size)
+        return [base + i * self.line_size for i in range(1, self.degree + 1)]
+
+
+@dataclass
+class _StrideEntry:
+    last_address: int = 0
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher(Prefetcher):
+    """PC-indexed stride prefetcher with confidence counters.
+
+    Each static instruction (PC) gets a table entry tracking the last address
+    it touched and the last observed stride.  When the same stride repeats
+    ``threshold`` times the prefetcher issues ``degree`` prefetches along it.
+    """
+
+    name = "stride"
+
+    def __init__(
+        self,
+        table_entries: int = 256,
+        degree: int = 2,
+        threshold: int = 2,
+        line_size: int = CACHE_LINE_SIZE,
+    ) -> None:
+        if table_entries < 1 or degree < 1 or threshold < 1:
+            raise ValueError("table_entries, degree and threshold must be >= 1")
+        self.table_entries = table_entries
+        self.degree = degree
+        self.threshold = threshold
+        self.line_size = line_size
+        self._table: dict[int, _StrideEntry] = {}
+
+    def observe(self, request: MemoryRequest, hit: bool) -> list[int]:
+        key = request.pc % self.table_entries if request.pc else (
+            request.address // 4096
+        ) % self.table_entries
+        entry = self._table.get(key)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                # Capacity eviction: drop an arbitrary (oldest-inserted) entry.
+                self._table.pop(next(iter(self._table)))
+            self._table[key] = _StrideEntry(last_address=request.address)
+            return []
+
+        stride = request.address - entry.last_address
+        if stride != 0 and stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, self.threshold + 2)
+        else:
+            entry.confidence = max(entry.confidence - 1, 0)
+            entry.stride = stride
+        entry.last_address = request.address
+
+        if entry.confidence < self.threshold or entry.stride == 0:
+            return []
+        base = request.address
+        prefetches = []
+        for i in range(1, self.degree + 1):
+            target = base + i * entry.stride
+            if target >= 0:
+                prefetches.append(line_address(target, self.line_size))
+        return prefetches
+
+    def reset(self) -> None:
+        self._table.clear()
+
+
+def make_prefetcher(name: str, **kwargs) -> Prefetcher:
+    """Factory for prefetchers by configuration name."""
+    name = name.lower()
+    if name in ("none", "null", ""):
+        return NullPrefetcher()
+    if name in ("nextline", "next-line"):
+        return NextLinePrefetcher(**kwargs)
+    if name == "stride":
+        return StridePrefetcher(**kwargs)
+    raise ValueError(f"unknown prefetcher {name!r}")

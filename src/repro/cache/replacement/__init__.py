@@ -1,0 +1,36 @@
+"""Cache replacement policies evaluated by the paper (plus baselines)."""
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.basic import FIFOPolicy, LRUPolicy, RandomPolicy
+from repro.cache.replacement.belady import OptimalPolicy
+from repro.cache.replacement.clip import CLIPPolicy
+from repro.cache.replacement.drrip import DRRIPPolicy
+from repro.cache.replacement.dueling import (
+    Constituency,
+    SaturatingCounter,
+    SetDuelingController,
+)
+from repro.cache.replacement.emissary import EmissaryPolicy
+from repro.cache.replacement.factory import available_policies, create_policy
+from repro.cache.replacement.rrip import BRRIPPolicy, RRIPBase, SRRIPPolicy
+from repro.cache.replacement.ship import SHiPPolicy
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "RRIPBase",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "SHiPPolicy",
+    "CLIPPolicy",
+    "EmissaryPolicy",
+    "OptimalPolicy",
+    "SetDuelingController",
+    "SaturatingCounter",
+    "Constituency",
+    "available_policies",
+    "create_policy",
+]

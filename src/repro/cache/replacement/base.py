@@ -1,0 +1,71 @@
+"""Replacement policy interface.
+
+Every evaluated mechanism (LRU, SRRIP, BRRIP, DRRIP, SHiP, CLIP, Emissary and
+the paper's TRRIP variants) implements :class:`ReplacementPolicy`.  The cache
+model calls the hooks in a fixed order:
+
+* ``on_hit``      — a lookup found the line in ``way``;
+* ``select_victim`` — the set is full and a way must be chosen for eviction;
+* ``on_evict``    — the chosen victim (or an invalidated line) leaves the set;
+* ``on_insert``   — the new line has been placed into ``way``.
+
+Policies never see cache tags directly; any per-line metadata they need (RRPV
+values, LRU stamps, SHiP signatures, Emissary priority bits) is kept in arrays
+owned by the policy itself, exactly mirroring the storage the hardware
+proposals add next to the tag array.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.common.request import MemoryRequest
+
+
+class ReplacementPolicy(abc.ABC):
+    """Abstract base class for set-associative replacement policies."""
+
+    #: Short identifier used by the policy factory and experiment tables.
+    name: str = "base"
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        if num_sets <= 0 or num_ways <= 0:
+            raise ValueError(
+                f"num_sets and num_ways must be positive, got {num_sets}x{num_ways}"
+            )
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+
+    # ------------------------------------------------------------------ hooks
+    @abc.abstractmethod
+    def on_hit(self, set_index: int, way: int, request: MemoryRequest) -> None:
+        """Update re-reference state after a hit on ``way``."""
+
+    @abc.abstractmethod
+    def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
+        """Initialise re-reference state for a newly inserted line."""
+
+    @abc.abstractmethod
+    def select_victim(self, set_index: int, request: MemoryRequest) -> int:
+        """Pick the way to evict from a full set."""
+
+    def on_evict(
+        self, set_index: int, way: int, request: Optional[MemoryRequest] = None
+    ) -> None:
+        """Notify that the line in ``way`` left the set (eviction/invalidate)."""
+
+    def reset(self) -> None:
+        """Restore the policy to its power-on state."""
+
+    # ------------------------------------------------------------------ misc
+    def _check_set(self, set_index: int) -> None:
+        if not 0 <= set_index < self.num_sets:
+            raise IndexError(f"set index {set_index} out of range [0, {self.num_sets})")
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.num_ways:
+            raise IndexError(f"way {way} out of range [0, {self.num_ways})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(sets={self.num_sets}, ways={self.num_ways})"

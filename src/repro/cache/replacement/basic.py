@@ -1,0 +1,117 @@
+"""Baseline replacement policies: LRU, FIFO and Random.
+
+LRU is the baseline the paper's Table 1 uses for the L1 caches and the SLC,
+and one of the evaluated L2 mechanisms in Figure 6 / Table 3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.common.request import MemoryRequest
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement.
+
+    Recency is tracked with a monotonically increasing per-policy counter; the
+    victim is the valid way with the smallest stamp.  New lines are inserted
+    as most-recently-used.
+    """
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        super().__init__(num_sets, num_ways)
+        self._clock = 0
+        self._stamps = [[0] * num_ways for _ in range(num_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamps[set_index][way] = self._clock
+
+    def on_hit(self, set_index: int, way: int, request: MemoryRequest) -> None:
+        self._check_set(set_index)
+        self._check_way(way)
+        self._touch(set_index, way)
+
+    def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
+        self._check_set(set_index)
+        self._check_way(way)
+        self._touch(set_index, way)
+
+    def select_victim(self, set_index: int, request: MemoryRequest) -> int:
+        self._check_set(set_index)
+        stamps = self._stamps[set_index]
+        return min(range(self.num_ways), key=lambda way: stamps[way])
+
+    def on_evict(
+        self, set_index: int, way: int, request: Optional[MemoryRequest] = None
+    ) -> None:
+        self._stamps[set_index][way] = 0
+
+    def reset(self) -> None:
+        self._clock = 0
+        for stamps in self._stamps:
+            for way in range(self.num_ways):
+                stamps[way] = 0
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out replacement (insertion order, hits do not refresh)."""
+
+    name = "fifo"
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        super().__init__(num_sets, num_ways)
+        self._clock = 0
+        self._stamps = [[0] * num_ways for _ in range(num_sets)]
+
+    def on_hit(self, set_index: int, way: int, request: MemoryRequest) -> None:
+        self._check_set(set_index)
+        self._check_way(way)
+
+    def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
+        self._check_set(set_index)
+        self._check_way(way)
+        self._clock += 1
+        self._stamps[set_index][way] = self._clock
+
+    def select_victim(self, set_index: int, request: MemoryRequest) -> int:
+        self._check_set(set_index)
+        stamps = self._stamps[set_index]
+        return min(range(self.num_ways), key=lambda way: stamps[way])
+
+    def reset(self) -> None:
+        self._clock = 0
+        for stamps in self._stamps:
+            for way in range(self.num_ways):
+                stamps[way] = 0
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random replacement with a deterministic seed (useful as a floor)."""
+
+    name = "random"
+
+    def __init__(self, num_sets: int, num_ways: int, seed: int = 0) -> None:
+        super().__init__(num_sets, num_ways)
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def on_hit(self, set_index: int, way: int, request: MemoryRequest) -> None:
+        self._check_set(set_index)
+        self._check_way(way)
+
+    def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
+        self._check_set(set_index)
+        self._check_way(way)
+
+    def select_victim(self, set_index: int, request: MemoryRequest) -> int:
+        self._check_set(set_index)
+        return self._rng.randrange(self.num_ways)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)

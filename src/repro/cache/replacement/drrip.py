@@ -1,0 +1,57 @@
+"""Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion.
+
+DRRIP [Jaleel et al., ISCA 2010] dedicates leader sets to SRRIP (policy A) and
+BRRIP (policy B) and lets follower sets adopt the winner according to a PSEL
+counter (Section 4.3 of the paper: 32 sampling sets per policy, 10-bit PSEL).
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.dueling import SetDuelingController
+from repro.cache.replacement.rrip import RRIPBase
+from repro.common.request import MemoryRequest
+
+
+class DRRIPPolicy(RRIPBase):
+    """Dynamic RRIP (SRRIP vs. BRRIP set dueling)."""
+
+    name = "drrip"
+
+    def __init__(
+        self,
+        num_sets: int,
+        num_ways: int,
+        rrpv_bits: int = 2,
+        leader_sets: int = 32,
+        psel_bits: int = 10,
+        bimodal_interval: int = 32,
+    ) -> None:
+        super().__init__(num_sets, num_ways, rrpv_bits)
+        self.bimodal_interval = bimodal_interval
+        self._insert_counter = 0
+        self.dueling = SetDuelingController(
+            num_sets, leader_sets_per_policy=leader_sets, psel_bits=psel_bits
+        )
+
+    def _brrip_insertion(self) -> int:
+        self._insert_counter += 1
+        if self._insert_counter % self.bimodal_interval == 0:
+            return self.rrpv_intermediate
+        return self.rrpv_distant
+
+    def insertion_rrpv(self, set_index: int, request: MemoryRequest) -> int:
+        if self.dueling.use_policy_a(set_index):
+            return self.rrpv_intermediate  # SRRIP insertion
+        return self._brrip_insertion()  # BRRIP insertion
+
+    def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
+        # An insertion corresponds to a miss; demand misses in leader sets
+        # steer the PSEL counter.
+        if not request.is_prefetch:
+            self.dueling.record_miss(set_index)
+        super().on_insert(set_index, way, request)
+
+    def reset(self) -> None:
+        super().reset()
+        self._insert_counter = 0
+        self.dueling.reset()

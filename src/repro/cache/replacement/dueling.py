@@ -1,0 +1,111 @@
+"""Set-dueling infrastructure shared by DRRIP and CLIP.
+
+Set dueling [Qureshi et al., ISCA 2007] dedicates a small number of *leader*
+sets to each of two competing policies and lets the remaining *follower* sets
+adopt whichever leader group currently misses less, as tracked by a saturating
+PSEL counter.  The paper's configuration (Section 4.3) uses 32 leader sets per
+policy and a 10-bit PSEL counter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Constituency(enum.Enum):
+    """Which dueling group a cache set belongs to."""
+
+    LEADER_A = "leader_a"
+    LEADER_B = "leader_b"
+    FOLLOWER = "follower"
+
+
+@dataclass
+class SaturatingCounter:
+    """An n-bit saturating counter (the PSEL register)."""
+
+    bits: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"counter width must be >= 1, got {self.bits}")
+        self.max_value = (1 << self.bits) - 1
+        self.midpoint = 1 << (self.bits - 1)
+        if not 0 <= self.value <= self.max_value:
+            raise ValueError(f"initial value {self.value} out of range")
+
+    def increment(self) -> None:
+        self.value = min(self.value + 1, self.max_value)
+
+    def decrement(self) -> None:
+        self.value = max(self.value - 1, 0)
+
+    @property
+    def favors_a(self) -> bool:
+        """True when the counter indicates policy A misses less."""
+        return self.value < self.midpoint
+
+
+class SetDuelingController:
+    """Assigns leader/follower sets and maintains the PSEL counter.
+
+    Leader sets are spread evenly across the index space using a fixed stride,
+    which mirrors the usual hash-free hardware mapping and keeps behaviour
+    deterministic.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        leader_sets_per_policy: int = 32,
+        psel_bits: int = 10,
+    ) -> None:
+        if num_sets <= 0:
+            raise ValueError(f"num_sets must be positive, got {num_sets}")
+        if leader_sets_per_policy < 1:
+            raise ValueError("need at least one leader set per policy")
+        leader_sets_per_policy = min(leader_sets_per_policy, num_sets // 2)
+        leader_sets_per_policy = max(leader_sets_per_policy, 1)
+        self.num_sets = num_sets
+        self.leader_sets_per_policy = leader_sets_per_policy
+        self.psel = SaturatingCounter(psel_bits, value=1 << (psel_bits - 1))
+
+        stride = max(num_sets // (2 * leader_sets_per_policy), 1)
+        self._constituency: dict[int, Constituency] = {}
+        for i in range(leader_sets_per_policy):
+            index_a = (2 * i * stride) % num_sets
+            index_b = ((2 * i + 1) * stride) % num_sets
+            self._constituency.setdefault(index_a, Constituency.LEADER_A)
+            self._constituency.setdefault(index_b, Constituency.LEADER_B)
+
+    def constituency(self, set_index: int) -> Constituency:
+        """Return the dueling group of ``set_index``."""
+        if not 0 <= set_index < self.num_sets:
+            raise IndexError(f"set index {set_index} out of range")
+        return self._constituency.get(set_index, Constituency.FOLLOWER)
+
+    def record_miss(self, set_index: int) -> None:
+        """Update PSEL on a miss in a leader set.
+
+        A miss in an A-leader set is evidence against policy A, so it moves
+        the counter towards B (increment); symmetrically for B.
+        """
+        group = self.constituency(set_index)
+        if group is Constituency.LEADER_A:
+            self.psel.increment()
+        elif group is Constituency.LEADER_B:
+            self.psel.decrement()
+
+    def use_policy_a(self, set_index: int) -> bool:
+        """Which policy a set should apply right now."""
+        group = self.constituency(set_index)
+        if group is Constituency.LEADER_A:
+            return True
+        if group is Constituency.LEADER_B:
+            return False
+        return self.psel.favors_a
+
+    def reset(self) -> None:
+        self.psel.value = self.psel.midpoint

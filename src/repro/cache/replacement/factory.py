@@ -1,0 +1,67 @@
+"""Factory that builds replacement policies from configuration names.
+
+The names accepted here are the ones used throughout the experiment harness
+and in the paper's figures: ``lru``, ``srrip``, ``brrip``, ``drrip``, ``ship``,
+``clip``, ``emissary``, ``trrip-1`` and ``trrip-2`` (plus ``fifo``, ``random``
+and ``opt`` for baselines/ablations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.basic import FIFOPolicy, LRUPolicy, RandomPolicy
+from repro.cache.replacement.belady import OptimalPolicy
+from repro.cache.replacement.clip import CLIPPolicy
+from repro.cache.replacement.drrip import DRRIPPolicy
+from repro.cache.replacement.emissary import EmissaryPolicy
+from repro.cache.replacement.rrip import BRRIPPolicy, SRRIPPolicy
+from repro.cache.replacement.ship import SHiPPolicy
+from repro.common.errors import ConfigurationError
+
+#: Builders for policies that live in the cache substrate itself.
+_BUILDERS: dict[str, Callable[..., ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "srrip": SRRIPPolicy,
+    "brrip": BRRIPPolicy,
+    "drrip": DRRIPPolicy,
+    "ship": SHiPPolicy,
+    "clip": CLIPPolicy,
+    "emissary": EmissaryPolicy,
+    "opt": OptimalPolicy,
+}
+
+
+def available_policies() -> tuple[str, ...]:
+    """Names accepted by :func:`create_policy` (including TRRIP variants)."""
+    return tuple(sorted(_BUILDERS)) + ("trrip-1", "trrip-2")
+
+
+def create_policy(
+    name: str, num_sets: int, num_ways: int, **kwargs
+) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name.
+
+    TRRIP variants are imported lazily from :mod:`repro.core.trrip` (the
+    paper's contribution lives in ``repro.core``, which depends on this
+    package).
+    """
+    key = name.lower()
+    if key in ("trrip", "trrip-1", "trrip1"):
+        from repro.core.trrip import TRRIPPolicy
+
+        return TRRIPPolicy(num_sets, num_ways, variant=1, **kwargs)
+    if key in ("trrip-2", "trrip2"):
+        from repro.core.trrip import TRRIPPolicy
+
+        return TRRIPPolicy(num_sets, num_ways, variant=2, **kwargs)
+    builder = _BUILDERS.get(key)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; known policies: "
+            f"{', '.join(available_policies())}"
+        )
+    return builder(num_sets, num_ways, **kwargs)

@@ -1,0 +1,99 @@
+"""Per-cache and per-hierarchy statistics.
+
+The quantities here are exactly the ones the paper's evaluation reports:
+demand misses split into instruction and data streams (for the L2 MPKI of
+Table 3), plus hit/eviction counts used by tests and the analysis modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters maintained by a single cache level."""
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    inst_accesses: int = 0
+    inst_hits: int = 0
+    inst_misses: int = 0
+    data_accesses: int = 0
+    data_hits: int = 0
+    data_misses: int = 0
+    prefetch_accesses: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    fills: int = 0
+    prefetch_fills: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Demand hit rate (0.0 when the cache was never accessed)."""
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.demand_hits / self.demand_accesses
+
+    @property
+    def miss_rate(self) -> float:
+        """Demand miss rate (0.0 when the cache was never accessed)."""
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.demand_misses / self.demand_accesses
+
+    def mpki(self, instructions: int) -> float:
+        """Demand misses per kilo-instruction."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.demand_misses / instructions
+
+    def inst_mpki(self, instructions: int) -> float:
+        """Instruction-stream demand misses per kilo-instruction."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.inst_misses / instructions
+
+    def data_mpki(self, instructions: int) -> float:
+        """Data-stream demand misses per kilo-instruction."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.data_misses / instructions
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+@dataclass
+class HierarchyStats:
+    """Counters aggregated across the cache hierarchy."""
+
+    instruction_fetches: int = 0
+    data_accesses: int = 0
+    l1i_misses: int = 0
+    l1d_misses: int = 0
+    l2_inst_misses: int = 0
+    l2_data_misses: int = 0
+    slc_misses: int = 0
+    dram_accesses: int = 0
+    prefetches_issued: int = 0
+    total_latency: int = 0
+
+    def l2_inst_mpki(self, instructions: int) -> float:
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.l2_inst_misses / instructions
+
+    def l2_data_mpki(self, instructions: int) -> float:
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.l2_data_misses / instructions
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)

@@ -1,0 +1,46 @@
+"""Shared value types used across every TRRIP subsystem.
+
+The common package intentionally has no dependencies on the rest of the
+library so that the cache, CPU, compiler, OS and workload substrates can all
+exchange :class:`~repro.common.request.MemoryRequest` objects and
+:class:`~repro.common.temperature.Temperature` values without import cycles.
+"""
+
+from repro.common.temperature import Temperature
+from repro.common.request import AccessType, HitLevel, MemoryRequest, AccessResult
+from repro.common.addressing import (
+    CACHE_LINE_SIZE,
+    line_address,
+    line_index,
+    line_offset,
+    page_number,
+    page_offset,
+    align_down,
+    align_up,
+)
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    WorkloadError,
+)
+
+__all__ = [
+    "Temperature",
+    "AccessType",
+    "HitLevel",
+    "MemoryRequest",
+    "AccessResult",
+    "CACHE_LINE_SIZE",
+    "line_address",
+    "line_index",
+    "line_offset",
+    "page_number",
+    "page_offset",
+    "align_down",
+    "align_up",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "WorkloadError",
+]

@@ -1,0 +1,61 @@
+"""Address arithmetic helpers shared by the cache, OS and workload models.
+
+All addresses in the library are plain integers (byte addresses in a flat
+virtual or physical address space).  Cache lines are 64 bytes, matching the
+simulator configuration in Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+#: Cache line size in bytes used throughout the hierarchy.
+CACHE_LINE_SIZE = 64
+
+#: Default page size (4 kB) used by the OS model unless overridden.
+DEFAULT_PAGE_SIZE = 4096
+
+
+def line_address(address: int, line_size: int = CACHE_LINE_SIZE) -> int:
+    """Return the base address of the cache line containing ``address``."""
+    return address - (address % line_size)
+
+
+def line_index(address: int, line_size: int = CACHE_LINE_SIZE) -> int:
+    """Return the line number (address divided by the line size)."""
+    return address // line_size
+
+
+def line_offset(address: int, line_size: int = CACHE_LINE_SIZE) -> int:
+    """Return the byte offset of ``address`` within its cache line."""
+    return address % line_size
+
+
+def page_number(address: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Return the page number containing ``address``."""
+    return address // page_size
+
+
+def page_offset(address: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Return the byte offset of ``address`` within its page."""
+    return address % page_size
+
+
+def align_down(address: int, alignment: int) -> int:
+    """Round ``address`` down to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return address - (address % alignment)
+
+
+def align_up(address: int, alignment: int) -> int:
+    """Round ``address`` up to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    remainder = address % alignment
+    if remainder == 0:
+        return address
+    return address + alignment - remainder
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

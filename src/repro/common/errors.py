@@ -1,0 +1,27 @@
+"""Exception hierarchy for the TRRIP reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a simulator, cache or workload configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator reaches an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload specification or trace cannot be produced."""
+
+
+class CompilationError(ReproError):
+    """Raised by the synthetic compiler/PGO pipeline."""
+
+
+class LoaderError(ReproError):
+    """Raised by the OS model when an ELF image cannot be mapped."""

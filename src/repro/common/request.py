@@ -1,0 +1,112 @@
+"""Memory request and access-result value objects.
+
+A :class:`MemoryRequest` is what travels from the CPU frontend/backend through
+the MMU into the cache hierarchy.  Besides the address it carries the metadata
+the evaluated replacement policies consume:
+
+* ``temperature`` — the PBHA-style code temperature bits attached by the MMU
+  (TRRIP, Section 3.4 of the paper);
+* ``pc`` — the program counter, used by SHiP signatures and stride prefetch;
+* ``starvation_hint`` — Emissary's "this line previously caused decode
+  starvation" bit (Section 4.3);
+* ``is_prefetch`` — demand vs. prefetch, so MPKI only counts demand misses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.common.temperature import Temperature
+
+
+class AccessType(enum.Enum):
+    """Kind of memory access issued by the core."""
+
+    INSTRUCTION_FETCH = "ifetch"
+    DATA_LOAD = "load"
+    DATA_STORE = "store"
+
+    @property
+    def is_instruction(self) -> bool:
+        return self is AccessType.INSTRUCTION_FETCH
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessType.DATA_STORE
+
+
+class HitLevel(enum.IntEnum):
+    """Deepest level of the hierarchy that had to service an access."""
+
+    L1 = 1
+    L2 = 2
+    SLC = 3
+    DRAM = 4
+
+    @property
+    def is_l2_miss(self) -> bool:
+        """True when the access missed in the L2 (serviced by SLC or DRAM)."""
+        return self >= HitLevel.SLC
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """A single memory access presented to the cache hierarchy."""
+
+    address: int
+    access_type: AccessType
+    pc: int = 0
+    temperature: Temperature = Temperature.NONE
+    starvation_hint: bool = False
+    is_prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+
+    @property
+    def is_instruction(self) -> bool:
+        return self.access_type.is_instruction
+
+    @property
+    def is_write(self) -> bool:
+        return self.access_type.is_write
+
+    def as_prefetch(self, address: int | None = None) -> "MemoryRequest":
+        """Return a prefetch copy of this request (optionally retargeted)."""
+        return replace(
+            self,
+            address=self.address if address is None else address,
+            is_prefetch=True,
+        )
+
+    def with_temperature(self, temperature: Temperature) -> "MemoryRequest":
+        """Return a copy with the temperature attribute set (MMU tagging)."""
+        return replace(self, temperature=temperature)
+
+    def with_starvation_hint(self, hint: bool = True) -> "MemoryRequest":
+        """Return a copy carrying Emissary's starvation hint."""
+        return replace(self, starvation_hint=hint)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of presenting a request to the cache hierarchy."""
+
+    request: MemoryRequest
+    hit_level: HitLevel
+    latency: int
+    l1_hit: bool = False
+    l2_hit: bool = False
+    slc_hit: bool = False
+    evicted_lines: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def l2_miss(self) -> bool:
+        """Whether the access had to go past the L2 (demand L2 miss)."""
+        return self.hit_level.is_l2_miss
+
+    @property
+    def dram_access(self) -> bool:
+        return self.hit_level is HitLevel.DRAM

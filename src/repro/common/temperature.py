@@ -1,0 +1,55 @@
+"""Code temperature values.
+
+The paper classifies code regions into *hot*, *warm* and *cold* using PGO
+profile counters (Section 3.2 and Section 4.7).  The classification travels
+from the compiler (ELF section attributes) through the OS (PTE bits) to the
+hardware (memory requests), so the enum lives in the dependency-free
+``repro.common`` package.
+
+The encoding mirrors the paper's use of two implementation-defined PTE bits
+(ARM PBHA / x86 AVL): ``NONE`` means the page carries no valid temperature and
+the replacement policy must fall back to default RRIP behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Temperature(enum.IntEnum):
+    """Two-bit code temperature attribute carried with memory requests."""
+
+    NONE = 0
+    HOT = 1
+    WARM = 2
+    COLD = 3
+
+    @property
+    def is_tagged(self) -> bool:
+        """Whether the value represents valid temperature information."""
+        return self is not Temperature.NONE
+
+    @classmethod
+    def from_bits(cls, bits: int) -> "Temperature":
+        """Decode a two-bit PTE attribute field into a temperature."""
+        if not 0 <= bits <= 3:
+            raise ValueError(f"temperature bits must be in [0, 3], got {bits}")
+        return cls(bits)
+
+    def to_bits(self) -> int:
+        """Encode the temperature into the two-bit PTE attribute field."""
+        return int(self)
+
+    @classmethod
+    def order(cls) -> tuple["Temperature", ...]:
+        """Temperatures ordered from most to least frequently executed."""
+        return (cls.HOT, cls.WARM, cls.COLD)
+
+
+#: Human readable names used by reports and experiment tables.
+TEMPERATURE_NAMES = {
+    Temperature.NONE: "none",
+    Temperature.HOT: "hot",
+    Temperature.WARM: "warm",
+    Temperature.COLD: "cold",
+}

@@ -1,0 +1,45 @@
+"""Instruction trace records.
+
+The simulator is trace-driven (like the paper's Sniper/Pin setup): the
+workload generators emit a stream of :class:`TraceRecord` objects which the
+CPU model consumes.  A record describes one dynamic instruction — its PC,
+control-flow behaviour and optional memory operand — plus two small synthetic
+stall annotations (``depend_stall`` and ``issue_stall``) that stand in for the
+backend dependency/issue-queue stalls a detailed OoO model would produce.
+Those annotations only shape the Top-Down breakdowns of Figures 1 and 2; the
+headline results (MPKI, speedup) come from the cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dynamic instruction in a workload trace."""
+
+    pc: int
+    size: int = 4
+    is_branch: bool = False
+    branch_taken: bool = False
+    branch_target: int = 0
+    is_indirect: bool = False
+    is_call: bool = False
+    is_return: bool = False
+    mem_address: Optional[int] = None
+    is_store: bool = False
+    depend_stall: int = 0
+    issue_stall: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError(f"pc must be non-negative, got {self.pc}")
+        if self.size <= 0:
+            raise ValueError(f"instruction size must be positive, got {self.size}")
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the instruction has a data memory operand."""
+        return self.mem_address is not None

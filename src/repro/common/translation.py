@@ -1,0 +1,38 @@
+"""Address translation protocol.
+
+The CPU model fetches instructions through an address translator (the MMU in
+the full co-designed system).  The translator maps a virtual address to a
+physical address and returns the temperature attribute stored in the page's
+PTE — that is the whole software-to-hardware interface TRRIP relies on.
+
+:class:`IdentityTranslator` is used when no OS model is present (pure cache
+studies, unit tests): physical = virtual and nothing is tagged.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.common.temperature import Temperature
+
+
+class AddressTranslator(Protocol):
+    """Minimal interface the CPU model needs from the MMU."""
+
+    def translate_instruction(self, vaddr: int) -> tuple[int, Temperature]:
+        """Translate an instruction fetch address; return (paddr, temperature)."""
+        ...
+
+    def translate_data(self, vaddr: int) -> tuple[int, Temperature]:
+        """Translate a data access address; return (paddr, temperature)."""
+        ...
+
+
+class IdentityTranslator:
+    """Translator used when no OS/page-table model is attached."""
+
+    def translate_instruction(self, vaddr: int) -> tuple[int, Temperature]:
+        return vaddr, Temperature.NONE
+
+    def translate_data(self, vaddr: int) -> tuple[int, Temperature]:
+        return vaddr, Temperature.NONE

@@ -1,0 +1,31 @@
+"""Synthetic compiler / PGO substrate (Figure 4, steps 1-5)."""
+
+from repro.compiler.classify import (
+    ClassifierConfig,
+    TemperatureClassifier,
+    TemperatureMap,
+)
+from repro.compiler.elf import ELFImage, ELFSection, ProgramHeader
+from repro.compiler.ir import BasicBlock, BlockId, Function, Program, make_function
+from repro.compiler.layout import CodeLayoutEngine, LayoutConfig
+from repro.compiler.pgo import CompiledBinary, PGOCompiler
+from repro.compiler.profile import InstrumentationProfile
+
+__all__ = [
+    "BasicBlock",
+    "BlockId",
+    "Function",
+    "Program",
+    "make_function",
+    "InstrumentationProfile",
+    "ClassifierConfig",
+    "TemperatureClassifier",
+    "TemperatureMap",
+    "CodeLayoutEngine",
+    "LayoutConfig",
+    "ELFImage",
+    "ELFSection",
+    "ProgramHeader",
+    "CompiledBinary",
+    "PGOCompiler",
+]

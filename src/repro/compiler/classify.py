@@ -1,0 +1,139 @@
+"""Temperature classification from PGO profiles (Section 4.7, Eq. 1 and 2).
+
+The compiler sorts basic-block counters from highest to lowest, sums them
+until the running sum would exceed ``C_threshold = C_total * percentile_hot``,
+and takes the last counter *before* the threshold is exceeded as ``C_n``.
+Every block whose counter is at least ``C_n`` is *hot*.  A symmetric
+calculation with ``percentile_cold`` identifies *cold* blocks (blocks that
+contribute only to the final ``1 - percentile_cold`` sliver of execution, plus
+never-executed blocks); everything else is *warm*.
+
+LLVM's default ``percentile_hot`` is 99% — the value the paper uses except in
+the Figure 8 sensitivity sweep (10% … 100%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import CompilationError
+from repro.common.temperature import Temperature
+from repro.compiler.ir import BlockId, Program
+from repro.compiler.profile import InstrumentationProfile
+
+
+@dataclass
+class ClassifierConfig:
+    """Thresholds controlling hot/warm/cold classification."""
+
+    percentile_hot: float = 0.99
+    percentile_cold: float = 0.9999
+
+    def validate(self) -> None:
+        if not 0.0 < self.percentile_hot <= 1.0:
+            raise CompilationError(
+                f"percentile_hot must be in (0, 1], got {self.percentile_hot}"
+            )
+        if not 0.0 < self.percentile_cold <= 1.0:
+            raise CompilationError(
+                f"percentile_cold must be in (0, 1], got {self.percentile_cold}"
+            )
+        if self.percentile_cold < self.percentile_hot:
+            raise CompilationError(
+                "percentile_cold must be >= percentile_hot "
+                f"({self.percentile_cold} < {self.percentile_hot})"
+            )
+
+
+@dataclass
+class TemperatureMap:
+    """Classification result: a temperature per basic block."""
+
+    temperatures: dict[BlockId, Temperature] = field(default_factory=dict)
+    hot_count_threshold: int = 0
+    cold_count_threshold: int = 0
+
+    def temperature(self, block_id: BlockId) -> Temperature:
+        return self.temperatures.get(block_id, Temperature.COLD)
+
+    def blocks_with(self, temperature: Temperature) -> set[BlockId]:
+        return {
+            block_id
+            for block_id, value in self.temperatures.items()
+            if value is temperature
+        }
+
+    def section_bytes(self, program: Program) -> dict[Temperature, int]:
+        """Total code bytes per temperature (drives Figure 8a and Table 5)."""
+        totals = {
+            Temperature.HOT: 0,
+            Temperature.WARM: 0,
+            Temperature.COLD: 0,
+        }
+        for block in program.all_blocks():
+            totals[self.temperature(block.block_id)] += block.size_bytes
+        return totals
+
+
+def _threshold_counter(sorted_counts: list[int], percentile: float) -> int:
+    """Eq. 1 & 2: the counter value C_n for a given percentile.
+
+    Counters are summed highest-first until the running sum would exceed
+    ``C_total * percentile``; the returned value is the last counter included.
+    Blocks whose counter is >= the returned value are inside the percentile.
+    """
+    total = sum(sorted_counts)
+    if total == 0:
+        return 0
+    threshold = total * percentile
+    running = 0
+    last_included = sorted_counts[0]
+    for count in sorted_counts:
+        if running >= threshold:
+            break
+        running += count
+        last_included = count
+    return last_included
+
+
+class TemperatureClassifier:
+    """Classify basic blocks into hot/warm/cold from a PGO profile."""
+
+    def __init__(self, config: ClassifierConfig | None = None) -> None:
+        self.config = config or ClassifierConfig()
+        self.config.validate()
+
+    def classify(
+        self, program: Program, profile: InstrumentationProfile
+    ) -> TemperatureMap:
+        """Return the temperature of every block in ``program``."""
+        profile.validate_against(program)
+        counts = {
+            block.block_id: profile.count(block.block_id)
+            for block in program.all_blocks()
+        }
+        nonzero = sorted((c for c in counts.values() if c > 0), reverse=True)
+        if not nonzero:
+            # Nothing executed during training: everything is cold.
+            return TemperatureMap(
+                temperatures={block_id: Temperature.COLD for block_id in counts}
+            )
+
+        hot_threshold = _threshold_counter(nonzero, self.config.percentile_hot)
+        cold_threshold = _threshold_counter(nonzero, self.config.percentile_cold)
+
+        temperatures: dict[BlockId, Temperature] = {}
+        for block_id, count in counts.items():
+            if count <= 0:
+                temperatures[block_id] = Temperature.COLD
+            elif count >= hot_threshold:
+                temperatures[block_id] = Temperature.HOT
+            elif count < cold_threshold:
+                temperatures[block_id] = Temperature.COLD
+            else:
+                temperatures[block_id] = Temperature.WARM
+        return TemperatureMap(
+            temperatures=temperatures,
+            hot_count_threshold=hot_threshold,
+            cold_count_threshold=cold_threshold,
+        )

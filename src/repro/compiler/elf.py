@@ -1,0 +1,140 @@
+"""Synthetic ELF images.
+
+Only the pieces of ELF that TRRIP touches are modelled (Figure 5 of the
+paper): code sections (``.text`` or ``.text.hot`` / ``.text.warm`` /
+``.text.cold``), and program headers that carry the per-section temperature
+attribute the loader propagates into PTE bits.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.common.errors import CompilationError
+from repro.common.temperature import Temperature
+from repro.compiler.ir import BlockId
+
+
+@dataclass(frozen=True)
+class ELFSection:
+    """One code section of the synthetic ELF."""
+
+    name: str
+    vaddr: int
+    size_bytes: int
+    temperature: Temperature = Temperature.NONE
+
+    def __post_init__(self) -> None:
+        if self.vaddr < 0 or self.size_bytes < 0:
+            raise CompilationError(
+                f"section {self.name!r} has invalid address/size"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the section."""
+        return self.vaddr + self.size_bytes
+
+    def contains(self, vaddr: int) -> bool:
+        return self.vaddr <= vaddr < self.end
+
+
+@dataclass(frozen=True)
+class ProgramHeader:
+    """Runtime mapping information the loader consumes (PT_LOAD-like)."""
+
+    vaddr: int
+    memsz: int
+    executable: bool = True
+    writable: bool = False
+    temperature: Temperature = Temperature.NONE
+
+
+@dataclass
+class ELFImage:
+    """A loaded-view of a compiled program."""
+
+    name: str
+    sections: list[ELFSection] = field(default_factory=list)
+    program_headers: list[ProgramHeader] = field(default_factory=list)
+    block_addresses: dict[BlockId, int] = field(default_factory=dict)
+    #: Base virtual address of external code (PLT stubs, other libraries)
+    #: executed by the program but not compiled — and therefore not tagged.
+    external_base: int = 0
+    external_size: int = 0
+
+    def __post_init__(self) -> None:
+        self._sorted_sections = sorted(self.sections, key=lambda s: s.vaddr)
+        self._section_starts = [s.vaddr for s in self._sorted_sections]
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def text_size(self) -> int:
+        """Total bytes across all code sections."""
+        return sum(section.size_bytes for section in self.sections)
+
+    @property
+    def binary_size(self) -> int:
+        """Approximate on-disk binary size (code + a metadata overhead)."""
+        # Headers, symbol/relocation tables, rodata… modelled as a fixed
+        # fraction of code plus a floor; only used for Table 5's size column.
+        return int(self.text_size * 1.35) + 4096
+
+    def section(self, name: str) -> ELFSection:
+        for section in self.sections:
+            if section.name == name:
+                return section
+        raise KeyError(f"no section named {name!r} in {self.name!r}")
+
+    def section_bytes_by_temperature(self) -> dict[Temperature, int]:
+        """Code bytes per temperature (Figure 8a's text-section split)."""
+        totals: dict[Temperature, int] = {
+            Temperature.HOT: 0,
+            Temperature.WARM: 0,
+            Temperature.COLD: 0,
+            Temperature.NONE: 0,
+        }
+        for section in self.sections:
+            totals[section.temperature] += section.size_bytes
+        return totals
+
+    # -------------------------------------------------------------- queries
+    def section_of_address(self, vaddr: int) -> ELFSection | None:
+        """The section containing ``vaddr``, or ``None``."""
+        index = bisect.bisect_right(self._section_starts, vaddr) - 1
+        if index < 0:
+            return None
+        section = self._sorted_sections[index]
+        return section if section.contains(vaddr) else None
+
+    def temperature_of_address(self, vaddr: int) -> Temperature:
+        """Compiler's view of the temperature of a code address."""
+        section = self.section_of_address(vaddr)
+        if section is None:
+            return Temperature.NONE
+        return section.temperature
+
+    def is_external(self, vaddr: int) -> bool:
+        """Whether ``vaddr`` belongs to the external (non-compiled) region."""
+        return (
+            self.external_size > 0
+            and self.external_base <= vaddr < self.external_base + self.external_size
+        )
+
+    def block_address(self, block_id: BlockId) -> int:
+        try:
+            return self.block_addresses[block_id]
+        except KeyError as exc:
+            raise KeyError(
+                f"block {block_id} was not laid out in image {self.name!r}"
+            ) from exc
+
+    def address_range(self) -> tuple[int, int]:
+        """(lowest, highest) code virtual address across all sections."""
+        if not self.sections:
+            raise CompilationError(f"image {self.name!r} has no sections")
+        return (
+            min(section.vaddr for section in self.sections),
+            max(section.end for section in self.sections),
+        )

@@ -1,0 +1,119 @@
+"""Synthetic compiler IR: programs, functions and basic blocks.
+
+The paper's software side works at basic-block granularity: instrumentation
+PGO counts BB executions, the temperature classifier (Section 4.7) thresholds
+those counters, and the code-layout pass places blocks into
+``.text.hot`` / ``.text.warm`` / ``.text.cold`` sections.  The IR here captures
+just enough structure for that flow: blocks have a byte size and a stable id;
+functions group blocks; programs group functions and optionally reference
+"external" code (shared libraries / PLT stubs) that is outside the compiler's
+reach — the limitation Figure 7 and Section 4.6 discuss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.errors import CompilationError
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """Stable identifier of a basic block (function name + index)."""
+
+    function: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.function}#{self.index}"
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line code region with a byte size."""
+
+    block_id: BlockId
+    size_bytes: int
+    #: Whether the block ends in a call into external (non-compiled) code.
+    calls_external: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise CompilationError(
+                f"basic block {self.block_id} must have positive size"
+            )
+
+
+@dataclass
+class Function:
+    """A function: an ordered list of basic blocks (program order)."""
+
+    name: str
+    blocks: list[BasicBlock] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(block.size_bytes for block in self.blocks)
+
+    def block(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+@dataclass
+class Program:
+    """A compilable unit: application or shared-library proxy."""
+
+    name: str
+    functions: list[Function] = field(default_factory=list)
+    #: Bytes of external code (PLT stubs, other shared libraries) that the
+    #: program executes but this compiler does not see.  External code never
+    #: receives a temperature and is laid out past the program image.
+    external_code_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for function in self.functions:
+            if function.name in seen:
+                raise CompilationError(
+                    f"duplicate function name {function.name!r} in program {self.name!r}"
+                )
+            seen.add(function.name)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(function.size_bytes for function in self.functions)
+
+    @property
+    def num_blocks(self) -> int:
+        return sum(len(function) for function in self.functions)
+
+    def all_blocks(self) -> Iterator[BasicBlock]:
+        for function in self.functions:
+            yield from function.blocks
+
+    def function(self, name: str) -> Function:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(f"no function named {name!r} in program {self.name!r}")
+
+    def block(self, block_id: BlockId) -> BasicBlock:
+        return self.function(block_id.function).block(block_id.index)
+
+
+def make_function(name: str, block_sizes: list[int]) -> Function:
+    """Convenience constructor: a function from a list of block byte sizes."""
+    return Function(
+        name=name,
+        blocks=[
+            BasicBlock(block_id=BlockId(name, index), size_bytes=size)
+            for index, size in enumerate(block_sizes)
+        ],
+    )

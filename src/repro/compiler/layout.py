@@ -1,0 +1,200 @@
+"""Code layout: placing functions into temperature-separated sections.
+
+After classification the compiler places code into ``.text.hot``,
+``.text.warm`` and ``.text.cold`` sections, in that order (Figure 5).  The
+default PGO pipeline keeps whole functions together (hot/cold splitting passes
+exist but are disabled by default — Section 4.2), so a function's section is
+decided by its hottest block.  Non-PGO compilation produces a single ``.text``
+section in original program order.
+
+The layout also decides the padding behaviour discussed in Section 4.9: by
+default sections are placed back to back (so a page can straddle two sections
+of different temperature); ``pad_sections_to_page`` inserts padding so that
+never happens (prevention mechanism 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.addressing import align_up
+from repro.common.errors import CompilationError
+from repro.common.temperature import Temperature
+from repro.compiler.classify import TemperatureMap
+from repro.compiler.elf import ELFImage, ELFSection, ProgramHeader
+from repro.compiler.ir import BlockId, Function, Program
+from repro.compiler.profile import InstrumentationProfile
+
+#: Default image base — an arbitrary but realistic load address.
+DEFAULT_IMAGE_BASE = 0x0040_0000
+
+#: Gap between the program image and the external-code region.
+EXTERNAL_CODE_GAP = 0x0100_0000
+
+
+@dataclass
+class LayoutConfig:
+    """Code layout knobs."""
+
+    image_base: int = DEFAULT_IMAGE_BASE
+    #: Align each temperature section to this boundary (1 = back to back).
+    section_alignment: int = 64
+    #: Align each function's first block (compilers align function entries).
+    function_alignment: int = 64
+    #: Pad sections to page boundaries so no page mixes temperatures (§4.9).
+    pad_sections_to_page: bool = False
+    page_size: int = 4096
+
+    def validate(self) -> None:
+        if self.image_base < 0:
+            raise CompilationError("image_base must be non-negative")
+        if self.section_alignment <= 0:
+            raise CompilationError("section_alignment must be positive")
+        if self.function_alignment <= 0:
+            raise CompilationError("function_alignment must be positive")
+        if self.page_size <= 0:
+            raise CompilationError("page_size must be positive")
+
+
+def _function_temperature(
+    function: Function, temperature_map: TemperatureMap
+) -> Temperature:
+    """Section a whole function goes to: its hottest block wins."""
+    temperatures = {
+        temperature_map.temperature(block.block_id) for block in function.blocks
+    }
+    if Temperature.HOT in temperatures:
+        return Temperature.HOT
+    if Temperature.WARM in temperatures:
+        return Temperature.WARM
+    return Temperature.COLD
+
+
+def _function_hotness(function: Function, profile: InstrumentationProfile) -> int:
+    """Sort key used to order functions inside a section (hottest first)."""
+    return sum(profile.count(block.block_id) for block in function.blocks)
+
+
+def _profile_guided_block_order(
+    function: Function, profile: InstrumentationProfile
+) -> list:
+    """PGO basic-block placement within a function.
+
+    Executed blocks keep their relative order and move to the front of the
+    function (maximising fall-through on the hot path); never-executed blocks
+    (error paths and the like) sink to the end.  This is the machine
+    block-placement effect that gives PGO its spatial-locality win in
+    Figure 2 — full hot/cold *splitting* across sections stays disabled, as in
+    the paper's default pipeline.
+    """
+    executed = [b for b in function.blocks if profile.count(b.block_id) > 0]
+    unexecuted = [b for b in function.blocks if profile.count(b.block_id) <= 0]
+    return executed + unexecuted
+
+
+class CodeLayoutEngine:
+    """Assigns virtual addresses to basic blocks and builds ELF images."""
+
+    def __init__(self, config: LayoutConfig | None = None) -> None:
+        self.config = config or LayoutConfig()
+        self.config.validate()
+
+    # ------------------------------------------------------------ non-PGO
+    def layout_plain(self, program: Program) -> ELFImage:
+        """Single untagged ``.text`` section in original program order."""
+        cursor = self.config.image_base
+        block_addresses: dict[BlockId, int] = {}
+        start = cursor
+        for function in program.functions:
+            cursor = align_up(cursor, self.config.function_alignment)
+            for block in function.blocks:
+                block_addresses[block.block_id] = cursor
+                cursor += block.size_bytes
+        section = ELFSection(
+            name=".text",
+            vaddr=start,
+            size_bytes=cursor - start,
+            temperature=Temperature.NONE,
+        )
+        return self._finish(program, [section], block_addresses)
+
+    # --------------------------------------------------------------- PGO
+    def layout_by_temperature(
+        self,
+        program: Program,
+        temperature_map: TemperatureMap,
+        profile: InstrumentationProfile,
+    ) -> ELFImage:
+        """``.text.hot`` / ``.text.warm`` / ``.text.cold`` layout (Figure 5)."""
+        groups: dict[Temperature, list[Function]] = {
+            Temperature.HOT: [],
+            Temperature.WARM: [],
+            Temperature.COLD: [],
+        }
+        for function in program.functions:
+            groups[_function_temperature(function, temperature_map)].append(function)
+        for temperature in groups:
+            groups[temperature].sort(
+                key=lambda fn: _function_hotness(fn, profile), reverse=True
+            )
+
+        cursor = self.config.image_base
+        block_addresses: dict[BlockId, int] = {}
+        sections: list[ELFSection] = []
+        section_names = {
+            Temperature.HOT: ".text.hot",
+            Temperature.WARM: ".text.warm",
+            Temperature.COLD: ".text.cold",
+        }
+        for temperature in Temperature.order():
+            functions = groups[temperature]
+            cursor = self._align_section_start(cursor)
+            start = cursor
+            for function in functions:
+                cursor = align_up(cursor, self.config.function_alignment)
+                for block in _profile_guided_block_order(function, profile):
+                    block_addresses[block.block_id] = cursor
+                    cursor += block.size_bytes
+            sections.append(
+                ELFSection(
+                    name=section_names[temperature],
+                    vaddr=start,
+                    size_bytes=cursor - start,
+                    temperature=temperature,
+                )
+            )
+        return self._finish(program, sections, block_addresses)
+
+    # -------------------------------------------------------------- helpers
+    def _align_section_start(self, cursor: int) -> int:
+        if self.config.pad_sections_to_page:
+            return align_up(cursor, self.config.page_size)
+        return align_up(cursor, self.config.section_alignment)
+
+    def _finish(
+        self,
+        program: Program,
+        sections: list[ELFSection],
+        block_addresses: dict[BlockId, int],
+    ) -> ELFImage:
+        headers = [
+            ProgramHeader(
+                vaddr=section.vaddr,
+                memsz=section.size_bytes,
+                executable=True,
+                writable=False,
+                temperature=section.temperature,
+            )
+            for section in sections
+            if section.size_bytes > 0
+        ]
+        image_end = max((section.end for section in sections), default=self.config.image_base)
+        external_base = align_up(image_end + EXTERNAL_CODE_GAP, self.config.page_size)
+        return ELFImage(
+            name=program.name,
+            sections=sections,
+            program_headers=headers,
+            block_addresses=block_addresses,
+            external_base=external_base,
+            external_size=program.external_code_bytes,
+        )

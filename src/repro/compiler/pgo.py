@@ -1,0 +1,100 @@
+"""The PGO compiler driver.
+
+Implements the code-generation flow of Figure 4:
+
+1. compile the program without a profile (``ELF1``),
+2. run it on a training input to collect an instrumentation profile,
+3. re-compile with the profile (``ELF2``): classify block temperature
+   (Eq. 1 & 2), order and place code into temperature-separated sections, and
+   record the section temperatures in the program headers for the loader.
+
+Step 2 (running the program) belongs to the workload generator; this module
+exposes the two compilations and a small :class:`CompiledBinary` wrapper the
+OS loader and trace generator consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.temperature import Temperature
+from repro.compiler.classify import (
+    ClassifierConfig,
+    TemperatureClassifier,
+    TemperatureMap,
+)
+from repro.compiler.elf import ELFImage
+from repro.compiler.ir import BlockId, Program
+from repro.compiler.layout import CodeLayoutEngine, LayoutConfig
+from repro.compiler.profile import InstrumentationProfile
+
+
+@dataclass
+class CompiledBinary:
+    """A compiled program: the ELF image plus compile-time metadata."""
+
+    program: Program
+    image: ELFImage
+    pgo_applied: bool
+    temperature_map: Optional[TemperatureMap] = None
+    profile: Optional[InstrumentationProfile] = None
+
+    def block_address(self, block_id: BlockId) -> int:
+        return self.image.block_address(block_id)
+
+    def block_temperature(self, block_id: BlockId) -> Temperature:
+        if self.temperature_map is None:
+            return Temperature.NONE
+        return self.temperature_map.temperature(block_id)
+
+    @property
+    def hot_section_ranges(self) -> list[tuple[int, int]]:
+        """(start, end) virtual ranges of hot code (used by Figure 7)."""
+        return [
+            (section.vaddr, section.end)
+            for section in self.image.sections
+            if section.temperature is Temperature.HOT and section.size_bytes > 0
+        ]
+
+
+class PGOCompiler:
+    """Synthetic PGO-enabled compiler (LLVM instrumentation-PGO stand-in)."""
+
+    def __init__(
+        self,
+        classifier_config: ClassifierConfig | None = None,
+        layout_config: LayoutConfig | None = None,
+    ) -> None:
+        self.classifier = TemperatureClassifier(classifier_config)
+        self.layout = CodeLayoutEngine(layout_config)
+
+    def compile(
+        self,
+        program: Program,
+        profile: InstrumentationProfile | None = None,
+    ) -> CompiledBinary:
+        """Compile ``program``; with a profile the PGO pipeline is applied."""
+        if profile is None:
+            image = self.layout.layout_plain(program)
+            return CompiledBinary(program=program, image=image, pgo_applied=False)
+
+        temperature_map = self.classifier.classify(program, profile)
+        image = self.layout.layout_by_temperature(program, temperature_map, profile)
+        return CompiledBinary(
+            program=program,
+            image=image,
+            pgo_applied=True,
+            temperature_map=temperature_map,
+            profile=profile,
+        )
+
+    def compile_without_pgo(self, program: Program) -> CompiledBinary:
+        """ELF1 of Figure 4: no profile, single ``.text`` section."""
+        return self.compile(program, profile=None)
+
+    def compile_with_pgo(
+        self, program: Program, profile: InstrumentationProfile
+    ) -> CompiledBinary:
+        """ELF2 of Figure 4: profile-guided, temperature-separated layout."""
+        return self.compile(program, profile)

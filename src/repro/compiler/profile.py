@@ -1,0 +1,75 @@
+"""Instrumentation PGO profiles.
+
+Instrumentation PGO (the paper uses LLVM IR instrumentation, Section 3.2)
+counts how many times each basic block executes under a *training* input.
+The profile is fed back into the compiler, which classifies temperature and
+re-optimises the layout.  Shared libraries accumulate profiles across every
+application that exercises them, which :meth:`InstrumentationProfile.merge`
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.compiler.ir import BlockId, Program
+from repro.common.errors import CompilationError
+
+
+@dataclass
+class InstrumentationProfile:
+    """Execution counts per basic block for one program."""
+
+    program_name: str
+    counts: dict[BlockId, int] = field(default_factory=dict)
+
+    def record(self, block_id: BlockId, count: int = 1) -> None:
+        """Add ``count`` executions of ``block_id`` to the profile."""
+        if count < 0:
+            raise CompilationError("profile counts must be non-negative")
+        self.counts[block_id] = self.counts.get(block_id, 0) + count
+
+    def count(self, block_id: BlockId) -> int:
+        return self.counts.get(block_id, 0)
+
+    @property
+    def total_count(self) -> int:
+        return sum(self.counts.values())
+
+    def covered_blocks(self) -> set[BlockId]:
+        """Blocks with a non-zero execution count."""
+        return {block_id for block_id, count in self.counts.items() if count > 0}
+
+    def merge(self, other: "InstrumentationProfile") -> "InstrumentationProfile":
+        """Accumulate another profile (shared-library multi-app profiling)."""
+        merged = InstrumentationProfile(self.program_name, dict(self.counts))
+        for block_id, count in other.counts.items():
+            merged.counts[block_id] = merged.counts.get(block_id, 0) + count
+        return merged
+
+    def validate_against(self, program: Program) -> None:
+        """Check that every counted block exists in ``program``."""
+        known = {block.block_id for block in program.all_blocks()}
+        unknown = set(self.counts) - known
+        if unknown:
+            sample = ", ".join(str(block_id) for block_id in list(unknown)[:3])
+            raise CompilationError(
+                f"profile for {self.program_name!r} references unknown blocks: {sample}"
+            )
+
+    @classmethod
+    def from_counts(
+        cls, program_name: str, counts: Mapping[BlockId, int]
+    ) -> "InstrumentationProfile":
+        return cls(program_name, dict(counts))
+
+    @classmethod
+    def from_execution(
+        cls, program_name: str, executed_blocks: Iterable[BlockId]
+    ) -> "InstrumentationProfile":
+        """Build a profile by replaying a sequence of executed block ids."""
+        profile = cls(program_name)
+        for block_id in executed_blocks:
+            profile.record(block_id)
+        return profile

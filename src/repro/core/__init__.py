@@ -1,0 +1,15 @@
+"""The paper's contribution: the TRRIP policy and the co-design pipeline."""
+
+from repro.core.pipeline import (
+    CoDesignPipeline,
+    PipelineOptions,
+    PreparedWorkload,
+)
+from repro.core.trrip import TRRIPPolicy
+
+__all__ = [
+    "TRRIPPolicy",
+    "CoDesignPipeline",
+    "PipelineOptions",
+    "PreparedWorkload",
+]

@@ -1,0 +1,128 @@
+"""End-to-end TRRIP co-design pipeline (Figure 4).
+
+The pipeline wires every substrate together in the order the paper describes:
+
+1. build the synthetic program for a workload spec (source code stand-in);
+2. compile it without a profile (ELF1) — implicitly, the instrumented binary;
+3. run the training input to collect the instrumentation profile;
+4. re-compile with the profile (ELF2): temperature classification (Eq. 1/2)
+   and temperature-separated code layout;
+5. load ELF2: allocate pages, populate PTEs with PBHA temperature bits;
+6. hand back everything a simulator needs: the MMU (translation + tagging)
+   and an evaluation-input trace generator.
+
+Setting ``apply_pgo=False`` produces the non-PGO baseline of Figure 2;
+``propagate_temperature=False`` models running a TRRIP-compiled binary on a
+system whose loader ignores the temperature attributes (hardware-only
+baselines like SRRIP/CLIP/Emissary do not need the bits, and TRRIP degrades
+gracefully to SRRIP behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compiler.classify import ClassifierConfig
+from repro.compiler.layout import LayoutConfig
+from repro.compiler.pgo import CompiledBinary, PGOCompiler
+from repro.compiler.profile import InstrumentationProfile
+from repro.osmodel.loader import LoadedProgram, LoaderConfig, OverlapPolicy, ProgramLoader
+from repro.osmodel.mmu import MMU
+from repro.workloads.builder import SyntheticProgramBuilder, SyntheticWorkload
+from repro.workloads.profiling import collect_profile
+from repro.workloads.spec import InputSet, WorkloadSpec
+from repro.workloads.tracegen import TraceGenerator
+
+
+@dataclass
+class PipelineOptions:
+    """Knobs of the co-design flow."""
+
+    apply_pgo: bool = True
+    propagate_temperature: bool = True
+    percentile_hot: float = 0.99
+    percentile_cold: float = 0.9999
+    page_size: int = 4096
+    overlap_policy: OverlapPolicy = OverlapPolicy.MAJORITY
+    pad_sections_to_page: bool = False
+
+    def classifier_config(self) -> ClassifierConfig:
+        return ClassifierConfig(
+            percentile_hot=self.percentile_hot,
+            percentile_cold=max(self.percentile_cold, self.percentile_hot),
+        )
+
+    def layout_config(self) -> LayoutConfig:
+        return LayoutConfig(
+            pad_sections_to_page=self.pad_sections_to_page,
+            page_size=self.page_size,
+        )
+
+    def loader_config(self) -> LoaderConfig:
+        return LoaderConfig(
+            page_size=self.page_size,
+            overlap_policy=self.overlap_policy,
+            propagate_temperature=self.propagate_temperature,
+        )
+
+
+@dataclass
+class PreparedWorkload:
+    """Everything needed to simulate one benchmark."""
+
+    spec: WorkloadSpec
+    workload: SyntheticWorkload
+    binary: CompiledBinary
+    loaded: LoadedProgram
+    profile: Optional[InstrumentationProfile] = None
+    options: PipelineOptions = field(default_factory=PipelineOptions)
+
+    def mmu(self) -> MMU:
+        """A fresh MMU over the loaded program's page table."""
+        return MMU(self.loaded.page_table)
+
+    def trace_generator(
+        self, input_set: InputSet = InputSet.EVALUATION
+    ) -> TraceGenerator:
+        """A fresh trace generator over the compiled binary."""
+        return TraceGenerator(self.workload, self.binary, input_set)
+
+    @property
+    def pgo_applied(self) -> bool:
+        return self.binary.pgo_applied
+
+
+class CoDesignPipeline:
+    """Compiler → OS → hardware preparation flow for one workload."""
+
+    def __init__(self, options: PipelineOptions | None = None) -> None:
+        self.options = options or PipelineOptions()
+        self._builder = SyntheticProgramBuilder()
+
+    def prepare(self, spec: WorkloadSpec) -> PreparedWorkload:
+        """Run the full software-side flow for ``spec``."""
+        options = self.options
+        workload = self._builder.build(spec)
+        compiler = PGOCompiler(
+            classifier_config=options.classifier_config(),
+            layout_config=options.layout_config(),
+        )
+
+        profile: Optional[InstrumentationProfile] = None
+        if options.apply_pgo:
+            profile = collect_profile(workload)
+            binary = compiler.compile_with_pgo(workload.program, profile)
+        else:
+            binary = compiler.compile_without_pgo(workload.program)
+
+        loader = ProgramLoader(options.loader_config())
+        loaded = loader.load(binary)
+        return PreparedWorkload(
+            spec=spec,
+            workload=workload,
+            binary=binary,
+            loaded=loaded,
+            profile=profile,
+            options=options,
+        )

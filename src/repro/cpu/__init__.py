@@ -1,0 +1,29 @@
+"""CPU core substrate: branch prediction, frontend, backend, Top-Down."""
+
+from repro.cpu.backend import BackendConfig, BackendModel, BackendStats
+from repro.cpu.branch import (
+    BranchPredictionUnit,
+    BranchPredictorConfig,
+    BranchStats,
+    PredictionOutcome,
+)
+from repro.cpu.core import CoreConfig, CoreModel, CoreResult
+from repro.cpu.frontend import FetchEngine, FrontendConfig, FrontendStats
+from repro.cpu.topdown import TopDownBreakdown
+
+__all__ = [
+    "BranchPredictionUnit",
+    "BranchPredictorConfig",
+    "BranchStats",
+    "PredictionOutcome",
+    "FetchEngine",
+    "FrontendConfig",
+    "FrontendStats",
+    "BackendModel",
+    "BackendConfig",
+    "BackendStats",
+    "CoreModel",
+    "CoreConfig",
+    "CoreResult",
+    "TopDownBreakdown",
+]

@@ -1,0 +1,219 @@
+"""Branch prediction unit.
+
+Table 1 of the paper configures a 1 K-entry BTB, a 512-entry indirect BTB, a
+256-entry loop predictor and a 1 K-entry global (history-based) direction
+predictor with an 8-cycle misprediction penalty.  The model here predicts both
+the direction (gshare) and the target (BTB / indirect BTB / return stack) of
+each branch in the trace and reports whether the prediction was correct; the
+core charges the penalty and the pseudo-FDIP prefetcher follows the predicted
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.trace import TraceRecord
+
+
+@dataclass
+class BranchPredictorConfig:
+    """Sizing of the branch prediction structures (Table 1 defaults)."""
+
+    btb_entries: int = 1024
+    indirect_btb_entries: int = 512
+    loop_predictor_entries: int = 256
+    global_predictor_entries: int = 1024
+    history_bits: int = 10
+    return_stack_entries: int = 16
+    mispredict_penalty: int = 8
+
+    def validate(self) -> None:
+        for name in (
+            "btb_entries",
+            "indirect_btb_entries",
+            "loop_predictor_entries",
+            "global_predictor_entries",
+            "return_stack_entries",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.history_bits <= 0 or self.history_bits > 24:
+            raise ValueError("history_bits must be in (0, 24]")
+        if self.mispredict_penalty < 0:
+            raise ValueError("mispredict_penalty must be non-negative")
+
+
+@dataclass
+class BranchStats:
+    """Counters for branch prediction behaviour."""
+
+    branches: int = 0
+    mispredictions: int = 0
+    direction_mispredictions: int = 0
+    target_mispredictions: int = 0
+    btb_misses: int = 0
+
+    @property
+    def mpki_numerator(self) -> int:
+        return self.mispredictions
+
+    @property
+    def accuracy(self) -> float:
+        if self.branches == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.branches
+
+
+@dataclass
+class PredictionOutcome:
+    """Result of predicting one branch."""
+
+    predicted_taken: bool
+    predicted_target: int
+    mispredicted: bool
+    direction_wrong: bool = False
+    target_wrong: bool = False
+
+
+@dataclass
+class _LoopEntry:
+    trip_count: int = 0
+    current: int = 0
+    confident: bool = False
+
+
+class BranchPredictionUnit:
+    """gshare direction predictor + BTB/indirect-BTB/loop/return-stack targets."""
+
+    def __init__(self, config: BranchPredictorConfig | None = None) -> None:
+        self.config = config or BranchPredictorConfig()
+        self.config.validate()
+        cfg = self.config
+        self._history = 0
+        self._history_mask = (1 << cfg.history_bits) - 1
+        # 2-bit saturating counters, initialised weakly taken.
+        self._counters = [2] * cfg.global_predictor_entries
+        self._btb: dict[int, int] = {}
+        self._indirect_btb: dict[int, int] = {}
+        self._loop: dict[int, _LoopEntry] = {}
+        self._return_stack: list[int] = []
+        self.stats = BranchStats()
+
+    # ------------------------------------------------------------------ steps
+    def predict_and_update(self, record: TraceRecord) -> PredictionOutcome:
+        """Predict a branch, update all structures with the actual outcome."""
+        if not record.is_branch:
+            raise ValueError("predict_and_update requires a branch record")
+        cfg = self.config
+        self.stats.branches += 1
+
+        predicted_taken = self._predict_direction(record.pc)
+        predicted_target = self._predict_target(record)
+
+        direction_wrong = predicted_taken != record.branch_taken
+        target_wrong = (
+            record.branch_taken
+            and not direction_wrong
+            and predicted_target != record.branch_target
+        )
+        mispredicted = direction_wrong or target_wrong
+
+        if mispredicted:
+            self.stats.mispredictions += 1
+        if direction_wrong:
+            self.stats.direction_mispredictions += 1
+        if target_wrong:
+            self.stats.target_mispredictions += 1
+
+        self._update_direction(record.pc, record.branch_taken)
+        self._update_target(record)
+        self._history = ((self._history << 1) | int(record.branch_taken)) & self._history_mask
+        return PredictionOutcome(
+            predicted_taken=predicted_taken,
+            predicted_target=predicted_target,
+            mispredicted=mispredicted,
+            direction_wrong=direction_wrong,
+            target_wrong=target_wrong,
+        )
+
+    def reset(self) -> None:
+        cfg = self.config
+        self._history = 0
+        self._counters = [2] * cfg.global_predictor_entries
+        self._btb.clear()
+        self._indirect_btb.clear()
+        self._loop.clear()
+        self._return_stack.clear()
+        self.stats = BranchStats()
+
+    # ------------------------------------------------------------- direction
+    def _direction_index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) % self.config.global_predictor_entries
+
+    def _predict_direction(self, pc: int) -> bool:
+        loop_entry = self._loop.get(pc)
+        if loop_entry is not None and loop_entry.confident:
+            # Loop predictor: predict taken until the learned trip count.
+            return loop_entry.current < loop_entry.trip_count
+        return self._counters[self._direction_index(pc)] >= 2
+
+    def _update_direction(self, pc: int, taken: bool) -> None:
+        index = self._direction_index(pc)
+        if taken:
+            self._counters[index] = min(self._counters[index] + 1, 3)
+        else:
+            self._counters[index] = max(self._counters[index] - 1, 0)
+        self._update_loop(pc, taken)
+
+    def _update_loop(self, pc: int, taken: bool) -> None:
+        entry = self._loop.get(pc)
+        if entry is None:
+            if len(self._loop) >= self.config.loop_predictor_entries:
+                self._loop.pop(next(iter(self._loop)))
+            entry = _LoopEntry()
+            self._loop[pc] = entry
+        if taken:
+            entry.current += 1
+        else:
+            if entry.current > 0:
+                if entry.trip_count == entry.current:
+                    entry.confident = True
+                else:
+                    entry.trip_count = entry.current
+                    entry.confident = False
+            entry.current = 0
+
+    # ---------------------------------------------------------------- targets
+    def _predict_target(self, record: TraceRecord) -> int:
+        if record.is_return and self._return_stack:
+            return self._return_stack[-1]
+        if record.is_indirect:
+            return self._indirect_btb.get(record.pc, 0)
+        target = self._btb.get(record.pc)
+        if target is None:
+            self.stats.btb_misses += 1
+            return 0
+        return target
+
+    def _update_target(self, record: TraceRecord) -> None:
+        cfg = self.config
+        if record.is_call:
+            self._return_stack.append(record.pc + record.size)
+            if len(self._return_stack) > cfg.return_stack_entries:
+                self._return_stack.pop(0)
+        if record.is_return and self._return_stack:
+            self._return_stack.pop()
+        if not record.branch_taken:
+            return
+        if record.is_indirect:
+            if (
+                record.pc not in self._indirect_btb
+                and len(self._indirect_btb) >= cfg.indirect_btb_entries
+            ):
+                self._indirect_btb.pop(next(iter(self._indirect_btb)))
+            self._indirect_btb[record.pc] = record.branch_target
+        else:
+            if record.pc not in self._btb and len(self._btb) >= cfg.btb_entries:
+                self._btb.pop(next(iter(self._btb)))
+            self._btb[record.pc] = record.branch_target

@@ -1,0 +1,173 @@
+"""Trace-driven CPU core model with Top-Down cycle accounting.
+
+The core consumes a stream of :class:`repro.common.trace.TraceRecord` objects
+and produces total cycles plus a Top-Down breakdown.  It is a mechanistic
+model in the spirit of Sniper's interval simulation (the paper's simulator):
+
+* useful work retires at ``dispatch_width`` instructions per cycle;
+* every new instruction cache line touched by the PC stream is fetched through
+  the MMU and cache hierarchy; exposed fetch latency becomes ``ifetch`` stall;
+* branches run through the branch prediction unit; each misprediction charges
+  the fixed penalty to ``mispred``;
+* data accesses go through the backend model; exposed latency becomes ``mem``;
+* the trace's synthetic ``depend``/``issue`` annotations are charged verbatim
+  (they model the dependency and issue-queue stalls a detailed OoO core would
+  exhibit, and only matter for the Figure 1/2 Top-Down shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.addressing import CACHE_LINE_SIZE, line_address
+from repro.common.trace import TraceRecord
+from repro.common.translation import AddressTranslator
+from repro.cpu.backend import BackendConfig, BackendModel
+from repro.cpu.branch import BranchPredictionUnit, BranchPredictorConfig
+from repro.cpu.frontend import FetchEngine, FrontendConfig
+from repro.cpu.topdown import TopDownBreakdown
+
+
+@dataclass
+class CoreConfig:
+    """Core-level parameters (Table 1: 6-wide dispatch, 128-entry ROB, 2 GHz)."""
+
+    dispatch_width: int = 6
+    frequency_ghz: float = 2.0
+    frontend: FrontendConfig = field(default_factory=FrontendConfig)
+    backend: BackendConfig = field(default_factory=BackendConfig)
+    branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
+
+    def validate(self) -> None:
+        if self.dispatch_width <= 0:
+            raise ValueError("dispatch_width must be positive")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency_ghz must be positive")
+        self.frontend.validate()
+        self.backend.validate()
+        self.branch.validate()
+
+
+@dataclass
+class CoreResult:
+    """Aggregate outcome of running a trace through the core model."""
+
+    instructions: int
+    cycles: float
+    topdown: TopDownBreakdown
+    branches: int
+    branch_mispredictions: int
+    #: Demand instruction-fetch stall cycles accumulated per virtual line.
+    line_stall_cycles: dict[int, float] = field(default_factory=dict)
+    #: Demand instruction-fetch L2-miss counts per virtual line.
+    line_miss_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def cpi(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def branch_mpki(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.branch_mispredictions / self.instructions
+
+
+class CoreModel:
+    """Trace-driven timing model of one energy-efficient mobile core."""
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        translator: Optional[AddressTranslator] = None,
+        config: Optional[CoreConfig] = None,
+        line_size: int = CACHE_LINE_SIZE,
+    ) -> None:
+        self.config = config or CoreConfig()
+        self.config.validate()
+        self.hierarchy = hierarchy
+        self.line_size = line_size
+        self.frontend = FetchEngine(
+            hierarchy, translator, self.config.frontend, line_size
+        )
+        self.backend = BackendModel(
+            hierarchy, translator, self.config.backend, line_size
+        )
+        self.branch_unit = BranchPredictionUnit(self.config.branch)
+
+    # ------------------------------------------------------------------- run
+    def run(self, trace: Iterable[TraceRecord]) -> CoreResult:
+        """Execute a trace and return cycles plus the Top-Down breakdown.
+
+        Each call accounts only its own instructions (per-line stall maps are
+        cleared and branch statistics are reported as deltas), while predictor
+        state, starvation history and cache contents persist across calls —
+        so a warm-up window can be run first and discarded.
+        """
+        topdown = TopDownBreakdown()
+        instructions = 0
+        current_line = -1
+        width = self.config.dispatch_width
+        penalty = self.config.branch.mispredict_penalty
+        self.frontend.line_stall_cycles.clear()
+        self.frontend.line_miss_counts.clear()
+        branches_before = self.branch_unit.stats.branches
+        mispredictions_before = self.branch_unit.stats.mispredictions
+
+        for record in trace:
+            instructions += 1
+            topdown.add("retire", 1.0 / width)
+
+            fetch_line = line_address(record.pc, self.line_size)
+            if fetch_line != current_line:
+                current_line = fetch_line
+                outcome = self.frontend.fetch_line(record.pc)
+                if outcome.stall_cycles > 0:
+                    topdown.add("ifetch", outcome.stall_cycles)
+
+            if record.is_branch:
+                prediction = self.branch_unit.predict_and_update(record)
+                if prediction.mispredicted:
+                    topdown.add("mispred", float(penalty))
+                if record.branch_taken:
+                    # Fetch redirects to the branch target.
+                    current_line = -1
+
+            if record.is_memory:
+                data = self.backend.access_data(
+                    record.mem_address, record.pc, record.is_store
+                )
+                if data.stall_cycles > 0:
+                    topdown.add("mem", data.stall_cycles)
+
+            if record.depend_stall:
+                topdown.add("depend", self.backend.charge_depend_stall(record.depend_stall))
+            if record.issue_stall:
+                topdown.add("issue", self.backend.charge_issue_stall(record.issue_stall))
+
+        return CoreResult(
+            instructions=instructions,
+            cycles=topdown.total_cycles,
+            topdown=topdown,
+            branches=self.branch_unit.stats.branches - branches_before,
+            branch_mispredictions=(
+                self.branch_unit.stats.mispredictions - mispredictions_before
+            ),
+            line_stall_cycles=dict(self.frontend.line_stall_cycles),
+            line_miss_counts=dict(self.frontend.line_miss_counts),
+        )
+
+    def reset(self) -> None:
+        self.frontend.reset()
+        self.backend.reset()
+        self.branch_unit.reset()

@@ -1,0 +1,79 @@
+"""Top-Down cycle accounting.
+
+The paper's motivation figures (Figure 1 and Figure 2) use the Top-Down
+methodology [Yasin, ISPASS 2014] to attribute cycles to useful work
+(``retire``) or to stalls in the different CPU stages.  The categories here
+match Figure 2's legend: ``ifetch`` (instruction cache misses), ``mispred.``
+(branch misprediction recovery), ``depend`` (data dependencies), ``issue``
+(saturated issue queues), ``mem`` (backend waiting on data from caches/DRAM)
+and ``other``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class TopDownBreakdown:
+    """Cycles attributed to each Top-Down category."""
+
+    retire: float = 0.0
+    ifetch: float = 0.0
+    mispred: float = 0.0
+    depend: float = 0.0
+    issue: float = 0.0
+    mem: float = 0.0
+    other: float = 0.0
+
+    CATEGORIES = ("retire", "ifetch", "mispred", "depend", "issue", "mem", "other")
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(getattr(self, name) for name in self.CATEGORIES)
+
+    @property
+    def frontend_bound(self) -> float:
+        """Fraction of cycles lost in the frontend (ifetch + mispredict)."""
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return (self.ifetch + self.mispred) / total
+
+    def fraction(self, category: str) -> float:
+        """Fraction of total cycles spent in ``category``."""
+        if category not in self.CATEGORIES:
+            raise KeyError(f"unknown Top-Down category {category!r}")
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return getattr(self, category) / total
+
+    def fractions(self) -> dict[str, float]:
+        """All category fractions (sums to 1.0 for a non-empty breakdown)."""
+        total = self.total_cycles
+        if total == 0:
+            return {name: 0.0 for name in self.CATEGORIES}
+        return {name: getattr(self, name) / total for name in self.CATEGORIES}
+
+    def add(self, category: str, cycles: float) -> None:
+        """Accumulate cycles into a category."""
+        if category not in self.CATEGORIES:
+            raise KeyError(f"unknown Top-Down category {category!r}")
+        if cycles < 0:
+            raise ValueError(f"cannot add negative cycles ({cycles})")
+        setattr(self, category, getattr(self, category) + cycles)
+
+    def merge(self, other: "TopDownBreakdown") -> "TopDownBreakdown":
+        """Return a new breakdown summing this one with ``other``."""
+        merged = TopDownBreakdown()
+        for f in fields(self):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def scaled(self, factor: float) -> "TopDownBreakdown":
+        """Return a copy with every category multiplied by ``factor``."""
+        scaled = TopDownBreakdown()
+        for f in fields(self):
+            setattr(scaled, f.name, getattr(self, f.name) * factor)
+        return scaled

@@ -1,0 +1,127 @@
+"""Ablation studies beyond the paper's figures.
+
+Two design points the paper discusses but does not quantify are measurable
+with this library:
+
+* **Page-size / overlap handling (§4.9)** — what happens to TRRIP when code
+  pages grow (16 kB, 2 MB) and pages start straddling sections of different
+  temperature, under each prevention mechanism (majority tagging, disabling
+  tags on mixed pages, page-padded sections).
+* **Temperature interface kill switch** — running the TRRIP-compiled binary
+  with temperature propagation disabled must degrade exactly to the SRRIP
+  baseline, demonstrating the "easy to toggle off" adoption argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.pipeline import PipelineOptions
+from repro.experiments.runner import BenchmarkRunner
+from repro.osmodel.loader import OverlapPolicy
+from repro.sim.config import BASELINE_POLICY, SimulatorConfig
+
+
+@dataclass(frozen=True)
+class PageSizeAblationPoint:
+    """TRRIP-1 behaviour for one (page size, overlap handling) combination."""
+
+    benchmark: str
+    page_size: int
+    overlap_policy: OverlapPolicy
+    padded_sections: bool
+    tagged_pages: int
+    mixed_pages: int
+    speedup_over_srrip: float
+    inst_mpki_reduction: float
+
+
+def run_page_size_ablation(
+    benchmark: str = "sqlite",
+    page_sizes: Sequence[int] = (4096, 16384),
+    config: SimulatorConfig | None = None,
+    runner: BenchmarkRunner | None = None,
+) -> list[PageSizeAblationPoint]:
+    """Sweep page sizes and §4.9 prevention mechanisms for one benchmark."""
+    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
+    variants: list[tuple[OverlapPolicy, bool]] = [
+        (OverlapPolicy.MAJORITY, False),
+        (OverlapPolicy.DISABLE, False),
+        (OverlapPolicy.MAJORITY, True),
+    ]
+    points: list[PageSizeAblationPoint] = []
+    spec = runner.resolve_spec(benchmark)
+    for page_size in page_sizes:
+        for overlap_policy, padded in variants:
+            options = PipelineOptions(
+                page_size=page_size,
+                overlap_policy=overlap_policy,
+                pad_sections_to_page=padded,
+            )
+            baseline = runner.run(spec, BASELINE_POLICY, options=options).result
+            trrip = runner.run(spec, "trrip-1", options=options)
+            prepared = trrip.prepared
+            points.append(
+                PageSizeAblationPoint(
+                    benchmark=spec.name,
+                    page_size=page_size,
+                    overlap_policy=overlap_policy,
+                    padded_sections=padded,
+                    tagged_pages=prepared.loaded.tagged_pages,
+                    mixed_pages=prepared.loaded.mixed_temperature_pages,
+                    speedup_over_srrip=trrip.result.speedup_over(baseline),
+                    inst_mpki_reduction=trrip.result.mpki_reduction_over(baseline)[0],
+                )
+            )
+    return points
+
+
+def format_page_size_ablation(points: Sequence[PageSizeAblationPoint]) -> str:
+    lines = [
+        f"{'benchmark':10s} {'page':>7s} {'overlap':>9s} {'padded':>7s} "
+        f"{'tagged':>7s} {'mixed':>6s} {'speedup%':>9s} {'iMPKI red%':>11s}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.benchmark:10s} {p.page_size // 1024:>5d}kB {p.overlap_policy.value:>9s} "
+            f"{str(p.padded_sections):>7s} {p.tagged_pages:>7d} {p.mixed_pages:>6d} "
+            f"{p.speedup_over_srrip * 100:+9.2f} {p.inst_mpki_reduction:+11.1f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class KillSwitchResult:
+    """Comparison of TRRIP with and without temperature propagation."""
+
+    benchmark: str
+    srrip_cycles: float
+    trrip_cycles: float
+    trrip_untagged_cycles: float
+
+    @property
+    def degrades_to_baseline(self) -> bool:
+        """Whether disabling the PTE bits reproduces the SRRIP baseline."""
+        return abs(self.trrip_untagged_cycles - self.srrip_cycles) < 1e-6
+
+
+def run_kill_switch_ablation(
+    benchmark: str = "sqlite",
+    config: SimulatorConfig | None = None,
+    runner: BenchmarkRunner | None = None,
+) -> KillSwitchResult:
+    """Show that TRRIP without PTE temperature bits behaves exactly like SRRIP."""
+    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
+    spec = runner.resolve_spec(benchmark)
+    tagged = PipelineOptions(propagate_temperature=True)
+    untagged = PipelineOptions(propagate_temperature=False)
+    srrip = runner.run(spec, BASELINE_POLICY, options=untagged).result
+    trrip = runner.run(spec, "trrip-1", options=tagged).result
+    trrip_untagged = runner.run(spec, "trrip-1", options=untagged).result
+    return KillSwitchResult(
+        benchmark=spec.name,
+        srrip_cycles=srrip.cycles,
+        trrip_cycles=trrip.cycles,
+        trrip_untagged_cycles=trrip_untagged.cycles,
+    )

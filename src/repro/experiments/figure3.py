@@ -1,0 +1,62 @@
+"""Figure 3: reuse-distance distribution of hot instruction lines in the L2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.reuse import REUSE_BUCKETS, ReuseHistogram
+from repro.experiments.runner import BenchmarkRunner
+from repro.sim.config import BASELINE_POLICY, SimulatorConfig
+from repro.workloads.spec import PROXY_BENCHMARK_NAMES
+
+
+@dataclass(frozen=True)
+class ReuseRow:
+    """Reuse-distance fractions for one benchmark (base and hot-only)."""
+
+    benchmark: str
+    base: dict[str, float]
+    hot_only: dict[str, float]
+    base_accesses: int
+    hot_only_accesses: int
+
+
+def run_figure3(
+    benchmarks: Sequence[str] | None = None,
+    config: SimulatorConfig | None = None,
+    runner: BenchmarkRunner | None = None,
+) -> list[ReuseRow]:
+    """Measure per-set reuse distances of hot lines under the SRRIP baseline."""
+    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
+    rows: list[ReuseRow] = []
+    for benchmark in benchmarks or PROXY_BENCHMARK_NAMES:
+        spec = runner.resolve_spec(benchmark)
+        artifacts = runner.run(spec, BASELINE_POLICY, track_reuse=True)
+        tracker = artifacts.reuse
+        base, hot_only = tracker.histograms()
+        rows.append(
+            ReuseRow(
+                benchmark=spec.name,
+                base=base.fractions(),
+                hot_only=hot_only.fractions(),
+                base_accesses=base.total,
+                hot_only_accesses=hot_only.total,
+            )
+        )
+    return rows
+
+
+def format_figure3(rows: Sequence[ReuseRow]) -> str:
+    header = f"{'benchmark':12s} " + " ".join(f"{b:>7s}" for b in REUSE_BUCKETS)
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:12s} "
+            + " ".join(f"{row.base.get(b, 0.0):7.3f}" for b in REUSE_BUCKETS)
+        )
+        lines.append(
+            f"{row.benchmark + '~':12s} "
+            + " ".join(f"{row.hot_only.get(b, 0.0):7.3f}" for b in REUSE_BUCKETS)
+        )
+    return "\n".join(lines)

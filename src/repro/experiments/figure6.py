@@ -1,0 +1,42 @@
+"""Figure 6: speedup of every evaluated mechanism, normalised to SRRIP."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.sweep import PolicySweepResult, run_policy_sweep
+from repro.sim.config import EVALUATED_POLICIES, SimulatorConfig
+
+
+def run_figure6(
+    benchmarks: Sequence[str] | None = None,
+    policies: Sequence[str] | None = None,
+    config: SimulatorConfig | None = None,
+) -> PolicySweepResult:
+    """Run the full policy sweep Figure 6 (and Table 3) are derived from."""
+    return run_policy_sweep(
+        benchmarks=benchmarks,
+        policies=policies or EVALUATED_POLICIES,
+        config=config,
+    )
+
+
+def format_figure6(sweep: PolicySweepResult) -> str:
+    """Speedup (%) per benchmark and policy, plus the geomean row."""
+    header = f"{'benchmark':12s} " + " ".join(f"{p:>9s}" for p in sweep.policies)
+    lines = [header]
+    for benchmark in sweep.benchmarks:
+        lines.append(
+            f"{benchmark:12s} "
+            + " ".join(
+                f"{sweep.speedup(benchmark, policy) * 100:+9.2f}"
+                for policy in sweep.policies
+            )
+        )
+    lines.append(
+        f"{'geomean':12s} "
+        + " ".join(
+            f"{sweep.geomean_speedup(policy) * 100:+9.2f}" for policy in sweep.policies
+        )
+    )
+    return "\n".join(lines)

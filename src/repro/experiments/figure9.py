@@ -1,0 +1,121 @@
+"""Figure 9: sensitivity to L2 cache size and associativity.
+
+Figure 9a compares TRRIP-1, CLIP and Emissary on three L2 sizes (geomean
+speedup over SRRIP at the same size).  Figure 9b sweeps the associativity of
+the smallest L2 for TRRIP-1.  The scaled configuration uses L2 sizes that are
+the paper's 128/256/512 kB divided by the same factor as the rest of the
+hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.runner import BenchmarkRunner
+from repro.sim.config import BASELINE_POLICY, SimulatorConfig
+from repro.sim.results import geomean_speedup
+from repro.workloads.spec import PROXY_BENCHMARK_NAMES
+
+#: Policies compared in Figure 9a.
+SIZE_SWEEP_POLICIES: tuple[str, ...] = ("trrip-1", "clip", "emissary")
+#: Associativities swept in Figure 9b.
+DEFAULT_ASSOCIATIVITIES: tuple[int, ...] = (4, 8, 16)
+
+
+@dataclass(frozen=True)
+class SizeSweepPoint:
+    """Geomean speedup of one policy at one L2 size."""
+
+    policy: str
+    l2_size_bytes: int
+    geomean_speedup: float
+
+
+@dataclass(frozen=True)
+class AssociativityPoint:
+    """TRRIP-1 speedup for one benchmark at one associativity."""
+
+    benchmark: str
+    associativity: int
+    speedup: float
+
+
+def default_l2_sizes(config: SimulatorConfig) -> tuple[int, ...]:
+    """Half, base and double the configuration's L2 size (paper: 128/256/512 kB)."""
+    base = config.hierarchy.l2.size_bytes
+    return (base // 2, base, base * 2)
+
+
+def run_figure9a(
+    benchmarks: Sequence[str] | None = None,
+    policies: Sequence[str] = SIZE_SWEEP_POLICIES,
+    l2_sizes: Sequence[int] | None = None,
+    config: SimulatorConfig | None = None,
+) -> list[SizeSweepPoint]:
+    """Cache-size sensitivity of TRRIP-1, CLIP and Emissary (Figure 9a)."""
+    config = config or SimulatorConfig.default()
+    benchmarks = tuple(benchmarks or PROXY_BENCHMARK_NAMES)
+    points: list[SizeSweepPoint] = []
+    for size in l2_sizes or default_l2_sizes(config):
+        sized = config.with_l2_geometry(size_bytes=size)
+        runner = BenchmarkRunner(config=sized)
+        for policy in policies:
+            speedups = []
+            for benchmark in benchmarks:
+                results = runner.run_policies(benchmark, [policy])
+                speedups.append(
+                    results[policy].speedup_over(results[BASELINE_POLICY])
+                )
+            points.append(
+                SizeSweepPoint(
+                    policy=policy,
+                    l2_size_bytes=size,
+                    geomean_speedup=geomean_speedup(speedups),
+                )
+            )
+    return points
+
+
+def run_figure9b(
+    benchmarks: Sequence[str] | None = None,
+    associativities: Sequence[int] = DEFAULT_ASSOCIATIVITIES,
+    config: SimulatorConfig | None = None,
+) -> list[AssociativityPoint]:
+    """Associativity sensitivity of TRRIP-1 (Figure 9b)."""
+    config = config or SimulatorConfig.default()
+    benchmarks = tuple(benchmarks or PROXY_BENCHMARK_NAMES)
+    points: list[AssociativityPoint] = []
+    for associativity in associativities:
+        shaped = config.with_l2_geometry(associativity=associativity)
+        runner = BenchmarkRunner(config=shaped)
+        for benchmark in benchmarks:
+            results = runner.run_policies(benchmark, ["trrip-1"])
+            points.append(
+                AssociativityPoint(
+                    benchmark=benchmark,
+                    associativity=associativity,
+                    speedup=results["trrip-1"].speedup_over(results[BASELINE_POLICY]),
+                )
+            )
+    return points
+
+
+def format_figure9a(points: Sequence[SizeSweepPoint]) -> str:
+    lines = [f"{'policy':10s} {'L2 size':>10s} {'geomean speedup %':>18s}"]
+    for point in points:
+        lines.append(
+            f"{point.policy:10s} {point.l2_size_bytes // 1024:>8d}kB "
+            f"{point.geomean_speedup * 100:+18.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure9b(points: Sequence[AssociativityPoint]) -> str:
+    lines = [f"{'benchmark':12s} {'ways':>5s} {'speedup %':>10s}"]
+    for point in points:
+        lines.append(
+            f"{point.benchmark:12s} {point.associativity:>5d} "
+            f"{point.speedup * 100:+10.2f}"
+        )
+    return "\n".join(lines)

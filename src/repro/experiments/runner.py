@@ -1,0 +1,136 @@
+"""Shared experiment runner.
+
+Every table/figure module in :mod:`repro.experiments` needs the same loop:
+prepare a benchmark through the co-design pipeline, materialise its trace
+once, and replay it against several L2 replacement policies.  The
+:class:`BenchmarkRunner` caches prepared workloads and traces so a full
+figure (10 benchmarks x 9 policies) only pays for compilation and trace
+generation once per benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.reuse import ReuseDistanceTracker
+from repro.common.trace import TraceRecord
+from repro.core.pipeline import CoDesignPipeline, PipelineOptions, PreparedWorkload
+from repro.sim.config import BASELINE_POLICY, SimulatorConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import SystemSimulator
+from repro.workloads.spec import InputSet, WorkloadSpec, get_spec
+
+
+@dataclass
+class RunArtifacts:
+    """A simulation result plus optional analysis side-products."""
+
+    result: SimulationResult
+    prepared: PreparedWorkload
+    reuse: Optional[ReuseDistanceTracker] = None
+
+
+@dataclass
+class BenchmarkRunner:
+    """Caches workload preparation and traces across policy runs."""
+
+    config: SimulatorConfig = field(default_factory=SimulatorConfig.default)
+    pipeline_options: PipelineOptions = field(default_factory=PipelineOptions)
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+        self._prepared: dict[tuple, PreparedWorkload] = {}
+        self._traces: dict[tuple, tuple[list[TraceRecord], list[TraceRecord]]] = {}
+
+    # ----------------------------------------------------------- preparation
+    def resolve_spec(self, benchmark: str | WorkloadSpec) -> WorkloadSpec:
+        """Accept either a spec or a benchmark name, applying config scaling."""
+        spec = benchmark if isinstance(benchmark, WorkloadSpec) else get_spec(benchmark)
+        if self.config.workload_scale != 1.0:
+            spec = spec.scaled(self.config.workload_scale)
+        return spec
+
+    def prepare(
+        self,
+        benchmark: str | WorkloadSpec,
+        options: PipelineOptions | None = None,
+    ) -> PreparedWorkload:
+        """Run the co-design pipeline for a benchmark (cached)."""
+        spec = self.resolve_spec(benchmark)
+        options = options or self.pipeline_options
+        key = (spec, self._options_key(options))
+        if key not in self._prepared:
+            pipeline = CoDesignPipeline(options)
+            self._prepared[key] = pipeline.prepare(spec)
+        return self._prepared[key]
+
+    def traces(
+        self, prepared: PreparedWorkload
+    ) -> tuple[list[TraceRecord], list[TraceRecord]]:
+        """(warm-up, measured) record lists for a prepared workload (cached)."""
+        key = (prepared.spec, self._options_key(prepared.options))
+        if key not in self._traces:
+            generator = prepared.trace_generator(InputSet.EVALUATION)
+            warmup = generator.take(prepared.spec.warmup_instructions)
+            measured = generator.take(prepared.spec.eval_instructions)
+            self._traces[key] = (warmup, measured)
+        return self._traces[key]
+
+    @staticmethod
+    def _options_key(options: PipelineOptions) -> tuple:
+        return (
+            options.apply_pgo,
+            options.propagate_temperature,
+            options.percentile_hot,
+            options.percentile_cold,
+            options.page_size,
+            options.overlap_policy,
+            options.pad_sections_to_page,
+        )
+
+    # ------------------------------------------------------------------ runs
+    def run(
+        self,
+        benchmark: str | WorkloadSpec,
+        policy: str = BASELINE_POLICY,
+        options: PipelineOptions | None = None,
+        track_reuse: bool = False,
+        config: SimulatorConfig | None = None,
+    ) -> RunArtifacts:
+        """Simulate one benchmark under one L2 replacement policy."""
+        prepared = self.prepare(benchmark, options)
+        warmup, measured = self.traces(prepared)
+        base_config = config or self.config
+        run_config = base_config.with_l2_policy(policy)
+        simulator = SystemSimulator(
+            run_config, translator=prepared.mmu(), benchmark=prepared.spec.name
+        )
+
+        tracker: Optional[ReuseDistanceTracker] = None
+        if track_reuse:
+            tracker = ReuseDistanceTracker(simulator.hierarchy.l2.num_sets)
+
+        simulator.warm_up(warmup)
+        if tracker is not None:
+            # Only the measured window contributes to the reuse histograms.
+            simulator.hierarchy.l2_access_observer = tracker.observe
+        result = simulator.run(measured)
+        return RunArtifacts(result=result, prepared=prepared, reuse=tracker)
+
+    def run_policies(
+        self,
+        benchmark: str | WorkloadSpec,
+        policies: Sequence[str],
+        baseline: str = BASELINE_POLICY,
+        options: PipelineOptions | None = None,
+        config: SimulatorConfig | None = None,
+    ) -> dict[str, SimulationResult]:
+        """Run a benchmark under a baseline plus a list of policies."""
+        results: dict[str, SimulationResult] = {}
+        wanted = [baseline] + [p for p in policies if p != baseline]
+        for policy in wanted:
+            results[policy] = self.run(
+                benchmark, policy, options=options, config=config
+            ).result
+        return results

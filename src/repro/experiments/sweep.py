@@ -1,0 +1,81 @@
+"""Shared policy-sweep machinery used by Figure 6 and Table 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.runner import BenchmarkRunner
+from repro.sim.config import BASELINE_POLICY, EVALUATED_POLICIES, SimulatorConfig
+from repro.sim.results import (
+    SimulationResult,
+    geomean_reduction,
+    geomean_speedup,
+)
+from repro.workloads.spec import PROXY_BENCHMARK_NAMES
+
+
+@dataclass
+class PolicySweepResult:
+    """All (benchmark, policy) simulation results plus derived metrics."""
+
+    benchmarks: tuple[str, ...]
+    policies: tuple[str, ...]
+    baseline_policy: str
+    results: dict[str, dict[str, SimulationResult]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- accessors
+    def baseline(self, benchmark: str) -> SimulationResult:
+        return self.results[benchmark][self.baseline_policy]
+
+    def result(self, benchmark: str, policy: str) -> SimulationResult:
+        return self.results[benchmark][policy]
+
+    def speedup(self, benchmark: str, policy: str) -> float:
+        """Relative speedup of ``policy`` over the baseline (fraction)."""
+        return self.result(benchmark, policy).speedup_over(self.baseline(benchmark))
+
+    def mpki_reduction(self, benchmark: str, policy: str) -> tuple[float, float]:
+        """(instruction, data) L2 MPKI reduction in percent."""
+        return self.result(benchmark, policy).mpki_reduction_over(
+            self.baseline(benchmark)
+        )
+
+    # --------------------------------------------------------------- geomeans
+    def geomean_speedup(self, policy: str) -> float:
+        return geomean_speedup(
+            [self.speedup(benchmark, policy) for benchmark in self.benchmarks]
+        )
+
+    def geomean_inst_reduction(self, policy: str) -> float:
+        return geomean_reduction(
+            [self.mpki_reduction(b, policy)[0] for b in self.benchmarks]
+        )
+
+    def geomean_data_reduction(self, policy: str) -> float:
+        return geomean_reduction(
+            [self.mpki_reduction(b, policy)[1] for b in self.benchmarks]
+        )
+
+    def best_policy_by_speedup(self) -> str:
+        return max(self.policies, key=self.geomean_speedup)
+
+
+def run_policy_sweep(
+    benchmarks: Sequence[str] | None = None,
+    policies: Sequence[str] | None = None,
+    config: SimulatorConfig | None = None,
+    runner: BenchmarkRunner | None = None,
+) -> PolicySweepResult:
+    """Simulate every (benchmark, policy) pair against the SRRIP baseline."""
+    policies = tuple(policies or EVALUATED_POLICIES)
+    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
+    specs = [runner.resolve_spec(b) for b in (benchmarks or PROXY_BENCHMARK_NAMES)]
+    sweep = PolicySweepResult(
+        benchmarks=tuple(spec.name for spec in specs),
+        policies=policies,
+        baseline_policy=BASELINE_POLICY,
+    )
+    for spec in specs:
+        sweep.results[spec.name] = runner.run_policies(spec, list(policies))
+    return sweep

@@ -1,0 +1,137 @@
+"""Tables 1, 2, 4 and 5 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.power import PowerAreaModel, PowerAreaReport
+from repro.core.pipeline import CoDesignPipeline, PipelineOptions
+from repro.osmodel.pages import (
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    PAGE_SIZE_16K,
+    count_pages_by_temperature,
+)
+from repro.sim.config import SimulatorConfig, table1_rows
+from repro.common.temperature import Temperature
+from repro.workloads.spec import PROXY_BENCHMARK_NAMES, get_spec
+
+
+# --------------------------------------------------------------------- Table 1
+def run_table1(config: SimulatorConfig | None = None) -> list[tuple[str, str]]:
+    """Simulator configuration rows (Table 1)."""
+    return table1_rows(config)
+
+
+def format_table1(rows: Sequence[tuple[str, str]]) -> str:
+    width = max(len(component) for component, _ in rows)
+    return "\n".join(f"{component:<{width}}  {text}" for component, text in rows)
+
+
+# --------------------------------------------------------------------- Table 2
+@dataclass(frozen=True)
+class Table2Row:
+    benchmark: str
+    training_input: str
+    evaluation_input: str
+    fast_forward_instructions: int
+    measured_instructions: int
+
+
+def run_table2(benchmarks: Sequence[str] | None = None) -> list[Table2Row]:
+    """Benchmark / input-set / fast-forward summary (Table 2)."""
+    rows = []
+    for name in benchmarks or PROXY_BENCHMARK_NAMES:
+        spec = get_spec(name)
+        rows.append(
+            Table2Row(
+                benchmark=name,
+                training_input=f"synthetic training walk (seed {spec.seed}, "
+                f"{spec.training_iterations} iterations)",
+                evaluation_input="synthetic evaluation walk (distinct random stream)",
+                fast_forward_instructions=spec.warmup_instructions,
+                measured_instructions=spec.eval_instructions,
+            )
+        )
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    lines = [f"{'Benchmark':10s} {'Fast Fwd.':>10s} {'Measured':>10s}  Inputs"]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:10s} {row.fast_forward_instructions:>10d} "
+            f"{row.measured_instructions:>10d}  "
+            f"train: {row.training_input}; eval: {row.evaluation_input}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- Table 4
+def run_table4(config: SimulatorConfig | None = None) -> list[PowerAreaReport]:
+    """Static power and area overheads (Table 4)."""
+    return PowerAreaModel(config or SimulatorConfig.paper()).table4()
+
+
+def format_table4(reports: Sequence[PowerAreaReport]) -> str:
+    lines = [f"{'Mechanism':10s} {'Static Power (%)':>17s} {'Area (%)':>10s}"]
+    for report in reports:
+        lines.append(
+            f"{report.mechanism:10s} {report.static_power_percent:>17.1f} "
+            f"{report.area_percent:>10.1f}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- Table 5
+@dataclass(frozen=True)
+class Table5Row:
+    benchmark: str
+    pages_4k: tuple[int, int]
+    pages_16k: tuple[int, int]
+    pages_2m: tuple[int, int]
+    binary_size_bytes: int
+
+
+def run_table5(
+    benchmarks: Sequence[str] | None = None,
+    options: PipelineOptions | None = None,
+) -> list[Table5Row]:
+    """Hot/warm page counts for 4 kB / 16 kB / 2 MB pages plus binary size."""
+    pipeline = CoDesignPipeline(options or PipelineOptions())
+    rows = []
+    for name in benchmarks or PROXY_BENCHMARK_NAMES:
+        prepared = pipeline.prepare(get_spec(name))
+        image = prepared.binary.image
+
+        def hot_warm(page_size: int) -> tuple[int, int]:
+            counts = count_pages_by_temperature(image, page_size)
+            return counts[Temperature.HOT], counts[Temperature.WARM]
+
+        rows.append(
+            Table5Row(
+                benchmark=name,
+                pages_4k=hot_warm(PAGE_SIZE_4K),
+                pages_16k=hot_warm(PAGE_SIZE_16K),
+                pages_2m=hot_warm(PAGE_SIZE_2M),
+                binary_size_bytes=image.binary_size,
+            )
+        )
+    return rows
+
+
+def format_table5(rows: Sequence[Table5Row]) -> str:
+    lines = [
+        f"{'Benchmark':10s} {'4kB pages':>12s} {'16kB pages':>12s} "
+        f"{'2MB pages':>11s} {'Binary (B)':>12s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:10s} "
+            f"{row.pages_4k[0]:>5d}/{row.pages_4k[1]:<6d} "
+            f"{row.pages_16k[0]:>5d}/{row.pages_16k[1]:<6d} "
+            f"{row.pages_2m[0]:>4d}/{row.pages_2m[1]:<6d} "
+            f"{row.binary_size_bytes:>12d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Per-process page table with a simple physical frame allocator."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.common.errors import LoaderError
+from repro.common.temperature import Temperature
+from repro.osmodel.pages import PageTableEntry
+
+
+class PageTable:
+    """Maps virtual page numbers to :class:`PageTableEntry` objects.
+
+    Physical frames are handed out by a bump allocator with a deterministic
+    randomised offset per mapping call disabled — frames are sequential, which
+    keeps physical-address-indexed caches deterministic across runs.
+    """
+
+    def __init__(self, page_size: int = 4096) -> None:
+        if page_size <= 0:
+            raise LoaderError("page_size must be positive")
+        self.page_size = page_size
+        self._entries: dict[int, PageTableEntry] = {}
+        self._next_frame = 1  # frame 0 reserved (null page)
+
+    # ------------------------------------------------------------- mappings
+    def map_page(
+        self,
+        virtual_page: int,
+        executable: bool = False,
+        writable: bool = True,
+        temperature: Temperature = Temperature.NONE,
+        physical_frame: Optional[int] = None,
+    ) -> PageTableEntry:
+        """Create (or overwrite attributes of) a mapping for ``virtual_page``."""
+        if virtual_page < 0:
+            raise LoaderError("virtual page numbers must be non-negative")
+        existing = self._entries.get(virtual_page)
+        if existing is not None:
+            existing.executable = executable or existing.executable
+            existing.writable = writable and existing.writable
+            existing.set_temperature(temperature)
+            return existing
+        frame = physical_frame if physical_frame is not None else self._allocate_frame()
+        entry = PageTableEntry(
+            virtual_page=virtual_page,
+            physical_frame=frame,
+            executable=executable,
+            writable=writable,
+            attribute_bits=temperature.to_bits(),
+        )
+        self._entries[virtual_page] = entry
+        return entry
+
+    def _allocate_frame(self) -> int:
+        frame = self._next_frame
+        self._next_frame += 1
+        return frame
+
+    # -------------------------------------------------------------- lookups
+    def lookup(self, virtual_page: int) -> Optional[PageTableEntry]:
+        """Return the PTE for ``virtual_page`` or ``None`` if unmapped."""
+        return self._entries.get(virtual_page)
+
+    def is_mapped(self, virtual_page: int) -> bool:
+        return virtual_page in self._entries
+
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[PageTableEntry]:
+        return iter(self._entries.values())
+
+    def pages_with_temperature(self, temperature: Temperature) -> int:
+        """How many mapped pages carry a given temperature attribute."""
+        return sum(1 for e in self._entries.values() if e.temperature is temperature)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._next_frame = 1

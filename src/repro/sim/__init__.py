@@ -1,0 +1,27 @@
+"""Simulation driver: configurations, the system simulator and results."""
+
+from repro.sim.config import (
+    BASELINE_POLICY,
+    EVALUATED_POLICIES,
+    SimulatorConfig,
+    table1_rows,
+)
+from repro.sim.results import (
+    SimulationResult,
+    geomean_reduction,
+    geomean_speedup,
+    geometric_mean,
+)
+from repro.sim.simulator import SystemSimulator
+
+__all__ = [
+    "SimulatorConfig",
+    "table1_rows",
+    "EVALUATED_POLICIES",
+    "BASELINE_POLICY",
+    "SystemSimulator",
+    "SimulationResult",
+    "geometric_mean",
+    "geomean_speedup",
+    "geomean_reduction",
+]

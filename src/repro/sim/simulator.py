@@ -1,0 +1,93 @@
+"""System simulator: ties MMU, core and cache hierarchy together."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import SimulationError
+from repro.common.trace import TraceRecord
+from repro.common.translation import AddressTranslator
+from repro.cpu.core import CoreModel, CoreResult
+from repro.sim.config import SimulatorConfig
+from repro.sim.results import SimulationResult
+
+
+class SystemSimulator:
+    """One simulated core with its cache hierarchy and (optional) MMU.
+
+    The simulator is trace-driven: callers provide iterables of
+    :class:`~repro.common.trace.TraceRecord`.  The usual protocol is
+
+    1. :meth:`warm_up` with the fast-forward window (Table 2),
+    2. :meth:`run` with the measured window, which resets statistics first
+       but keeps cache/predictor state, and returns a
+       :class:`~repro.sim.results.SimulationResult`.
+    """
+
+    def __init__(
+        self,
+        config: SimulatorConfig,
+        translator: Optional[AddressTranslator] = None,
+        benchmark: str = "unknown",
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.benchmark = benchmark
+        self.hierarchy = CacheHierarchy(config.hierarchy)
+        self.core = CoreModel(
+            self.hierarchy,
+            translator=translator,
+            config=config.core,
+            line_size=config.hierarchy.line_size,
+        )
+        self._ran = False
+
+    # ------------------------------------------------------------------- API
+    def warm_up(self, trace: Iterable[TraceRecord]) -> CoreResult:
+        """Run a warm-up window; results are returned but normally discarded."""
+        return self.core.run(trace)
+
+    def run(
+        self,
+        trace: Iterable[TraceRecord],
+        reset_stats: bool = True,
+    ) -> SimulationResult:
+        """Run the measured window and package the results."""
+        if reset_stats:
+            self.hierarchy.reset_stats()
+        core_result = self.core.run(trace)
+        if core_result.instructions == 0:
+            raise SimulationError("measured trace window contained no instructions")
+        self._ran = True
+        return self._package(core_result)
+
+    def reset(self) -> None:
+        """Restore caches, predictors and statistics to the power-on state."""
+        self.hierarchy.reset()
+        self.core.reset()
+        self._ran = False
+
+    # -------------------------------------------------------------- internals
+    def _package(self, core_result: CoreResult) -> SimulationResult:
+        stats = self.hierarchy.stats
+        instructions = core_result.instructions
+        l1i_misses = stats.l1i_misses
+        return SimulationResult(
+            benchmark=self.benchmark,
+            policy=self.config.l2_policy,
+            config_name=self.config.name,
+            instructions=instructions,
+            cycles=core_result.cycles,
+            ipc=core_result.ipc,
+            topdown=core_result.topdown,
+            l2_inst_misses=stats.l2_inst_misses,
+            l2_data_misses=stats.l2_data_misses,
+            l2_inst_mpki=stats.l2_inst_mpki(instructions),
+            l2_data_mpki=stats.l2_data_mpki(instructions),
+            l1i_mpki=1000.0 * l1i_misses / instructions if instructions else 0.0,
+            branch_mpki=core_result.branch_mpki,
+            dram_accesses=stats.dram_accesses,
+            line_stall_cycles=core_result.line_stall_cycles,
+            line_miss_counts=core_result.line_miss_counts,
+        )

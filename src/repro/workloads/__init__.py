@@ -1,0 +1,43 @@
+"""Synthetic workload substrate: specs, program builder, profiler, traces."""
+
+from repro.workloads.behavior import ControlFlowModel, FunctionCall
+from repro.workloads.builder import (
+    DATA_REUSE_BASE,
+    DATA_STREAM_BASE,
+    SyntheticProgramBuilder,
+    SyntheticWorkload,
+)
+from repro.workloads.profiling import PROFILE_TRIP_MULTIPLIER, collect_profile
+from repro.workloads.spec import (
+    PROXY_BENCHMARK_NAMES,
+    PROXY_BENCHMARKS,
+    SYSTEM_COMPONENT_NAMES,
+    SYSTEM_COMPONENTS,
+    InputSet,
+    WorkloadSpec,
+    all_proxy_specs,
+    all_system_specs,
+    get_spec,
+)
+from repro.workloads.tracegen import TraceGenerator
+
+__all__ = [
+    "WorkloadSpec",
+    "InputSet",
+    "PROXY_BENCHMARKS",
+    "PROXY_BENCHMARK_NAMES",
+    "SYSTEM_COMPONENTS",
+    "SYSTEM_COMPONENT_NAMES",
+    "get_spec",
+    "all_proxy_specs",
+    "all_system_specs",
+    "SyntheticProgramBuilder",
+    "SyntheticWorkload",
+    "DATA_STREAM_BASE",
+    "DATA_REUSE_BASE",
+    "ControlFlowModel",
+    "FunctionCall",
+    "collect_profile",
+    "PROFILE_TRIP_MULTIPLIER",
+    "TraceGenerator",
+]

@@ -1,0 +1,133 @@
+"""Stochastic control-flow model shared by the profiler and trace generator.
+
+A workload executes as a sequence of *outer iterations*, each split into a few
+*segments*.  Hot functions fall into three classes (mirroring the Figure 3
+reuse-distance mix):
+
+* **core** hot functions execute in every segment — short L2 reuse distance
+  (the 0-4 bucket), they stay cache-resident under any reasonable policy;
+* **regular** hot functions execute once per iteration — the marginal 9-16
+  band where conventional policies evict them just before reuse and TRRIP's
+  insertion priority makes the difference;
+* **occasional** hot functions execute only in some iterations — the 16+ tail.
+
+Warm functions, cold functions and external (non-compiled) code are called
+occasionally after hot visits.  The same model drives both profile collection
+(training input) and trace generation (evaluation input); the two input sets
+use different random streams and differ in one important way: **cold code is
+never executed during training** (that is what makes it cold), but the
+evaluation input occasionally reaches it — the profile-vs-reality mismatch the
+paper mentions as the reason PGO sometimes degrades performance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.workloads.builder import SyntheticWorkload
+from repro.workloads.spec import InputSet
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """One dynamic function invocation in the control-flow stream."""
+
+    kind: str  # "hot" | "warm" | "cold" | "external"
+    function_name: str | None = None
+
+
+@dataclass(frozen=True)
+class HotFunctionClasses:
+    """Partition of the hot functions by execution frequency."""
+
+    core: tuple[str, ...]
+    regular: tuple[str, ...]
+    occasional: tuple[str, ...]
+
+
+def classify_hot_functions(workload: SyntheticWorkload) -> HotFunctionClasses:
+    """Split hot functions into core / regular / occasional classes."""
+    spec = workload.spec
+    names = list(workload.hot_function_names)
+    total = len(names)
+    core_count = max(1, int(round(total * spec.hot_core_fraction)))
+    occasional_count = int(round(total * spec.hot_occasional_fraction))
+    occasional_count = min(occasional_count, max(total - core_count - 1, 0))
+    core = tuple(names[:core_count])
+    occasional = tuple(names[total - occasional_count:]) if occasional_count else ()
+    regular = tuple(names[core_count : total - occasional_count])
+    return HotFunctionClasses(core=core, regular=regular, occasional=occasional)
+
+
+class ControlFlowModel:
+    """Deterministic pseudo-random walk over a workload's functions."""
+
+    def __init__(self, workload: SyntheticWorkload, input_set: InputSet) -> None:
+        self.workload = workload
+        self.spec = workload.spec
+        self.input_set = input_set
+        self.classes = classify_hot_functions(workload)
+        seed_offset = 1 if input_set is InputSet.TRAINING else 2
+        self._seed = self.spec.seed * 1009 + seed_offset
+        self._rng = random.Random(self._seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    # ------------------------------------------------------------- iteration
+    def one_iteration(self) -> Iterator[FunctionCall]:
+        """Yield the function calls of a single outer iteration."""
+        spec = self.spec
+        rng = self._rng
+        segments = spec.segments_per_iteration
+        classes = self.classes
+
+        regular = [
+            name
+            for name in classes.regular
+            if rng.random() < spec.hot_visit_fraction
+        ]
+        occasional = [
+            name
+            for name in classes.occasional
+            if rng.random() < spec.occasional_visit_probability
+        ]
+        # Regular/occasional functions are spread across the segments;
+        # core functions run in every segment.
+        rng.shuffle(regular)
+        rng.shuffle(occasional)
+        for segment in range(segments):
+            segment_functions = list(classes.core)
+            segment_functions.extend(regular[segment::segments])
+            segment_functions.extend(occasional[segment::segments])
+            rng.shuffle(segment_functions)
+            for name in segment_functions:
+                yield FunctionCall("hot", name)
+                yield from self._side_calls(rng)
+
+    def _side_calls(self, rng: random.Random) -> Iterator[FunctionCall]:
+        """Warm/cold/external calls sprinkled after a hot function visit."""
+        spec = self.spec
+        allow_cold = self.input_set is InputSet.EVALUATION
+        if (
+            spec.warm_call_rate
+            and self.workload.warm_function_names
+            and rng.random() < spec.warm_call_rate
+        ):
+            yield FunctionCall("warm", rng.choice(self.workload.warm_function_names))
+        if (
+            allow_cold
+            and spec.cold_call_rate
+            and self.workload.cold_function_names
+            and rng.random() < spec.cold_call_rate
+        ):
+            yield FunctionCall("cold", rng.choice(self.workload.cold_function_names))
+        if spec.external_call_rate and rng.random() < spec.external_call_rate:
+            yield FunctionCall("external", None)
+
+    def calls(self) -> Iterator[FunctionCall]:
+        """Infinite stream of function calls across outer iterations."""
+        while True:
+            yield from self.one_iteration()

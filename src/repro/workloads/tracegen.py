@@ -1,0 +1,221 @@
+"""Trace generation: turn a compiled workload into an instruction stream.
+
+The generator walks the control-flow model (evaluation input), resolves each
+basic block to its virtual address in the compiled binary, and emits one
+:class:`~repro.common.trace.TraceRecord` per instruction:
+
+* hot functions execute their hot path ``trip_count`` times (an inner loop
+  that the L1-I absorbs — the L2-level reuse distance stays governed by the
+  outer iteration over the full hot footprint);
+* block-ending instructions are branches whose taken/not-taken behaviour falls
+  out of the code layout (PGO layouts produce more fall-throughs);
+* data accesses are attached to a configurable fraction of instructions and
+  split between a streaming buffer and a smaller reused region;
+* external calls fetch code from the untagged external region (PLT stubs /
+  other libraries — the coverage gap of Figure 7a).
+
+The generator keeps internal state so a warm-up prefix and a measured window
+can be drawn from the same continuous stream (Table 2's fast-forwarding).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Optional
+
+from repro.common.addressing import CACHE_LINE_SIZE
+from repro.common.errors import WorkloadError
+from repro.common.trace import TraceRecord
+from repro.compiler.pgo import CompiledBinary
+from repro.workloads.behavior import ControlFlowModel, FunctionCall
+from repro.workloads.builder import SyntheticWorkload
+from repro.workloads.spec import InputSet
+
+#: Instruction size used for external-code records: external code is walked
+#: sparsely (we only care about the lines it touches, not its exact length).
+EXTERNAL_INSTRUCTION_BYTES = 16
+#: Fraction of data accesses that are stores.
+STORE_FRACTION = 0.3
+#: How far the streaming pointer advances per access.  Streaming code touches
+#: several consecutive elements of a buffer before moving to the next cache
+#: line, so one line amortises a handful of accesses.
+STREAM_STRIDE_BYTES = 8
+
+
+class TraceGenerator:
+    """Stateful generator of instruction traces for one compiled workload."""
+
+    def __init__(
+        self,
+        workload: SyntheticWorkload,
+        binary: CompiledBinary,
+        input_set: InputSet = InputSet.EVALUATION,
+    ) -> None:
+        if binary.program.name != workload.spec.name:
+            raise WorkloadError(
+                f"binary {binary.program.name!r} does not match workload "
+                f"{workload.spec.name!r}"
+            )
+        self.workload = workload
+        self.spec = workload.spec
+        self.binary = binary
+        self.input_set = input_set
+        self._model = ControlFlowModel(workload, input_set)
+        self._rng = random.Random(self.spec.seed * 7919 + 3)
+        self._stream_offset = 0
+        self._records = self._record_stream()
+
+    # ------------------------------------------------------------ public API
+    def records(self, count: int) -> Iterator[TraceRecord]:
+        """Yield the next ``count`` records of the (infinite) trace."""
+        if count < 0:
+            raise WorkloadError("record count must be non-negative")
+        return itertools.islice(self._records, count)
+
+    def take(self, count: int) -> list[TraceRecord]:
+        """Materialise the next ``count`` records as a list."""
+        return list(self.records(count))
+
+    def reset(self) -> None:
+        """Restart the trace from the beginning (deterministic replay)."""
+        self._model.reset()
+        self._rng = random.Random(self.spec.seed * 7919 + 3)
+        self._stream_offset = 0
+        self._records = self._record_stream()
+
+    # ------------------------------------------------------------ generation
+    def _record_stream(self) -> Iterator[TraceRecord]:
+        for call in self._model.calls():
+            if call.kind == "external":
+                yield from self._external_records()
+            else:
+                yield from self._function_records(call)
+
+    def _function_records(self, call: FunctionCall) -> Iterator[TraceRecord]:
+        workload = self.workload
+        spec = self.spec
+        name = call.function_name
+        blocks = workload.executed_blocks_of(name)
+        if not blocks:
+            return
+        addresses = [self.binary.block_address(block_id) for block_id in blocks]
+        trips = workload.trip_count(name) if call.kind == "hot" else 1
+        instructions_per_block = spec.instructions_per_block
+
+        for trip in range(trips):
+            last_trip = trip == trips - 1
+            for position, address in enumerate(addresses):
+                last_block = position == len(addresses) - 1
+                for slot in range(instructions_per_block):
+                    pc = address + 4 * slot
+                    is_last_instruction = slot == instructions_per_block - 1
+                    if not is_last_instruction:
+                        yield self._plain_record(pc)
+                        continue
+                    yield self._block_end_branch(
+                        pc,
+                        next_address=(
+                            addresses[position + 1]
+                            if not last_block
+                            else (addresses[0] if not last_trip else None)
+                        ),
+                        loop_back=last_block and not last_trip,
+                    )
+
+    def _block_end_branch(
+        self, pc: int, next_address: Optional[int], loop_back: bool
+    ) -> TraceRecord:
+        rng = self._rng
+        if next_address is None:
+            # Function end: model as a return.  Target 0 keeps the return
+            # stack trivially consistent (no matching call was emitted).
+            return TraceRecord(
+                pc=pc,
+                is_branch=True,
+                branch_taken=True,
+                branch_target=0,
+                is_return=True,
+            )
+        taken = next_address != pc + 4
+        if loop_back:
+            taken = True
+        elif self.spec.branch_entropy and rng.random() < self.spec.branch_entropy:
+            # Data-dependent branch: direction is effectively random, which is
+            # what defeats the global history predictor.
+            taken = rng.random() < 0.5
+        return TraceRecord(
+            pc=pc,
+            is_branch=True,
+            branch_taken=taken,
+            branch_target=next_address,
+        )
+
+    def _plain_record(self, pc: int) -> TraceRecord:
+        spec = self.spec
+        rng = self._rng
+        mem_address = None
+        is_store = False
+        if rng.random() < spec.data_access_rate:
+            mem_address, is_store = self._data_access()
+        depend = (
+            spec.depend_stall_cycles
+            if spec.depend_stall_rate and rng.random() < spec.depend_stall_rate
+            else 0
+        )
+        issue = (
+            spec.issue_stall_cycles
+            if spec.issue_stall_rate and rng.random() < spec.issue_stall_rate
+            else 0
+        )
+        return TraceRecord(
+            pc=pc,
+            mem_address=mem_address,
+            is_store=is_store,
+            depend_stall=depend,
+            issue_stall=issue,
+        )
+
+    def _data_access(self) -> tuple[int, bool]:
+        spec = self.spec
+        rng = self._rng
+        workload = self.workload
+        if rng.random() < spec.data_stream_fraction or workload.data_reuse_bytes == 0:
+            address = workload.data_stream_base + self._stream_offset
+            self._stream_offset = (
+                self._stream_offset + STREAM_STRIDE_BYTES
+            ) % max(workload.data_stream_bytes, STREAM_STRIDE_BYTES)
+        else:
+            reuse_lines = max(workload.data_reuse_bytes // CACHE_LINE_SIZE, 1)
+            # Cubing skews strongly towards low line numbers: a small,
+            # frequently reused core with a colder tail.
+            line = int(rng.random() ** 3 * reuse_lines) % reuse_lines
+            address = workload.data_reuse_base + line * CACHE_LINE_SIZE
+        return address, rng.random() < STORE_FRACTION
+
+    def _external_records(self) -> Iterator[TraceRecord]:
+        image = self.binary.image
+        if image.external_size <= 0:
+            return
+        spec = self.spec
+        rng = self._rng
+        total_lines = max(image.external_size // CACHE_LINE_SIZE, 1)
+        span = min(spec.external_lines_per_call, total_lines)
+        start_line = rng.randrange(max(total_lines - span, 1))
+        instructions_per_line = CACHE_LINE_SIZE // EXTERNAL_INSTRUCTION_BYTES
+        for line in range(span):
+            base = image.external_base + (start_line + line) * CACHE_LINE_SIZE
+            for slot in range(instructions_per_line):
+                pc = base + slot * EXTERNAL_INSTRUCTION_BYTES
+                last = line == span - 1 and slot == instructions_per_line - 1
+                if last:
+                    yield TraceRecord(
+                        pc=pc,
+                        size=EXTERNAL_INSTRUCTION_BYTES,
+                        is_branch=True,
+                        branch_taken=True,
+                        branch_target=0,
+                        is_return=True,
+                    )
+                else:
+                    yield TraceRecord(pc=pc, size=EXTERNAL_INSTRUCTION_BYTES)

@@ -1,0 +1,90 @@
+"""Shared fixtures for the TRRIP reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement.basic import LRUPolicy
+from repro.cache.replacement.rrip import SRRIPPolicy
+from repro.common.request import AccessType, MemoryRequest
+from repro.common.temperature import Temperature
+from repro.sim.config import SimulatorConfig
+from repro.workloads.spec import WorkloadSpec
+
+
+def make_request(
+    address: int,
+    access_type: AccessType = AccessType.INSTRUCTION_FETCH,
+    temperature: Temperature = Temperature.NONE,
+    pc: int = 0,
+    starvation_hint: bool = False,
+    is_prefetch: bool = False,
+) -> MemoryRequest:
+    """Convenience request constructor used across the suite."""
+    return MemoryRequest(
+        address=address,
+        access_type=access_type,
+        pc=pc or address,
+        temperature=temperature,
+        starvation_hint=starvation_hint,
+        is_prefetch=is_prefetch,
+    )
+
+
+def instruction(address: int, temperature: Temperature = Temperature.NONE, **kw):
+    return make_request(address, AccessType.INSTRUCTION_FETCH, temperature, **kw)
+
+
+def data_load(address: int, **kw):
+    return make_request(address, AccessType.DATA_LOAD, **kw)
+
+
+def data_store(address: int, **kw):
+    return make_request(address, AccessType.DATA_STORE, **kw)
+
+
+@pytest.fixture
+def small_lru_cache() -> SetAssociativeCache:
+    """A 4-set, 2-way LRU cache (512 B) for unit tests."""
+    policy = LRUPolicy(num_sets=4, num_ways=2)
+    return SetAssociativeCache("test-l1", 512, 2, policy)
+
+
+@pytest.fixture
+def small_srrip_cache() -> SetAssociativeCache:
+    """A 4-set, 4-way SRRIP cache (1 kB) for unit tests."""
+    policy = SRRIPPolicy(num_sets=4, num_ways=4)
+    return SetAssociativeCache("test-l2", 1024, 4, policy)
+
+
+@pytest.fixture
+def tiny_spec() -> WorkloadSpec:
+    """A miniature workload spec so simulator tests stay fast (<1 s)."""
+    return WorkloadSpec(
+        name="tinybench",
+        category="proxy",
+        description="miniature workload for tests",
+        hot_functions=8,
+        warm_functions=4,
+        cold_functions=8,
+        blocks_per_hot_function=4,
+        blocks_per_warm_function=3,
+        blocks_per_cold_function=3,
+        internal_cold_blocks=2,
+        external_code_kb=4,
+        external_call_rate=0.05,
+        data_access_rate=0.25,
+        data_stream_kb=8,
+        data_reuse_kb=4,
+        eval_instructions=6_000,
+        warmup_instructions=2_000,
+        training_iterations=3,
+        seed=99,
+    )
+
+
+@pytest.fixture
+def scaled_config() -> SimulatorConfig:
+    """The default (scaled) simulator configuration."""
+    return SimulatorConfig.scaled()

@@ -1,0 +1,154 @@
+"""Unit tests for the analysis modules: reuse distance, coverage, power."""
+
+import pytest
+
+from repro.analysis.coverage import costly_miss_coverage
+from repro.analysis.power import PowerAreaModel
+from repro.analysis.reuse import (
+    REUSE_BUCKETS,
+    ReuseDistanceTracker,
+    ReuseHistogram,
+    bucket_for_distance,
+)
+from repro.common.temperature import Temperature
+from repro.sim.config import SimulatorConfig
+from tests.conftest import data_load, instruction
+
+
+class TestReuseBuckets:
+    def test_bucket_boundaries_match_figure3(self):
+        assert bucket_for_distance(0) == "0-4"
+        assert bucket_for_distance(4) == "0-4"
+        assert bucket_for_distance(5) == "5-8"
+        assert bucket_for_distance(8) == "5-8"
+        assert bucket_for_distance(9) == "9-16"
+        assert bucket_for_distance(16) == "9-16"
+        assert bucket_for_distance(17) == "16+"
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_for_distance(-1)
+
+    def test_histogram_fractions(self):
+        histogram = ReuseHistogram()
+        histogram.record(0)
+        histogram.record(10)
+        histogram.record(10)
+        fractions = histogram.fractions()
+        assert fractions["0-4"] == pytest.approx(1 / 3)
+        assert fractions["9-16"] == pytest.approx(2 / 3)
+        assert histogram.fraction_at_least("9-16") == pytest.approx(2 / 3)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_histogram(self):
+        histogram = ReuseHistogram()
+        assert histogram.total == 0
+        assert all(v == 0.0 for v in histogram.fractions().values())
+
+
+class TestReuseTracker:
+    def test_immediate_rereference_is_bucket_0_4(self):
+        tracker = ReuseDistanceTracker(num_sets=4)
+        hot = instruction(0x1000, Temperature.HOT)
+        tracker.observe(hot)
+        tracker.observe(hot)
+        assert tracker.base.counts["0-4"] == 1
+
+    def test_intervening_lines_increase_distance(self):
+        tracker = ReuseDistanceTracker(num_sets=1)  # everything in one set
+        hot = instruction(0x0, Temperature.HOT)
+        tracker.observe(hot)
+        for i in range(1, 7):
+            tracker.observe(data_load(0x40 * i))
+        tracker.observe(hot)
+        assert tracker.base.counts["5-8"] == 1
+        # Hot-only view ignores the data lines entirely.
+        assert tracker.hot_only.counts["0-4"] == 1
+
+    def test_only_hot_instruction_lines_are_measured(self):
+        tracker = ReuseDistanceTracker(num_sets=4)
+        cold = instruction(0x2000, Temperature.COLD)
+        tracker.observe(cold)
+        tracker.observe(cold)
+        assert tracker.base.total == 0
+
+    def test_distances_are_per_set(self):
+        tracker = ReuseDistanceTracker(num_sets=2)
+        hot = instruction(0x0, Temperature.HOT)
+        other_set = instruction(0x40, Temperature.HOT)  # maps to set 1
+        tracker.observe(hot)
+        tracker.observe(other_set)
+        tracker.observe(hot)
+        assert tracker.base.counts["0-4"] == 1
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ReuseDistanceTracker(num_sets=0)
+
+
+class TestCoverage:
+    def test_full_coverage_when_all_costly_lines_are_hot(self):
+        hot_ranges = [(0x1000, 0x2000)]
+        costs = {0x1000: 50.0, 0x1040: 30.0, 0x1080: 10.0}
+        result = costly_miss_coverage("demo", costs, hot_ranges)
+        assert all(v == 100.0 for v in result.coverage_percent.values())
+
+    def test_zero_coverage_when_no_costly_line_is_hot(self):
+        result = costly_miss_coverage(
+            "demo", {0x9000: 50.0}, hot_ranges=[(0x1000, 0x2000)]
+        )
+        assert all(v == 0.0 for v in result.coverage_percent.values())
+
+    def test_excluding_external_lines_raises_coverage(self):
+        hot_ranges = [(0x1000, 0x2000)]
+        is_external = lambda a: a >= 0x10_0000
+        costs = {0x1000: 50.0, 0x10_0000: 60.0}
+        including = costly_miss_coverage(
+            "demo", costs, hot_ranges, is_external, exclude_external=False
+        )
+        excluding = costly_miss_coverage(
+            "demo", costs, hot_ranges, is_external, exclude_external=True
+        )
+        assert excluding.coverage_percent[50] >= including.coverage_percent[50]
+        assert excluding.costly_lines == 1
+
+    def test_higher_percentiles_select_fewer_lines(self):
+        hot_ranges = [(0x1000, 0x1040)]
+        # Only the single costliest line is hot.
+        costs = {0x1000: 100.0}
+        costs.update({0x9000 + 0x40 * i: float(i) for i in range(1, 20)})
+        result = costly_miss_coverage("demo", costs, hot_ranges)
+        assert result.coverage_percent[90] >= result.coverage_percent[50]
+
+    def test_empty_costs(self):
+        result = costly_miss_coverage("demo", {}, hot_ranges=[(0, 10)])
+        assert result.costly_lines == 0
+        assert all(v == 0.0 for v in result.coverage_percent.values())
+
+
+class TestPowerArea:
+    def test_table4_ordering_matches_paper(self):
+        model = PowerAreaModel(SimulatorConfig.paper())
+        reports = {report.mechanism: report for report in model.table4()}
+        assert reports["trrip"].area_percent == pytest.approx(0.0)
+        assert reports["clip"].area_percent == pytest.approx(0.0)
+        assert reports["ship"].area_percent > reports["emissary"].area_percent > 0
+        assert (
+            reports["ship"].static_power_percent
+            > reports["emissary"].static_power_percent
+        )
+
+    def test_ship_overhead_in_paper_ballpark(self):
+        model = PowerAreaModel(SimulatorConfig.paper())
+        ship = model.report("ship")
+        assert 1.5 <= ship.area_percent <= 5.0
+        assert 0.8 <= ship.static_power_percent <= 3.0
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(KeyError):
+            PowerAreaModel().report("hawkeye")
+
+    def test_overheads_scale_with_cache_size(self):
+        small = PowerAreaModel(SimulatorConfig.scaled()).report("emissary")
+        large = PowerAreaModel(SimulatorConfig.paper()).report("emissary")
+        assert large.area_percent != small.area_percent

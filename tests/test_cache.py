@@ -1,0 +1,122 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement.basic import LRUPolicy
+from repro.common.errors import ConfigurationError
+from repro.common.temperature import Temperature
+from tests.conftest import data_store, instruction
+
+
+class TestGeometry:
+    def test_sets_derived_from_size(self, small_lru_cache):
+        assert small_lru_cache.num_sets == 4
+        assert small_lru_cache.associativity == 2
+
+    def test_rejects_mismatched_policy_geometry(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache("bad", 1024, 4, LRUPolicy(2, 2))
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache("bad", 3 * 64 * 2, 2, LRUPolicy(3, 2))
+
+    def test_set_index_and_tag_are_consistent(self, small_lru_cache):
+        cache = small_lru_cache
+        address = 0x12345
+        index = cache.set_index_of(address)
+        tag = cache.tag_of(address)
+        assert 0 <= index < cache.num_sets
+        reconstructed_line = (tag * cache.num_sets + index) * cache.line_size
+        assert reconstructed_line == address - (address % cache.line_size)
+
+
+class TestAccessAndFill:
+    def test_miss_then_fill_then_hit(self, small_lru_cache):
+        cache = small_lru_cache
+        request = instruction(0x1000)
+        assert not cache.access(request)
+        cache.fill(request)
+        assert cache.access(request)
+
+    def test_access_does_not_allocate(self, small_lru_cache):
+        cache = small_lru_cache
+        cache.access(instruction(0x1000))
+        assert not cache.contains(0x1000)
+
+    def test_fill_evicts_when_set_full(self, small_lru_cache):
+        cache = small_lru_cache
+        base = 0x0
+        stride = cache.num_sets * cache.line_size  # same set every time
+        victims = []
+        for i in range(3):
+            victim = cache.fill(instruction(base + i * stride))
+            victims.append(victim)
+        assert victims[0] is None and victims[1] is None
+        assert victims[2] is not None
+        assert victims[2].address == base
+
+    def test_refilling_resident_line_does_not_evict(self, small_lru_cache):
+        cache = small_lru_cache
+        cache.fill(instruction(0x1000))
+        assert cache.fill(instruction(0x1000)) is None
+        assert cache.stats.evictions == 0
+
+    def test_fill_records_block_metadata(self, small_lru_cache):
+        cache = small_lru_cache
+        cache.fill(instruction(0x2000, Temperature.HOT, pc=0x2000))
+        way = cache.probe(0x2000)
+        block = cache.blocks_in_set(cache.set_index_of(0x2000))[way]
+        assert block.is_instruction
+        assert block.temperature is Temperature.HOT
+
+    def test_store_hit_marks_dirty_and_writeback_counted(self, small_lru_cache):
+        cache = small_lru_cache
+        cache.fill(data_store(0x3000))
+        stride = cache.num_sets * cache.line_size
+        cache.fill(data_store(0x3000 + stride))
+        cache.fill(data_store(0x3000 + 2 * stride))  # evicts the dirty line
+        assert cache.stats.writebacks >= 1
+
+    def test_invalidate_removes_line(self, small_lru_cache):
+        cache = small_lru_cache
+        cache.fill(instruction(0x1000))
+        assert cache.invalidate(0x1000)
+        assert not cache.contains(0x1000)
+        assert not cache.invalidate(0x1000)
+
+    def test_reset_clears_contents_and_stats(self, small_lru_cache):
+        cache = small_lru_cache
+        cache.fill(instruction(0x1000))
+        cache.access(instruction(0x1000))
+        cache.reset()
+        assert not cache.contains(0x1000)
+        assert cache.stats.demand_accesses == 0
+
+
+class TestStats:
+    def test_demand_and_prefetch_streams_counted_separately(self, small_lru_cache):
+        cache = small_lru_cache
+        cache.access(instruction(0x1000))
+        cache.access(instruction(0x1000, is_prefetch=True))
+        assert cache.stats.demand_accesses == 1
+        assert cache.stats.prefetch_accesses == 1
+
+    def test_instruction_and_data_misses_split(self, small_srrip_cache):
+        cache = small_srrip_cache
+        cache.access(instruction(0x1000))
+        cache.access(data_store(0x2000))
+        assert cache.stats.inst_misses == 1
+        assert cache.stats.data_misses == 1
+        assert cache.stats.demand_misses == 2
+
+    def test_hit_rate_and_mpki(self, small_srrip_cache):
+        cache = small_srrip_cache
+        cache.fill(instruction(0x1000))
+        cache.access(instruction(0x1000))
+        cache.access(instruction(0x9000))
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+        assert cache.stats.mpki(1000) == pytest.approx(1.0)
+        assert cache.stats.mpki(0) == 0.0

@@ -1,0 +1,153 @@
+"""Unit tests for repro.common: temperature, addressing, requests, traces."""
+
+import pytest
+
+from repro.common.addressing import (
+    CACHE_LINE_SIZE,
+    align_down,
+    align_up,
+    is_power_of_two,
+    line_address,
+    line_index,
+    line_offset,
+    page_number,
+    page_offset,
+)
+from repro.common.errors import ConfigurationError, ReproError, SimulationError
+from repro.common.request import AccessResult, AccessType, HitLevel, MemoryRequest
+from repro.common.temperature import TEMPERATURE_NAMES, Temperature
+from repro.common.trace import TraceRecord
+from repro.common.translation import IdentityTranslator
+
+
+class TestTemperature:
+    def test_round_trip_through_pte_bits(self):
+        for temperature in Temperature:
+            assert Temperature.from_bits(temperature.to_bits()) is temperature
+
+    def test_none_is_not_tagged(self):
+        assert not Temperature.NONE.is_tagged
+
+    def test_hot_warm_cold_are_tagged(self):
+        for temperature in (Temperature.HOT, Temperature.WARM, Temperature.COLD):
+            assert temperature.is_tagged
+
+    def test_from_bits_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Temperature.from_bits(4)
+
+    def test_order_is_hot_warm_cold(self):
+        assert Temperature.order() == (
+            Temperature.HOT,
+            Temperature.WARM,
+            Temperature.COLD,
+        )
+
+    def test_every_temperature_has_a_name(self):
+        assert set(TEMPERATURE_NAMES) == set(Temperature)
+
+
+class TestAddressing:
+    def test_line_address_masks_offset(self):
+        assert line_address(0x1234) == 0x1234 - (0x1234 % CACHE_LINE_SIZE)
+
+    def test_line_address_of_aligned_address_is_identity(self):
+        assert line_address(0x4000) == 0x4000
+
+    def test_line_index_and_offset_recompose(self):
+        address = 0xABCDE
+        assert line_index(address) * CACHE_LINE_SIZE + line_offset(address) == address
+
+    def test_page_number_and_offset_recompose(self):
+        address = 0x12345678
+        assert page_number(address) * 4096 + page_offset(address) == address
+
+    def test_align_up_and_down(self):
+        assert align_up(100, 64) == 128
+        assert align_up(128, 64) == 128
+        assert align_down(100, 64) == 64
+        assert align_down(128, 64) == 128
+
+    def test_align_rejects_non_positive_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+        with pytest.raises(ValueError):
+            align_down(10, -1)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(96)
+
+
+class TestMemoryRequest:
+    def test_instruction_request_properties(self):
+        request = MemoryRequest(0x100, AccessType.INSTRUCTION_FETCH)
+        assert request.is_instruction
+        assert not request.is_write
+
+    def test_store_request_is_write(self):
+        request = MemoryRequest(0x100, AccessType.DATA_STORE)
+        assert request.is_write
+        assert not request.is_instruction
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(-1, AccessType.DATA_LOAD)
+
+    def test_as_prefetch_retargets_address(self):
+        request = MemoryRequest(0x100, AccessType.INSTRUCTION_FETCH)
+        prefetch = request.as_prefetch(0x200)
+        assert prefetch.is_prefetch
+        assert prefetch.address == 0x200
+        assert not request.is_prefetch  # original is unchanged (frozen)
+
+    def test_with_temperature_returns_tagged_copy(self):
+        request = MemoryRequest(0x100, AccessType.INSTRUCTION_FETCH)
+        tagged = request.with_temperature(Temperature.HOT)
+        assert tagged.temperature is Temperature.HOT
+        assert request.temperature is Temperature.NONE
+
+    def test_with_starvation_hint(self):
+        request = MemoryRequest(0x100, AccessType.INSTRUCTION_FETCH)
+        assert request.with_starvation_hint().starvation_hint
+
+
+class TestHitLevelAndResult:
+    def test_l2_miss_definition(self):
+        assert HitLevel.SLC.is_l2_miss
+        assert HitLevel.DRAM.is_l2_miss
+        assert not HitLevel.L2.is_l2_miss
+        assert not HitLevel.L1.is_l2_miss
+
+    def test_access_result_flags(self):
+        request = MemoryRequest(0x40, AccessType.DATA_LOAD)
+        result = AccessResult(request=request, hit_level=HitLevel.DRAM, latency=400)
+        assert result.l2_miss
+        assert result.dram_access
+
+
+class TestTraceRecord:
+    def test_memory_property(self):
+        assert TraceRecord(pc=0x100, mem_address=0x2000).is_memory
+        assert not TraceRecord(pc=0x100).is_memory
+
+    def test_rejects_invalid_fields(self):
+        with pytest.raises(ValueError):
+            TraceRecord(pc=-4)
+        with pytest.raises(ValueError):
+            TraceRecord(pc=0, size=0)
+
+
+class TestIdentityTranslator:
+    def test_identity_translation_is_untagged(self):
+        translator = IdentityTranslator()
+        assert translator.translate_instruction(0x1234) == (0x1234, Temperature.NONE)
+        assert translator.translate_data(0x5678) == (0x5678, Temperature.NONE)
+
+
+class TestErrors:
+    def test_error_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(SimulationError, ReproError)

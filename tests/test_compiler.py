@@ -1,0 +1,231 @@
+"""Unit tests for the synthetic compiler / PGO substrate."""
+
+import pytest
+
+from repro.common.errors import CompilationError
+from repro.common.temperature import Temperature
+from repro.compiler.classify import ClassifierConfig, TemperatureClassifier
+from repro.compiler.ir import BasicBlock, BlockId, Function, Program, make_function
+from repro.compiler.layout import CodeLayoutEngine, LayoutConfig
+from repro.compiler.pgo import PGOCompiler
+from repro.compiler.profile import InstrumentationProfile
+
+
+def simple_program() -> Program:
+    return Program(
+        name="demo",
+        functions=[
+            make_function("main", [64, 64, 64]),
+            make_function("helper", [64, 64]),
+            make_function("error_path", [64]),
+        ],
+        external_code_bytes=4096,
+    )
+
+
+def simple_profile(program: Program) -> InstrumentationProfile:
+    profile = InstrumentationProfile("demo")
+    for index in range(3):
+        profile.record(BlockId("main", index), 10_000)
+    for index in range(2):
+        profile.record(BlockId("helper", index), 50)
+    # error_path never executes.
+    return profile
+
+
+class TestIR:
+    def test_program_sizes(self):
+        program = simple_program()
+        assert program.size_bytes == 6 * 64
+        assert program.num_blocks == 6
+
+    def test_duplicate_function_names_rejected(self):
+        with pytest.raises(CompilationError):
+            Program(name="dup", functions=[make_function("f", [64]), make_function("f", [64])])
+
+    def test_zero_sized_block_rejected(self):
+        with pytest.raises(CompilationError):
+            BasicBlock(BlockId("f", 0), 0)
+
+    def test_block_lookup(self):
+        program = simple_program()
+        block = program.block(BlockId("helper", 1))
+        assert block.size_bytes == 64
+        with pytest.raises(KeyError):
+            program.function("missing")
+
+
+class TestProfile:
+    def test_record_and_merge(self):
+        a = InstrumentationProfile("demo")
+        a.record(BlockId("main", 0), 5)
+        b = InstrumentationProfile("demo")
+        b.record(BlockId("main", 0), 7)
+        b.record(BlockId("main", 1), 1)
+        merged = a.merge(b)
+        assert merged.count(BlockId("main", 0)) == 12
+        assert merged.count(BlockId("main", 1)) == 1
+        assert merged.total_count == 13
+
+    def test_negative_counts_rejected(self):
+        profile = InstrumentationProfile("demo")
+        with pytest.raises(CompilationError):
+            profile.record(BlockId("main", 0), -1)
+
+    def test_validation_against_program(self):
+        program = simple_program()
+        profile = InstrumentationProfile("demo")
+        profile.record(BlockId("ghost", 0), 1)
+        with pytest.raises(CompilationError):
+            profile.validate_against(program)
+
+    def test_from_execution(self):
+        profile = InstrumentationProfile.from_execution(
+            "demo", [BlockId("main", 0), BlockId("main", 0), BlockId("main", 1)]
+        )
+        assert profile.count(BlockId("main", 0)) == 2
+        assert profile.covered_blocks() == {BlockId("main", 0), BlockId("main", 1)}
+
+
+class TestClassification:
+    def test_hot_warm_cold_split(self):
+        program = simple_program()
+        profile = simple_profile(program)
+        classifier = TemperatureClassifier(
+            ClassifierConfig(percentile_hot=0.99, percentile_cold=0.9999)
+        )
+        result = classifier.classify(program, profile)
+        assert result.temperature(BlockId("main", 0)) is Temperature.HOT
+        assert result.temperature(BlockId("helper", 0)) is Temperature.WARM
+        assert result.temperature(BlockId("error_path", 0)) is Temperature.COLD
+
+    def test_percentile_100_marks_all_executed_code_hot(self):
+        program = simple_program()
+        profile = simple_profile(program)
+        classifier = TemperatureClassifier(
+            ClassifierConfig(percentile_hot=1.0, percentile_cold=1.0)
+        )
+        result = classifier.classify(program, profile)
+        assert result.temperature(BlockId("helper", 0)) is Temperature.HOT
+        assert result.temperature(BlockId("error_path", 0)) is Temperature.COLD
+
+    def test_low_percentile_shrinks_hot_set(self):
+        program = simple_program()
+        profile = simple_profile(program)
+        # Give one block a dominating count.
+        profile.record(BlockId("main", 0), 1_000_000)
+        classifier = TemperatureClassifier(ClassifierConfig(percentile_hot=0.10))
+        result = classifier.classify(program, profile)
+        hot_blocks = result.blocks_with(Temperature.HOT)
+        assert hot_blocks == {BlockId("main", 0)}
+
+    def test_empty_profile_marks_everything_cold(self):
+        program = simple_program()
+        classifier = TemperatureClassifier()
+        result = classifier.classify(program, InstrumentationProfile("demo"))
+        assert all(t is Temperature.COLD for t in result.temperatures.values())
+
+    def test_section_bytes_accounting(self):
+        program = simple_program()
+        profile = simple_profile(program)
+        result = TemperatureClassifier().classify(program, profile)
+        totals = result.section_bytes(program)
+        assert totals[Temperature.HOT] == 3 * 64
+        assert sum(totals.values()) == program.size_bytes
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(CompilationError):
+            ClassifierConfig(percentile_hot=0.0).validate()
+        with pytest.raises(CompilationError):
+            ClassifierConfig(percentile_hot=0.9, percentile_cold=0.5).validate()
+
+
+class TestLayoutAndELF:
+    def test_plain_layout_has_single_untagged_section(self):
+        program = simple_program()
+        image = CodeLayoutEngine().layout_plain(program)
+        assert [s.name for s in image.sections] == [".text"]
+        assert image.sections[0].temperature is Temperature.NONE
+        assert image.text_size == program.size_bytes
+
+    def test_pgo_layout_orders_hot_warm_cold(self):
+        program = simple_program()
+        profile = simple_profile(program)
+        compiler = PGOCompiler()
+        binary = compiler.compile_with_pgo(program, profile)
+        sections = {s.name: s for s in binary.image.sections}
+        assert sections[".text.hot"].vaddr < sections[".text.warm"].vaddr
+        assert sections[".text.warm"].vaddr < sections[".text.cold"].vaddr
+
+    def test_every_block_gets_a_unique_address(self):
+        program = simple_program()
+        profile = simple_profile(program)
+        binary = PGOCompiler().compile_with_pgo(program, profile)
+        addresses = list(binary.image.block_addresses.values())
+        assert len(addresses) == len(set(addresses)) == program.num_blocks
+
+    def test_temperature_of_address_matches_sections(self):
+        program = simple_program()
+        profile = simple_profile(program)
+        binary = PGOCompiler().compile_with_pgo(program, profile)
+        hot_address = binary.block_address(BlockId("main", 0))
+        assert binary.image.temperature_of_address(hot_address) is Temperature.HOT
+        cold_address = binary.block_address(BlockId("error_path", 0))
+        assert binary.image.temperature_of_address(cold_address) is Temperature.COLD
+
+    def test_external_region_is_disjoint_from_sections(self):
+        program = simple_program()
+        binary = PGOCompiler().compile_without_pgo(program)
+        image = binary.image
+        assert image.external_size == 4096
+        low, high = image.address_range()
+        assert image.external_base >= high
+        assert image.is_external(image.external_base)
+        assert not image.is_external(low)
+
+    def test_page_padding_aligns_sections(self):
+        program = simple_program()
+        profile = simple_profile(program)
+        compiler = PGOCompiler(
+            layout_config=LayoutConfig(pad_sections_to_page=True, page_size=4096)
+        )
+        binary = compiler.compile_with_pgo(program, profile)
+        for section in binary.image.sections:
+            assert section.vaddr % 4096 == 0
+
+    def test_program_headers_carry_temperature(self):
+        program = simple_program()
+        profile = simple_profile(program)
+        binary = PGOCompiler().compile_with_pgo(program, profile)
+        temps = {header.temperature for header in binary.image.program_headers}
+        assert Temperature.HOT in temps
+
+    def test_hot_section_ranges_exposed(self):
+        program = simple_program()
+        profile = simple_profile(program)
+        binary = PGOCompiler().compile_with_pgo(program, profile)
+        ranges = binary.hot_section_ranges
+        assert len(ranges) == 1
+        start, end = ranges[0]
+        assert end - start == 3 * 64
+
+    def test_binary_size_grows_with_text(self):
+        program = simple_program()
+        binary = PGOCompiler().compile_without_pgo(program)
+        assert binary.image.binary_size > binary.image.text_size
+
+
+class TestPGOCompiler:
+    def test_without_profile_no_temperature_map(self):
+        binary = PGOCompiler().compile_without_pgo(simple_program())
+        assert not binary.pgo_applied
+        assert binary.temperature_map is None
+        assert binary.block_temperature(BlockId("main", 0)) is Temperature.NONE
+
+    def test_with_profile_records_everything(self):
+        program = simple_program()
+        profile = simple_profile(program)
+        binary = PGOCompiler().compile_with_pgo(program, profile)
+        assert binary.pgo_applied
+        assert binary.block_temperature(BlockId("main", 0)) is Temperature.HOT
+        assert binary.profile is profile

@@ -1,0 +1,252 @@
+"""Unit tests for the CPU model: branch prediction, frontend, backend, core."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, CacheLevelConfig, HierarchyConfig
+from repro.common.temperature import Temperature
+from repro.common.trace import TraceRecord
+from repro.cpu.backend import BackendConfig, BackendModel
+from repro.cpu.branch import BranchPredictionUnit, BranchPredictorConfig
+from repro.cpu.core import CoreConfig, CoreModel
+from repro.cpu.frontend import FetchEngine, FrontendConfig
+from repro.cpu.topdown import TopDownBreakdown
+
+
+def small_hierarchy() -> CacheHierarchy:
+    config = HierarchyConfig(
+        l1i=CacheLevelConfig(size_bytes=512, associativity=2, latency=3, policy="lru"),
+        l1d=CacheLevelConfig(size_bytes=512, associativity=2, latency=3, policy="lru"),
+        l2=CacheLevelConfig(size_bytes=2048, associativity=4, latency=12, policy="srrip"),
+        slc=CacheLevelConfig(size_bytes=4096, associativity=4, latency=30, policy="lru"),
+        dram_latency=400,
+    )
+    return CacheHierarchy(config)
+
+
+def branch(pc, taken=True, target=0x2000, **kw):
+    return TraceRecord(pc=pc, is_branch=True, branch_taken=taken, branch_target=target, **kw)
+
+
+class TestBranchPredictor:
+    def test_repeated_branch_becomes_predictable(self):
+        unit = BranchPredictionUnit()
+        record = branch(0x100, taken=True, target=0x300)
+        for _ in range(20):
+            unit.predict_and_update(record)
+        outcome = unit.predict_and_update(record)
+        assert not outcome.mispredicted
+
+    def test_btb_miss_counts_as_target_misprediction(self):
+        unit = BranchPredictionUnit()
+        outcome = unit.predict_and_update(branch(0x100, taken=True, target=0x900))
+        assert outcome.mispredicted
+
+    def test_random_directions_are_hard(self):
+        import random as _random
+
+        rng = _random.Random(42)
+        unit = BranchPredictionUnit()
+        mispredictions = 0
+        for _ in range(128):
+            record = branch(0x100, taken=rng.random() < 0.5, target=0x300)
+            if unit.predict_and_update(record).mispredicted:
+                mispredictions += 1
+        # Data-dependent random directions cannot be captured by history.
+        assert mispredictions > 20
+
+    def test_loop_predictor_learns_trip_count(self):
+        unit = BranchPredictionUnit()
+        # A loop branch taken exactly 5 times then not taken, repeatedly.
+        mispredicts_late = 0
+        for repeat in range(30):
+            for i in range(6):
+                record = branch(0x200, taken=(i < 5), target=0x200)
+                outcome = unit.predict_and_update(record)
+                if repeat > 20:
+                    mispredicts_late += outcome.mispredicted
+        # Once the trip count is learned the exit is predicted too.
+        assert mispredicts_late <= 2
+
+    def test_indirect_branches_use_indirect_btb(self):
+        unit = BranchPredictionUnit()
+        record = branch(0x400, taken=True, target=0x5000, is_indirect=True)
+        for _ in range(10):
+            unit.predict_and_update(record)
+        assert not unit.predict_and_update(record).mispredicted
+
+    def test_non_branch_record_rejected(self):
+        unit = BranchPredictionUnit()
+        with pytest.raises(ValueError):
+            unit.predict_and_update(TraceRecord(pc=0x100))
+
+    def test_stats_accumulate(self):
+        unit = BranchPredictionUnit()
+        for i in range(10):
+            unit.predict_and_update(branch(0x100 + 4 * i, taken=True, target=0x900))
+        assert unit.stats.branches == 10
+        assert 0.0 <= unit.stats.accuracy <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(btb_entries=0).validate()
+
+
+class TestFetchEngine:
+    def test_fdip_lead_hides_part_of_the_latency(self):
+        hierarchy = small_hierarchy()
+        engine = FetchEngine(hierarchy, config=FrontendConfig(fdip_lead_cycles=8))
+        outcome = engine.fetch_line(0x1000)
+        expected = (3 + 12 + 30 + 400) - 3 - 8
+        assert outcome.stall_cycles == pytest.approx(expected)
+
+    def test_l1_hits_do_not_stall(self):
+        hierarchy = small_hierarchy()
+        engine = FetchEngine(hierarchy)
+        engine.fetch_line(0x1000)
+        outcome = engine.fetch_line(0x1000)
+        assert outcome.stall_cycles == 0.0
+
+    def test_starved_lines_are_remembered_for_emissary(self):
+        hierarchy = small_hierarchy()
+        engine = FetchEngine(hierarchy)
+        outcome = engine.fetch_line(0x1000)
+        assert outcome.caused_starvation
+        assert 0x1000 in engine.starved_lines()
+
+    def test_line_stall_accounting_feeds_figure7(self):
+        hierarchy = small_hierarchy()
+        engine = FetchEngine(hierarchy)
+        engine.fetch_line(0x1000)
+        assert engine.line_stall_cycles[0x1000] > 0
+        assert engine.line_miss_counts[0x1000] == 1
+
+    def test_reset_clears_state(self):
+        hierarchy = small_hierarchy()
+        engine = FetchEngine(hierarchy)
+        engine.fetch_line(0x1000)
+        engine.reset()
+        assert not engine.starved_lines()
+        assert engine.stats.demand_fetches == 0
+
+
+class TestBackend:
+    def test_short_latencies_fully_hidden(self):
+        hierarchy = small_hierarchy()
+        backend = BackendModel(hierarchy, config=BackendConfig(hide_latency=50))
+        hierarchy.access_data(
+            __import__("tests.conftest", fromlist=["data_load"]).data_load(0x9000)
+        )
+        outcome = backend.access_data(0x9000, pc=0x100, is_store=False)
+        assert outcome.stall_cycles == 0.0
+
+    def test_long_latencies_partially_exposed(self):
+        hierarchy = small_hierarchy()
+        backend = BackendModel(
+            hierarchy, config=BackendConfig(hide_latency=20, overlap_fraction=0.5)
+        )
+        outcome = backend.access_data(0xA000, pc=0x100, is_store=False)
+        expected = (445 - 20) * 0.5
+        assert outcome.stall_cycles == pytest.approx(expected)
+
+    def test_stores_expose_half_the_stall(self):
+        hierarchy = small_hierarchy()
+        backend = BackendModel(
+            hierarchy, config=BackendConfig(hide_latency=20, overlap_fraction=0.5)
+        )
+        load = backend.access_data(0xB000, pc=0x100, is_store=False)
+        store = backend.access_data(0xC000, pc=0x104, is_store=True)
+        assert store.stall_cycles == pytest.approx(load.stall_cycles * 0.5)
+
+    def test_negative_synthetic_stalls_rejected(self):
+        backend = BackendModel(small_hierarchy())
+        with pytest.raises(ValueError):
+            backend.charge_depend_stall(-1)
+
+
+class TestTopDown:
+    def test_fractions_sum_to_one(self):
+        breakdown = TopDownBreakdown(retire=10, ifetch=5, mem=5)
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_unknown_category_rejected(self):
+        breakdown = TopDownBreakdown()
+        with pytest.raises(KeyError):
+            breakdown.add("speculation", 1.0)
+        with pytest.raises(KeyError):
+            breakdown.fraction("speculation")
+
+    def test_merge_and_scale(self):
+        a = TopDownBreakdown(retire=1.0, ifetch=2.0)
+        b = TopDownBreakdown(retire=3.0, mem=1.0)
+        merged = a.merge(b)
+        assert merged.retire == 4.0
+        assert merged.ifetch == 2.0
+        scaled = merged.scaled(0.5)
+        assert scaled.retire == 2.0
+
+    def test_frontend_bound_fraction(self):
+        breakdown = TopDownBreakdown(retire=5.0, ifetch=4.0, mispred=1.0)
+        assert breakdown.frontend_bound == pytest.approx(0.5)
+
+
+class TestCoreModel:
+    def test_straight_line_code_is_retire_dominated_after_warmup(self):
+        hierarchy = small_hierarchy()
+        core = CoreModel(hierarchy, config=CoreConfig())
+        trace = [TraceRecord(pc=0x1000 + 4 * i) for i in range(64)]
+        core.run(iter(trace))  # warm caches
+        result = core.run(iter(trace))
+        assert result.instructions == 64
+        assert result.topdown.retire > 0
+        assert result.topdown.ifetch == 0.0
+
+    def test_branch_mispredictions_charge_penalty(self):
+        hierarchy = small_hierarchy()
+        core = CoreModel(hierarchy)
+        trace = [
+            TraceRecord(
+                pc=0x1000,
+                is_branch=True,
+                branch_taken=True,
+                branch_target=0x8000,
+            )
+        ]
+        result = core.run(iter(trace))
+        assert result.branch_mispredictions == 1
+        assert result.topdown.mispred == pytest.approx(
+            core.config.branch.mispredict_penalty
+        )
+
+    def test_synthetic_stalls_accounted(self):
+        hierarchy = small_hierarchy()
+        core = CoreModel(hierarchy)
+        trace = [TraceRecord(pc=0x1000, depend_stall=3, issue_stall=2)]
+        result = core.run(iter(trace))
+        assert result.topdown.depend == pytest.approx(3.0)
+        assert result.topdown.issue == pytest.approx(2.0)
+
+    def test_memory_records_touch_the_data_path(self):
+        hierarchy = small_hierarchy()
+        core = CoreModel(hierarchy)
+        trace = [TraceRecord(pc=0x1000, mem_address=0xF000)]
+        core.run(iter(trace))
+        assert hierarchy.stats.data_accesses == 1
+
+    def test_each_run_reports_only_its_own_window(self):
+        hierarchy = small_hierarchy()
+        core = CoreModel(hierarchy)
+        trace = [
+            TraceRecord(pc=0x1000, is_branch=True, branch_taken=True, branch_target=0x2000)
+        ]
+        first = core.run(iter(trace))
+        second = core.run(iter(trace))
+        assert first.branches == 1
+        assert second.branches == 1
+        assert second.instructions == 1
+
+    def test_ipc_and_cpi_consistency(self):
+        hierarchy = small_hierarchy()
+        core = CoreModel(hierarchy)
+        trace = [TraceRecord(pc=0x1000 + 4 * i) for i in range(32)]
+        result = core.run(iter(trace))
+        assert result.ipc == pytest.approx(1.0 / result.cpi)

@@ -1,0 +1,155 @@
+"""Tests for the experiment harness (fast tables + miniature sweeps)."""
+
+import pytest
+
+from repro.common.temperature import Temperature
+from repro.experiments import (
+    BenchmarkRunner,
+    format_figure3,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+    format_topdown_rows,
+    run_table1,
+    run_table2,
+    run_table4,
+    run_table5,
+)
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.sweep import run_policy_sweep
+from repro.experiments.topdown_figures import run_figure1, run_figure2
+from repro.sim.config import SimulatorConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_runner(request):
+    """A shared runner over the miniature workload (keeps module fast)."""
+    from tests.conftest import tiny_spec as tiny_spec_fixture  # reuse definition
+
+    # Build the tiny spec directly (fixtures cannot be called across scopes).
+    from repro.workloads.spec import WorkloadSpec
+
+    spec = WorkloadSpec(
+        name="tinybench",
+        category="proxy",
+        description="miniature workload for experiment tests",
+        hot_functions=8,
+        warm_functions=4,
+        cold_functions=8,
+        blocks_per_hot_function=4,
+        blocks_per_warm_function=3,
+        blocks_per_cold_function=3,
+        internal_cold_blocks=2,
+        external_code_kb=4,
+        external_call_rate=0.05,
+        data_access_rate=0.25,
+        data_stream_kb=8,
+        data_reuse_kb=4,
+        eval_instructions=6_000,
+        warmup_instructions=2_000,
+        training_iterations=3,
+        seed=99,
+    )
+    return spec, BenchmarkRunner(config=SimulatorConfig.scaled())
+
+
+class TestStaticTables:
+    def test_table1_rows_and_formatting(self):
+        rows = run_table1()
+        assert len(rows) == 7
+        text = format_table1(rows)
+        assert "TRRIP" not in text  # baseline config uses SRRIP at the L2
+        assert "512kB" in text
+
+    def test_table2_covers_all_benchmarks(self):
+        rows = run_table2()
+        assert len(rows) == 10
+        assert "sqlite" in format_table2(rows)
+
+    def test_table4_reports_four_mechanisms(self):
+        reports = run_table4()
+        assert [r.mechanism for r in reports] == ["trrip", "clip", "emissary", "ship"]
+        assert "Mechanism" in format_table4(reports)
+
+    def test_table5_page_counts_positive(self):
+        rows = run_table5(benchmarks=["bullet", "sqlite"])
+        assert len(rows) == 2
+        for row in rows:
+            assert row.pages_4k[0] >= 1
+            assert row.pages_4k[0] >= row.pages_16k[0]
+            assert row.pages_16k[0] >= row.pages_2m[0]
+            assert row.binary_size_bytes > 0
+        assert "Benchmark" in format_table5(rows)
+
+
+class TestSimulationExperiments:
+    def test_policy_sweep_on_tiny_benchmark(self, tiny_runner):
+        spec, runner = tiny_runner
+        sweep = run_policy_sweep(
+            benchmarks=[spec], policies=["trrip-1"], runner=runner
+        )
+        benchmark_name = sweep.benchmarks[0]
+        assert sweep.result(benchmark_name, "trrip-1").policy == "trrip-1"
+        assert isinstance(sweep.geomean_speedup("trrip-1"), float)
+        assert "geomean" in format_figure6(sweep)
+        assert "L2 MPKI" in format_table3(sweep)
+
+    def test_figure1_and_2_topdown_rows(self, tiny_runner):
+        spec, runner = tiny_runner
+        fig1 = run_figure1(components=[spec], runner=runner)
+        assert len(fig1) == 1
+        assert fig1[0].pgo_applied
+        fig2 = run_figure2(benchmarks=[spec], runner=runner)
+        assert len(fig2) == 2
+        labels = [row.label for row in fig2]
+        assert labels[0] + "*" == labels[1]
+        for row in fig1 + fig2:
+            assert sum(row.fractions.values()) == pytest.approx(1.0)
+        assert "retire" in format_topdown_rows(fig2)
+
+    def test_figure3_reuse_rows(self, tiny_runner):
+        spec, runner = tiny_runner
+        rows = run_figure3(benchmarks=[spec], runner=runner)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.base_accesses >= row.hot_only_accesses >= 0
+        if row.base_accesses:
+            assert sum(row.base.values()) == pytest.approx(1.0)
+        assert "~" in format_figure3(rows)
+
+    def test_figure7_coverage_rows(self, tiny_runner):
+        spec, runner = tiny_runner
+        rows = run_figure7(benchmarks=[spec], runner=runner)
+        assert len(rows) == 1
+        row = rows[0]
+        for percentile, value in row.including_external.coverage_percent.items():
+            assert 0.0 <= value <= 100.0
+        for percentile in row.excluding_external.coverage_percent:
+            assert (
+                row.excluding_external.coverage_percent[percentile]
+                >= row.including_external.coverage_percent[percentile] - 1e-9
+            )
+        assert "Figure 7a" in format_figure7(rows)
+
+    def test_figure8_threshold_points(self, tiny_runner):
+        spec, runner = tiny_runner
+        from repro.experiments.figure8 import run_figure8
+
+        points = run_figure8(
+            benchmarks=[spec], thresholds=[0.10, 1.0], runner=runner
+        )
+        assert len(points) == 2
+        low, high = points
+        assert low.percentile_hot == 0.10
+        # A higher threshold never shrinks the hot text fraction.
+        assert (
+            high.text_fractions[Temperature.HOT]
+            >= low.text_fractions[Temperature.HOT]
+        )
+        assert "pct_hot" in format_figure8(points)

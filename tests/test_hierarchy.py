@@ -1,0 +1,156 @@
+"""Unit tests for the cache hierarchy (L1s, L2, SLC, DRAM)."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, CacheLevelConfig, HierarchyConfig
+from repro.common.errors import ConfigurationError
+from repro.common.request import HitLevel
+from tests.conftest import data_load, instruction
+
+
+def tiny_hierarchy(l2_policy: str = "srrip", slc_exclusive: bool = True) -> CacheHierarchy:
+    config = HierarchyConfig(
+        l1i=CacheLevelConfig(size_bytes=512, associativity=2, latency=3, policy="lru"),
+        l1d=CacheLevelConfig(size_bytes=512, associativity=2, latency=3, policy="lru"),
+        l2=CacheLevelConfig(size_bytes=2048, associativity=4, latency=12, policy=l2_policy),
+        slc=CacheLevelConfig(size_bytes=4096, associativity=4, latency=30, policy="lru"),
+        dram_latency=400,
+        slc_exclusive=slc_exclusive,
+    )
+    return CacheHierarchy(config)
+
+
+class TestAccessPath:
+    def test_cold_miss_goes_to_dram(self):
+        hierarchy = tiny_hierarchy()
+        result = hierarchy.access_instruction(instruction(0x1000))
+        assert result.hit_level is HitLevel.DRAM
+        assert result.latency == 3 + 12 + 30 + 400
+
+    def test_second_access_hits_l1(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_instruction(instruction(0x1000))
+        result = hierarchy.access_instruction(instruction(0x1000))
+        assert result.hit_level is HitLevel.L1
+        assert result.latency == 3
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_instruction(instruction(0x1000))
+        # Evict 0x1000 from the tiny L1I by filling its set (same L1I set).
+        l1_stride = hierarchy.l1i.num_sets * 64
+        hierarchy.access_instruction(instruction(0x1000 + l1_stride))
+        hierarchy.access_instruction(instruction(0x1000 + 2 * l1_stride))
+        result = hierarchy.access_instruction(instruction(0x1000))
+        assert result.hit_level is HitLevel.L2
+
+    def test_data_and_instruction_paths_use_separate_l1s(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_instruction(instruction(0x1000))
+        result = hierarchy.access_data(data_load(0x1000))
+        assert result.hit_level is not HitLevel.L1  # not in the L1D
+        assert hierarchy.l1d.contains(0x1000)
+
+    def test_wrong_path_type_rejected(self):
+        hierarchy = tiny_hierarchy()
+        with pytest.raises(ValueError):
+            hierarchy.access_instruction(data_load(0x0))
+        with pytest.raises(ValueError):
+            hierarchy.access_data(instruction(0x0))
+
+
+class TestInclusionAndExclusion:
+    def test_l2_eviction_back_invalidates_l1(self):
+        hierarchy = tiny_hierarchy()
+        target = 0x1000
+        hierarchy.access_instruction(instruction(target))
+        assert hierarchy.l1i.contains(target)
+        # Thrash the L2 set containing target with data lines until evicted.
+        l2_stride = hierarchy.l2.num_sets * 64
+        addr = target + l2_stride
+        while hierarchy.l2.contains(target):
+            hierarchy.access_data(data_load(addr))
+            addr += l2_stride
+        assert not hierarchy.l1i.contains(target)
+
+    def test_l2_victims_are_installed_in_exclusive_slc(self):
+        hierarchy = tiny_hierarchy()
+        target = 0x1000
+        hierarchy.access_instruction(instruction(target))
+        l2_stride = hierarchy.l2.num_sets * 64
+        addr = target + l2_stride
+        while hierarchy.l2.contains(target):
+            hierarchy.access_data(data_load(addr))
+            addr += l2_stride
+        assert hierarchy.slc.contains(target)
+
+    def test_slc_hit_promotes_back_to_l2_and_invalidates_slc_copy(self):
+        hierarchy = tiny_hierarchy()
+        target = 0x1000
+        hierarchy.access_instruction(instruction(target))
+        l2_stride = hierarchy.l2.num_sets * 64
+        addr = target + l2_stride
+        while hierarchy.l2.contains(target):
+            hierarchy.access_data(data_load(addr))
+            addr += l2_stride
+        result = hierarchy.access_instruction(instruction(target))
+        assert result.hit_level is HitLevel.SLC
+        assert hierarchy.l2.contains(target)
+        assert not hierarchy.slc.contains(target)
+
+    def test_non_exclusive_slc_fills_on_dram_access(self):
+        hierarchy = tiny_hierarchy(slc_exclusive=False)
+        hierarchy.access_instruction(instruction(0x1000))
+        assert hierarchy.slc.contains(0x1000)
+
+
+class TestStatsAndObserver:
+    def test_l2_miss_accounting_by_stream(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_instruction(instruction(0x1000))
+        hierarchy.access_data(data_load(0x8000))
+        assert hierarchy.stats.l2_inst_misses == 1
+        assert hierarchy.stats.l2_data_misses == 1
+        assert hierarchy.stats.dram_accesses == 2
+
+    def test_mpki_helpers(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_instruction(instruction(0x1000))
+        assert hierarchy.stats.l2_inst_mpki(1000) == pytest.approx(1.0)
+        assert hierarchy.stats.l2_data_mpki(1000) == 0.0
+
+    def test_observer_sees_demand_l2_accesses(self):
+        hierarchy = tiny_hierarchy()
+        seen = []
+        hierarchy.l2_access_observer = lambda request, hit: seen.append(
+            (request.address, hit)
+        )
+        hierarchy.access_instruction(instruction(0x1000))  # L1 miss -> L2 access
+        hierarchy.access_instruction(instruction(0x1000))  # L1 hit -> no L2 access
+        assert len(seen) == 1
+        assert seen[0] == (0x1000, False)
+
+    def test_reset_stats_keeps_contents(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_instruction(instruction(0x1000))
+        hierarchy.reset_stats()
+        assert hierarchy.stats.instruction_fetches == 0
+        assert hierarchy.l2.contains(0x1000)
+
+    def test_full_reset_clears_contents(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_instruction(instruction(0x1000))
+        hierarchy.reset()
+        assert not hierarchy.l2.contains(0x1000)
+
+
+class TestValidation:
+    def test_invalid_level_config_rejected(self):
+        config = HierarchyConfig(
+            l1i=CacheLevelConfig(size_bytes=0, associativity=2, latency=3),
+            l1d=CacheLevelConfig(size_bytes=512, associativity=2, latency=3),
+            l2=CacheLevelConfig(size_bytes=2048, associativity=4, latency=12),
+            slc=CacheLevelConfig(size_bytes=4096, associativity=4, latency=30),
+        )
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(config)

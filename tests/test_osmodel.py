@@ -1,0 +1,178 @@
+"""Unit tests for the OS substrate: pages, page table, loader, MMU."""
+
+import pytest
+
+from repro.common.errors import LoaderError, SimulationError
+from repro.common.temperature import Temperature
+from repro.compiler.ir import BlockId, Program, make_function
+from repro.compiler.pgo import PGOCompiler
+from repro.compiler.profile import InstrumentationProfile
+from repro.osmodel.loader import LoaderConfig, OverlapPolicy, ProgramLoader
+from repro.osmodel.mmu import MMU
+from repro.osmodel.page_table import PageTable
+from repro.osmodel.pages import (
+    PAGE_SIZE_4K,
+    PAGE_SIZE_16K,
+    PageTableEntry,
+    count_pages_by_temperature,
+    pages_spanned,
+)
+
+
+def compiled_demo(pad_sections: bool = False):
+    program = Program(
+        name="demo",
+        functions=[
+            make_function("hot_fn", [64] * 80),     # 5 kB of hot code
+            make_function("warm_fn", [64] * 40),    # 2.5 kB of warm code
+            make_function("cold_fn", [64] * 20),
+        ],
+        external_code_bytes=8192,
+    )
+    profile = InstrumentationProfile("demo")
+    for index in range(80):
+        profile.record(BlockId("hot_fn", index), 10_000)
+    for index in range(40):
+        profile.record(BlockId("warm_fn", index), 40)
+    from repro.compiler.layout import LayoutConfig
+
+    compiler = PGOCompiler(
+        layout_config=LayoutConfig(pad_sections_to_page=pad_sections)
+    )
+    return compiler.compile_with_pgo(program, profile)
+
+
+class TestPages:
+    def test_pte_round_trips_temperature(self):
+        entry = PageTableEntry(virtual_page=4, physical_frame=9)
+        entry.set_temperature(Temperature.WARM)
+        assert entry.temperature is Temperature.WARM
+
+    def test_pte_rejects_bad_attribute_bits(self):
+        with pytest.raises(LoaderError):
+            PageTableEntry(virtual_page=0, physical_frame=0, attribute_bits=7)
+
+    def test_pages_spanned(self):
+        assert pages_spanned(0, 4096, 4096) == 1
+        assert pages_spanned(100, 4096, 4096) == 2
+        assert pages_spanned(0, 0, 4096) == 0
+
+    def test_count_pages_by_temperature_rounds_up(self):
+        binary = compiled_demo()
+        counts_4k = count_pages_by_temperature(binary.image, PAGE_SIZE_4K)
+        counts_16k = count_pages_by_temperature(binary.image, PAGE_SIZE_16K)
+        assert counts_4k[Temperature.HOT] == 2  # 5 kB -> 2 pages
+        assert counts_16k[Temperature.HOT] == 1
+        assert counts_4k[Temperature.WARM] >= 1
+
+
+class TestPageTable:
+    def test_map_and_lookup(self):
+        table = PageTable()
+        entry = table.map_page(10, executable=True, temperature=Temperature.HOT)
+        assert table.lookup(10) is entry
+        assert table.is_mapped(10)
+        assert table.lookup(11) is None
+
+    def test_frames_are_unique(self):
+        table = PageTable()
+        frames = {table.map_page(vpn).physical_frame for vpn in range(32)}
+        assert len(frames) == 32
+
+    def test_remapping_updates_attributes(self):
+        table = PageTable()
+        table.map_page(5, temperature=Temperature.NONE)
+        entry = table.map_page(5, executable=True, temperature=Temperature.WARM)
+        assert entry.temperature is Temperature.WARM
+        assert table.entry_count() == 1
+
+    def test_pages_with_temperature(self):
+        table = PageTable()
+        table.map_page(1, temperature=Temperature.HOT)
+        table.map_page(2, temperature=Temperature.HOT)
+        table.map_page(3, temperature=Temperature.COLD)
+        assert table.pages_with_temperature(Temperature.HOT) == 2
+
+
+class TestLoader:
+    def test_loader_tags_code_pages(self):
+        binary = compiled_demo()
+        loaded = ProgramLoader().load(binary)
+        assert loaded.code_pages > 0
+        assert loaded.tagged_pages > 0
+        assert loaded.pages_by_temperature[Temperature.HOT] >= 1
+
+    def test_loader_maps_external_region_untagged(self):
+        binary = compiled_demo()
+        loaded = ProgramLoader().load(binary)
+        vpn = binary.image.external_base // 4096
+        entry = loaded.page_table.lookup(vpn)
+        assert entry is not None
+        assert entry.temperature is Temperature.NONE
+
+    def test_overlap_disable_policy_leaves_mixed_pages_untagged(self):
+        binary = compiled_demo()
+        majority = ProgramLoader(
+            LoaderConfig(overlap_policy=OverlapPolicy.MAJORITY)
+        ).load(binary)
+        disabled = ProgramLoader(
+            LoaderConfig(overlap_policy=OverlapPolicy.DISABLE)
+        ).load(binary)
+        assert disabled.tagged_pages <= majority.tagged_pages
+        assert disabled.mixed_temperature_pages == majority.mixed_temperature_pages
+
+    def test_first_policy_prefers_hotter_section(self):
+        binary = compiled_demo()
+        loaded = ProgramLoader(
+            LoaderConfig(overlap_policy=OverlapPolicy.FIRST)
+        ).load(binary)
+        assert loaded.pages_by_temperature[Temperature.HOT] >= 1
+
+    def test_padded_sections_have_no_mixed_pages(self):
+        binary = compiled_demo(pad_sections=True)
+        loaded = ProgramLoader().load(binary)
+        assert loaded.mixed_temperature_pages == 0
+
+    def test_temperature_propagation_can_be_disabled(self):
+        binary = compiled_demo()
+        loaded = ProgramLoader(LoaderConfig(propagate_temperature=False)).load(binary)
+        assert loaded.tagged_pages == 0
+
+
+class TestMMU:
+    def test_instruction_translation_carries_temperature(self):
+        binary = compiled_demo()
+        loaded = ProgramLoader().load(binary)
+        mmu = MMU(loaded.page_table)
+        hot_vaddr = binary.image.section(".text.hot").vaddr
+        paddr, temperature = mmu.translate_instruction(hot_vaddr)
+        assert temperature is Temperature.HOT
+        assert paddr % 4096 == hot_vaddr % 4096  # page offset preserved
+
+    def test_data_translations_are_never_tagged(self):
+        binary = compiled_demo()
+        loaded = ProgramLoader().load(binary)
+        mmu = MMU(loaded.page_table)
+        hot_vaddr = binary.image.section(".text.hot").vaddr
+        _, temperature = mmu.translate_data(hot_vaddr)
+        assert temperature is Temperature.NONE
+
+    def test_demand_paging_maps_unmapped_addresses(self):
+        mmu = MMU(PageTable())
+        paddr, temperature = mmu.translate_data(0x9000_0000)
+        assert temperature is Temperature.NONE
+        assert mmu.stats.demand_mappings == 1
+        # Same page again: no new mapping.
+        mmu.translate_data(0x9000_0008)
+        assert mmu.stats.demand_mappings == 1
+
+    def test_strict_mmu_raises_on_unmapped(self):
+        mmu = MMU(PageTable(), demand_paging=False)
+        with pytest.raises(SimulationError):
+            mmu.translate_instruction(0x1234_0000)
+
+    def test_translation_is_consistent_within_a_page(self):
+        mmu = MMU(PageTable())
+        paddr_a, _ = mmu.translate_data(0x5000)
+        paddr_b, _ = mmu.translate_data(0x5FFF)
+        assert paddr_b - paddr_a == 0xFFF

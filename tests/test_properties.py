@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement.dueling import SaturatingCounter
+from repro.cache.replacement.factory import available_policies, create_policy
+from repro.common.addressing import align_up, line_address, line_index
+from repro.common.request import AccessType, MemoryRequest
+from repro.common.temperature import Temperature
+from repro.compiler.classify import ClassifierConfig, TemperatureClassifier
+from repro.compiler.ir import BlockId, Program, make_function
+from repro.compiler.profile import InstrumentationProfile
+from repro.core.trrip import TRRIPPolicy
+from repro.cpu.topdown import TopDownBreakdown
+
+addresses = st.integers(min_value=0, max_value=2**40)
+temperatures = st.sampled_from(list(Temperature))
+access_types = st.sampled_from(list(AccessType))
+
+
+# ----------------------------------------------------------------- addressing
+@given(addresses)
+def test_line_address_is_aligned_and_below_original(address):
+    aligned = line_address(address)
+    assert aligned % 64 == 0
+    assert 0 <= address - aligned < 64
+    assert line_index(address) == aligned // 64
+
+
+@given(addresses, st.sampled_from([1, 2, 4, 64, 4096, 16384]))
+def test_align_up_is_aligned_and_minimal(address, alignment):
+    aligned = align_up(address, alignment)
+    assert aligned % alignment == 0
+    assert 0 <= aligned - address < alignment
+
+
+# ----------------------------------------------------------------- saturation
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.lists(st.booleans(), max_size=200),
+)
+def test_saturating_counter_stays_in_range(bits, steps):
+    counter = SaturatingCounter(bits=bits)
+    for up in steps:
+        counter.increment() if up else counter.decrement()
+        assert 0 <= counter.value <= counter.max_value
+
+
+# ---------------------------------------------------------------- replacement
+@st.composite
+def request_streams(draw):
+    count = draw(st.integers(min_value=1, max_value=120))
+    stream = []
+    for _ in range(count):
+        stream.append(
+            MemoryRequest(
+                address=draw(st.integers(min_value=0, max_value=64)) * 64,
+                access_type=draw(access_types),
+                pc=draw(st.integers(min_value=0, max_value=2**20)),
+                temperature=draw(temperatures),
+                starvation_hint=draw(st.booleans()),
+            )
+        )
+    return stream
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(st.sampled_from(sorted(available_policies())), request_streams())
+def test_every_policy_always_returns_a_legal_victim(policy_name, stream):
+    """Whatever the access pattern, victims must be legal way indices."""
+    policy = create_policy(policy_name, num_sets=4, num_ways=4)
+    occupancy = [[False] * 4 for _ in range(4)]
+    for request in stream:
+        set_index = (request.address // 64) % 4
+        free = next((w for w in range(4) if not occupancy[set_index][w]), None)
+        if free is not None:
+            occupancy[set_index][free] = True
+            policy.on_insert(set_index, free, request)
+        else:
+            victim = policy.select_victim(set_index, request)
+            assert 0 <= victim < 4
+            policy.on_evict(set_index, victim, request)
+            policy.on_insert(set_index, victim, request)
+
+
+@settings(max_examples=30, deadline=None)
+@given(request_streams())
+def test_trrip_rrpv_values_stay_in_range(stream):
+    policy = TRRIPPolicy(num_sets=4, num_ways=4, variant=2)
+    for i, request in enumerate(stream):
+        set_index = (request.address // 64) % 4
+        way = i % 4
+        policy.on_insert(set_index, way, request)
+        policy.on_hit(set_index, way, request)
+        assert 0 <= policy.rrpv(set_index, way) <= policy.rrpv_max
+
+
+# ---------------------------------------------------------------------- cache
+@settings(max_examples=30, deadline=None)
+@given(request_streams())
+def test_cache_invariants_under_arbitrary_streams(stream):
+    """No duplicate tags in a set; stats always reconcile."""
+    from repro.cache.replacement.rrip import SRRIPPolicy
+
+    cache = SetAssociativeCache("prop", 4096, 4, SRRIPPolicy(16, 4))
+    for request in stream:
+        hit = cache.access(request)
+        if not hit:
+            cache.fill(request)
+        assert cache.contains(request.address)
+    for set_index in range(cache.num_sets):
+        tags = [b.tag for b in cache.blocks_in_set(set_index) if b.valid]
+        assert len(tags) == len(set(tags))
+    stats = cache.stats
+    assert stats.demand_hits + stats.demand_misses == stats.demand_accesses
+    assert stats.inst_accesses + stats.data_accesses == stats.demand_accesses
+
+
+# ------------------------------------------------------------- classification
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=40),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+def test_classification_is_monotonic_in_counts(counts, percentile_hot):
+    """Blocks with larger counters never end up colder than smaller ones."""
+    program = Program(
+        name="prop", functions=[make_function("f", [64] * len(counts))]
+    )
+    profile = InstrumentationProfile("prop")
+    for index, count in enumerate(counts):
+        profile.record(BlockId("f", index), count)
+    classifier = TemperatureClassifier(
+        ClassifierConfig(percentile_hot=percentile_hot, percentile_cold=1.0)
+    )
+    result = classifier.classify(program, profile)
+    rank = {Temperature.HOT: 0, Temperature.WARM: 1, Temperature.COLD: 2}
+    pairs = sorted(
+        ((counts[i], rank[result.temperature(BlockId("f", i))]) for i in range(len(counts))),
+        key=lambda pair: pair[0],
+        reverse=True,
+    )
+    best_rank_so_far = 0
+    for _count, temperature_rank in pairs:
+        assert temperature_rank >= best_rank_so_far
+        best_rank_so_far = max(best_rank_so_far, temperature_rank)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=40))
+def test_percentile_100_marks_every_executed_block_hot(counts):
+    program = Program(name="prop", functions=[make_function("f", [64] * len(counts))])
+    profile = InstrumentationProfile("prop")
+    for index, count in enumerate(counts):
+        profile.record(BlockId("f", index), count)
+    classifier = TemperatureClassifier(
+        ClassifierConfig(percentile_hot=1.0, percentile_cold=1.0)
+    )
+    result = classifier.classify(program, profile)
+    assert all(
+        result.temperature(BlockId("f", i)) is Temperature.HOT
+        for i in range(len(counts))
+    )
+
+
+# -------------------------------------------------------------------- topdown
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(TopDownBreakdown.CATEGORIES),
+                          st.floats(min_value=0, max_value=1e6)), max_size=50))
+def test_topdown_fractions_always_normalised(additions):
+    breakdown = TopDownBreakdown()
+    for category, cycles in additions:
+        breakdown.add(category, cycles)
+    fractions = breakdown.fractions()
+    total = sum(fractions.values())
+    assert total == 0.0 or abs(total - 1.0) < 1e-9

@@ -1,0 +1,241 @@
+"""Unit tests for DRRIP, SHiP, CLIP, Emissary, Belady and the factory."""
+
+import pytest
+
+from repro.cache.replacement.belady import OptimalPolicy
+from repro.cache.replacement.clip import CLIPPolicy
+from repro.cache.replacement.drrip import DRRIPPolicy
+from repro.cache.replacement.dueling import (
+    Constituency,
+    SaturatingCounter,
+    SetDuelingController,
+)
+from repro.cache.replacement.emissary import EmissaryPolicy
+from repro.cache.replacement.factory import available_policies, create_policy
+from repro.cache.replacement.ship import SHiPPolicy
+from repro.common.errors import ConfigurationError
+from repro.core.trrip import TRRIPPolicy
+from tests.conftest import data_load, instruction
+
+
+class TestSaturatingCounter:
+    def test_saturates_at_bounds(self):
+        counter = SaturatingCounter(bits=2, value=3)
+        counter.increment()
+        assert counter.value == 3
+        counter.value = 0
+        counter.decrement()
+        assert counter.value == 0
+
+    def test_favors_a_below_midpoint(self):
+        counter = SaturatingCounter(bits=4, value=0)
+        assert counter.favors_a
+        counter.value = 12
+        assert not counter.favors_a
+
+
+class TestSetDueling:
+    def test_leader_sets_are_assigned_to_both_policies(self):
+        controller = SetDuelingController(num_sets=64, leader_sets_per_policy=4)
+        groups = [controller.constituency(i) for i in range(64)]
+        assert groups.count(Constituency.LEADER_A) == 4
+        assert groups.count(Constituency.LEADER_B) == 4
+        assert groups.count(Constituency.FOLLOWER) == 56
+
+    def test_misses_steer_followers(self):
+        controller = SetDuelingController(num_sets=64, leader_sets_per_policy=4)
+        leader_a = next(
+            i for i in range(64) if controller.constituency(i) is Constituency.LEADER_A
+        )
+        follower = next(
+            i for i in range(64) if controller.constituency(i) is Constituency.FOLLOWER
+        )
+        # Many misses in A's leader sets mean A is doing badly.
+        for _ in range(600):
+            controller.record_miss(leader_a)
+        assert not controller.use_policy_a(follower)
+
+    def test_leader_sets_always_use_their_own_policy(self):
+        controller = SetDuelingController(num_sets=64, leader_sets_per_policy=2)
+        for i in range(64):
+            group = controller.constituency(i)
+            if group is Constituency.LEADER_A:
+                assert controller.use_policy_a(i)
+            elif group is Constituency.LEADER_B:
+                assert not controller.use_policy_a(i)
+
+
+class TestDRRIP:
+    def test_leader_sets_insert_with_their_policy(self):
+        policy = DRRIPPolicy(num_sets=64, num_ways=4, leader_sets=4)
+        srrip_leader = next(
+            i
+            for i in range(64)
+            if policy.dueling.constituency(i) is Constituency.LEADER_A
+        )
+        assert policy.insertion_rrpv(srrip_leader, data_load(0x40)) == policy.rrpv_intermediate
+
+    def test_prefetches_do_not_update_psel(self):
+        policy = DRRIPPolicy(num_sets=64, num_ways=4, leader_sets=4)
+        before = policy.dueling.psel.value
+        leader = next(
+            i
+            for i in range(64)
+            if policy.dueling.constituency(i) is Constituency.LEADER_A
+        )
+        policy.on_insert(leader, 0, data_load(0x40, is_prefetch=True))
+        assert policy.dueling.psel.value == before
+
+
+class TestSHiP:
+    def test_dead_signature_inserted_distant(self):
+        policy = SHiPPolicy(num_sets=4, num_ways=4, shct_entries=64)
+        request = instruction(0x1000, pc=0x1000)
+        signature = policy.make_signature(request)
+        policy.shct[signature] = 0
+        assert policy.insertion_rrpv(0, request) == policy.rrpv_distant
+
+    def test_rereferenced_lines_train_the_shct_up(self):
+        policy = SHiPPolicy(num_sets=4, num_ways=4, shct_entries=64)
+        request = instruction(0x1000, pc=0x1000)
+        signature = policy.make_signature(request)
+        before = policy.shct[signature]
+        policy.on_insert(0, 0, request)
+        policy.on_hit(0, 0, request)
+        assert policy.shct[signature] == before + 1
+
+    def test_dead_lines_train_the_shct_down_on_eviction(self):
+        policy = SHiPPolicy(num_sets=4, num_ways=4, shct_entries=64)
+        request = instruction(0x1000, pc=0x1000)
+        signature = policy.make_signature(request)
+        before = policy.shct[signature]
+        policy.on_insert(0, 0, request)
+        policy.on_evict(0, 0, request)
+        assert policy.shct[signature] == before - 1
+
+    def test_data_lines_follow_srrip_when_instruction_only(self):
+        policy = SHiPPolicy(num_sets=4, num_ways=4, instruction_only=True)
+        request = data_load(0x2000, pc=0x400)
+        signature = policy.make_signature(request)
+        policy.shct[signature] = 0
+        assert policy.insertion_rrpv(0, request) == policy.rrpv_intermediate
+
+
+class TestCLIP:
+    def test_instruction_lines_inserted_immediate(self):
+        policy = CLIPPolicy(num_sets=64, num_ways=4)
+        assert policy.insertion_rrpv(0, instruction(0x40)) == policy.rrpv_immediate
+
+    def test_data_lines_inserted_intermediate(self):
+        policy = CLIPPolicy(num_sets=64, num_ways=4)
+        assert policy.insertion_rrpv(0, data_load(0x40)) == policy.rrpv_intermediate
+
+    def test_variant_b_limits_data_promotion(self):
+        policy = CLIPPolicy(num_sets=64, num_ways=4)
+        leader_b = next(
+            i
+            for i in range(64)
+            if policy.dueling.constituency(i) is Constituency.LEADER_B
+        )
+        policy.on_insert(leader_b, 0, data_load(0x40))
+        policy.on_hit(leader_b, 0, data_load(0x40))
+        assert policy.rrpv(leader_b, 0) == policy.rrpv_near
+
+    def test_instruction_hits_always_promote(self):
+        policy = CLIPPolicy(num_sets=64, num_ways=4)
+        policy.on_insert(1, 0, instruction(0x40))
+        policy.on_hit(1, 0, instruction(0x40))
+        assert policy.rrpv(1, 0) == policy.rrpv_immediate
+
+
+class TestEmissary:
+    def test_priority_granted_to_starving_instruction_lines(self):
+        policy = EmissaryPolicy(num_sets=1, num_ways=4, priority_probability=1.0)
+        policy.on_insert(0, 0, instruction(0x0, starvation_hint=True))
+        assert policy.is_priority(0, 0)
+
+    def test_no_priority_without_hint(self):
+        policy = EmissaryPolicy(num_sets=1, num_ways=4, priority_probability=1.0)
+        policy.on_insert(0, 0, instruction(0x0))
+        assert not policy.is_priority(0, 0)
+
+    def test_priority_lines_protected_from_eviction(self):
+        policy = EmissaryPolicy(
+            num_sets=1, num_ways=2, priority_ways=1, priority_probability=1.0
+        )
+        policy.on_insert(0, 0, instruction(0x0, starvation_hint=True))
+        policy.on_insert(0, 1, data_load(0x40))
+        assert policy.select_victim(0, data_load(0x80)) == 1
+
+    def test_priority_capped_per_set(self):
+        policy = EmissaryPolicy(
+            num_sets=1, num_ways=4, priority_ways=2, priority_probability=1.0
+        )
+        for way in range(4):
+            policy.on_insert(0, way, instruction(0x40 * way, starvation_hint=True))
+        protected = [policy.is_priority(0, way) for way in range(4)]
+        assert sum(protected) == 2
+
+    def test_all_priority_falls_back_to_lru(self):
+        policy = EmissaryPolicy(
+            num_sets=1, num_ways=2, priority_ways=2, priority_probability=1.0
+        )
+        policy.on_insert(0, 0, instruction(0x0, starvation_hint=True))
+        policy.on_insert(0, 1, instruction(0x40, starvation_hint=True))
+        assert policy.select_victim(0, instruction(0x80)) == 0
+
+    def test_rotation_demotes_stalest_protected_line(self):
+        policy = EmissaryPolicy(
+            num_sets=1,
+            num_ways=4,
+            priority_ways=1,
+            priority_probability=1.0,
+            rotate_on_saturation=True,
+        )
+        policy.on_insert(0, 0, instruction(0x0, starvation_hint=True))
+        policy.on_insert(0, 1, instruction(0x40, starvation_hint=True))
+        assert not policy.is_priority(0, 0)
+        assert policy.is_priority(0, 1)
+
+    def test_invalid_priority_ways_rejected(self):
+        with pytest.raises(ValueError):
+            EmissaryPolicy(num_sets=1, num_ways=4, priority_ways=5)
+
+
+class TestBelady:
+    def test_evicts_line_with_farthest_next_use(self):
+        policy = OptimalPolicy(num_sets=1, num_ways=2)
+        # Reference stream of line addresses (single set).
+        stream = [0x000, 0x040, 0x000, 0x080, 0x040]
+        policy.prime(stream)
+        policy.on_insert(0, 0, instruction(0x000))
+        policy.advance()
+        policy.on_insert(0, 1, instruction(0x040))
+        policy.advance()
+        policy.on_hit(0, 0, instruction(0x000))
+        policy.advance()
+        # Now inserting 0x080: 0x000 is never used again, 0x040 is used next.
+        assert policy.select_victim(0, instruction(0x080)) == 0
+
+    def test_unknown_lines_are_preferred_victims(self):
+        policy = OptimalPolicy(num_sets=1, num_ways=2)
+        policy.prime([0x000])
+        policy.on_insert(0, 0, instruction(0x000))
+        policy.on_insert(0, 1, instruction(0x040))  # never referenced again
+        assert policy.select_victim(0, instruction(0x080)) == 1
+
+
+class TestFactory:
+    def test_creates_every_advertised_policy(self):
+        for name in available_policies():
+            policy = create_policy(name, num_sets=16, num_ways=4)
+            assert policy.num_sets == 16
+            assert policy.num_ways == 4
+
+    def test_trrip_variants_resolve(self):
+        assert isinstance(create_policy("trrip-1", 16, 4), TRRIPPolicy)
+        assert create_policy("trrip-2", 16, 4).variant == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_policy("belady-on-a-budget", 16, 4)

@@ -1,0 +1,134 @@
+"""Unit tests for the baseline replacement policies (LRU/FIFO/Random/RRIP)."""
+
+import pytest
+
+from repro.cache.replacement.basic import FIFOPolicy, LRUPolicy, RandomPolicy
+from repro.cache.replacement.rrip import BRRIPPolicy, SRRIPPolicy
+from repro.common.request import AccessType
+from tests.conftest import data_load, instruction
+
+
+class TestLRU:
+    def test_victim_is_least_recently_used(self):
+        policy = LRUPolicy(num_sets=1, num_ways=4)
+        for way in range(4):
+            policy.on_insert(0, way, instruction(0x40 * way))
+        policy.on_hit(0, 0, instruction(0x0))
+        victim = policy.select_victim(0, instruction(0x400))
+        assert victim == 1  # way 0 was refreshed; way 1 is now the oldest
+
+    def test_hit_refreshes_recency(self):
+        policy = LRUPolicy(num_sets=1, num_ways=2)
+        policy.on_insert(0, 0, instruction(0x0))
+        policy.on_insert(0, 1, instruction(0x40))
+        policy.on_hit(0, 0, instruction(0x0))
+        assert policy.select_victim(0, instruction(0x80)) == 1
+
+    def test_reset_clears_stamps(self):
+        policy = LRUPolicy(num_sets=1, num_ways=2)
+        policy.on_insert(0, 1, instruction(0x40))
+        policy.reset()
+        assert policy.select_victim(0, instruction(0x80)) == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(num_sets=0, num_ways=4)
+
+    def test_out_of_range_way_rejected(self):
+        policy = LRUPolicy(num_sets=1, num_ways=2)
+        with pytest.raises(IndexError):
+            policy.on_hit(0, 5, instruction(0x0))
+        with pytest.raises(IndexError):
+            policy.on_hit(3, 0, instruction(0x0))
+
+
+class TestFIFO:
+    def test_hits_do_not_refresh(self):
+        policy = FIFOPolicy(num_sets=1, num_ways=2)
+        policy.on_insert(0, 0, instruction(0x0))
+        policy.on_insert(0, 1, instruction(0x40))
+        policy.on_hit(0, 0, instruction(0x0))
+        # Way 0 was inserted first and stays the victim despite the hit.
+        assert policy.select_victim(0, instruction(0x80)) == 0
+
+
+class TestRandom:
+    def test_victims_are_deterministic_for_a_seed(self):
+        a = RandomPolicy(num_sets=1, num_ways=8, seed=7)
+        b = RandomPolicy(num_sets=1, num_ways=8, seed=7)
+        victims_a = [a.select_victim(0, instruction(0x0)) for _ in range(20)]
+        victims_b = [b.select_victim(0, instruction(0x0)) for _ in range(20)]
+        assert victims_a == victims_b
+
+    def test_victims_are_in_range(self):
+        policy = RandomPolicy(num_sets=2, num_ways=4, seed=1)
+        for _ in range(50):
+            assert 0 <= policy.select_victim(1, instruction(0x0)) < 4
+
+
+class TestSRRIP:
+    def test_insertion_is_intermediate(self):
+        policy = SRRIPPolicy(num_sets=1, num_ways=4)
+        policy.on_insert(0, 0, instruction(0x0))
+        assert policy.rrpv(0, 0) == policy.rrpv_intermediate
+
+    def test_hit_promotes_to_immediate(self):
+        policy = SRRIPPolicy(num_sets=1, num_ways=4)
+        policy.on_insert(0, 0, instruction(0x0))
+        policy.on_hit(0, 0, instruction(0x0))
+        assert policy.rrpv(0, 0) == policy.rrpv_immediate
+
+    def test_victim_search_ages_the_set(self):
+        policy = SRRIPPolicy(num_sets=1, num_ways=2)
+        policy.on_insert(0, 0, instruction(0x0))
+        policy.on_insert(0, 1, instruction(0x40))
+        policy.on_hit(0, 0, instruction(0x0))  # way0 -> 0, way1 stays at 2
+        victim = policy.select_victim(0, instruction(0x80))
+        assert victim == 1
+        # Aging must have bumped way 0 as well (0 -> 1).
+        assert policy.rrpv(0, 0) == 1
+
+    def test_victim_prefers_existing_distant_line(self):
+        policy = SRRIPPolicy(num_sets=1, num_ways=2)
+        policy.on_insert(0, 0, instruction(0x0))
+        policy.on_insert(0, 1, instruction(0x40))
+        policy.set_rrpv(0, 1, policy.rrpv_distant)
+        assert policy.select_victim(0, instruction(0x80)) == 1
+        assert policy.rrpv(0, 0) == policy.rrpv_intermediate  # untouched, no aging
+
+    def test_rrpv_bounds_enforced(self):
+        policy = SRRIPPolicy(num_sets=1, num_ways=2)
+        with pytest.raises(ValueError):
+            policy.set_rrpv(0, 0, 99)
+
+    def test_wider_rrpv_changes_range(self):
+        policy = SRRIPPolicy(num_sets=1, num_ways=2, rrpv_bits=3)
+        assert policy.rrpv_max == 7
+        assert policy.rrpv_intermediate == 6
+
+    def test_eviction_resets_rrpv_to_distant(self):
+        policy = SRRIPPolicy(num_sets=1, num_ways=2)
+        policy.on_insert(0, 0, instruction(0x0))
+        policy.on_evict(0, 0)
+        assert policy.rrpv(0, 0) == policy.rrpv_distant
+
+
+class TestBRRIP:
+    def test_most_insertions_are_distant(self):
+        policy = BRRIPPolicy(num_sets=1, num_ways=4, bimodal_interval=8)
+        rrpvs = []
+        for i in range(16):
+            rrpvs.append(policy.insertion_rrpv(0, instruction(0x40 * i)))
+        assert rrpvs.count(policy.rrpv_distant) == 14
+        assert rrpvs.count(policy.rrpv_intermediate) == 2
+
+    def test_bimodal_interval_validated(self):
+        with pytest.raises(ValueError):
+            BRRIPPolicy(num_sets=1, num_ways=4, bimodal_interval=0)
+
+    def test_reset_restarts_duty_cycle(self):
+        policy = BRRIPPolicy(num_sets=1, num_ways=4, bimodal_interval=4)
+        first = [policy.insertion_rrpv(0, data_load(0x40 * i)) for i in range(8)]
+        policy.reset()
+        second = [policy.insertion_rrpv(0, data_load(0x40 * i)) for i in range(8)]
+        assert first == second

@@ -1,0 +1,112 @@
+"""Unit tests for the TRRIP replacement policy (Algorithm 1)."""
+
+import pytest
+
+from repro.common.temperature import Temperature
+from repro.core.trrip import TRRIPPolicy
+from tests.conftest import data_load, instruction
+
+
+@pytest.fixture
+def trrip1() -> TRRIPPolicy:
+    return TRRIPPolicy(num_sets=4, num_ways=4, variant=1)
+
+
+@pytest.fixture
+def trrip2() -> TRRIPPolicy:
+    return TRRIPPolicy(num_sets=4, num_ways=4, variant=2)
+
+
+class TestInsertion:
+    def test_hot_lines_inserted_immediate_in_both_variants(self, trrip1, trrip2):
+        request = instruction(0x40, Temperature.HOT)
+        assert trrip1.insertion_rrpv(0, request) == trrip1.rrpv_immediate
+        assert trrip2.insertion_rrpv(0, request) == trrip2.rrpv_immediate
+
+    def test_warm_lines_default_in_variant1_near_in_variant2(self, trrip1, trrip2):
+        request = instruction(0x40, Temperature.WARM)
+        assert trrip1.insertion_rrpv(0, request) == trrip1.rrpv_intermediate
+        assert trrip2.insertion_rrpv(0, request) == trrip2.rrpv_near
+
+    def test_cold_lines_follow_default_insertion(self, trrip1, trrip2):
+        request = instruction(0x40, Temperature.COLD)
+        assert trrip1.insertion_rrpv(0, request) == trrip1.rrpv_intermediate
+        assert trrip2.insertion_rrpv(0, request) == trrip2.rrpv_intermediate
+
+    def test_untagged_instruction_lines_follow_default(self, trrip1):
+        request = instruction(0x40, Temperature.NONE)
+        assert trrip1.insertion_rrpv(0, request) == trrip1.rrpv_intermediate
+
+    def test_data_lines_never_trigger_trrip_even_if_tagged(self, trrip1, trrip2):
+        # Temperature on a data request must be ignored (Section 3.4).
+        request = data_load(0x40).with_temperature(Temperature.HOT)
+        assert trrip1.insertion_rrpv(0, request) == trrip1.rrpv_intermediate
+        assert trrip2.insertion_rrpv(0, request) == trrip2.rrpv_intermediate
+
+
+class TestHitPromotion:
+    def test_hot_hits_promote_to_immediate(self, trrip1, trrip2):
+        for policy in (trrip1, trrip2):
+            policy.on_insert(0, 0, instruction(0x40, Temperature.HOT))
+            policy.set_rrpv(0, 0, policy.rrpv_distant)
+            policy.on_hit(0, 0, instruction(0x40, Temperature.HOT))
+            assert policy.rrpv(0, 0) == policy.rrpv_immediate
+
+    def test_variant1_warm_hits_follow_default_promotion(self, trrip1):
+        trrip1.on_insert(0, 0, instruction(0x40, Temperature.WARM))
+        trrip1.set_rrpv(0, 0, trrip1.rrpv_distant)
+        trrip1.on_hit(0, 0, instruction(0x40, Temperature.WARM))
+        assert trrip1.rrpv(0, 0) == trrip1.rrpv_immediate
+
+    def test_variant2_warm_hits_only_decrement(self, trrip2):
+        trrip2.on_insert(0, 0, instruction(0x40, Temperature.WARM))
+        trrip2.set_rrpv(0, 0, trrip2.rrpv_distant)
+        trrip2.on_hit(0, 0, instruction(0x40, Temperature.WARM))
+        assert trrip2.rrpv(0, 0) == trrip2.rrpv_distant - 1
+
+    def test_variant2_cold_hits_only_decrement(self, trrip2):
+        trrip2.on_insert(0, 0, instruction(0x40, Temperature.COLD))
+        trrip2.set_rrpv(0, 0, 1)
+        trrip2.on_hit(0, 0, instruction(0x40, Temperature.COLD))
+        assert trrip2.rrpv(0, 0) == 0
+
+    def test_variant2_decrement_saturates_at_immediate(self, trrip2):
+        trrip2.on_insert(0, 0, instruction(0x40, Temperature.WARM))
+        trrip2.set_rrpv(0, 0, trrip2.rrpv_immediate)
+        trrip2.on_hit(0, 0, instruction(0x40, Temperature.WARM))
+        assert trrip2.rrpv(0, 0) == trrip2.rrpv_immediate
+
+    def test_data_hits_follow_default_promotion(self, trrip2):
+        trrip2.on_insert(0, 0, data_load(0x40))
+        trrip2.set_rrpv(0, 0, trrip2.rrpv_distant)
+        trrip2.on_hit(0, 0, data_load(0x40))
+        assert trrip2.rrpv(0, 0) == trrip2.rrpv_immediate
+
+
+class TestEviction:
+    def test_eviction_mechanism_is_unmodified_rrip(self, trrip1):
+        """TRRIP does not change GetEvictionLine: aging until a distant line."""
+        trrip1.on_insert(0, 0, instruction(0x00, Temperature.HOT))
+        trrip1.on_insert(0, 1, data_load(0x40))
+        trrip1.on_insert(0, 2, data_load(0x80))
+        trrip1.on_insert(0, 3, data_load(0xC0))
+        victim = trrip1.select_victim(0, data_load(0x100))
+        # Hot line at RRPV 0 must not be the victim; a data line at 2->3 is.
+        assert victim != 0
+
+    def test_hot_lines_survive_longer_than_srrip_inserted_lines(self):
+        """A freshly missed hot line outlives a freshly missed data line."""
+        policy = TRRIPPolicy(num_sets=1, num_ways=2, variant=1)
+        policy.on_insert(0, 0, instruction(0x00, Temperature.HOT))
+        policy.on_insert(0, 1, data_load(0x40))
+        assert policy.select_victim(0, data_load(0x80)) == 1
+
+
+class TestConstruction:
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            TRRIPPolicy(num_sets=4, num_ways=4, variant=3)
+
+    def test_name_reflects_variant(self):
+        assert TRRIPPolicy(4, 4, variant=1).name == "trrip-1"
+        assert TRRIPPolicy(4, 4, variant=2).name == "trrip-2"

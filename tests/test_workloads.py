@@ -1,0 +1,256 @@
+"""Unit tests for the workload substrate: specs, builder, behaviour, traces."""
+
+import itertools
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.trace import TraceRecord
+from repro.compiler.pgo import PGOCompiler
+from repro.workloads.behavior import ControlFlowModel, classify_hot_functions
+from repro.workloads.builder import SyntheticProgramBuilder
+from repro.workloads.profiling import collect_profile
+from repro.workloads.spec import (
+    PROXY_BENCHMARK_NAMES,
+    SYSTEM_COMPONENT_NAMES,
+    InputSet,
+    WorkloadSpec,
+    all_proxy_specs,
+    all_system_specs,
+    get_spec,
+)
+from repro.workloads.tracegen import TraceGenerator
+
+
+class TestSpecs:
+    def test_all_ten_proxies_defined(self):
+        assert len(PROXY_BENCHMARK_NAMES) == 10
+        assert {spec.name for spec in all_proxy_specs()} == set(PROXY_BENCHMARK_NAMES)
+
+    def test_all_five_system_components_defined(self):
+        assert len(SYSTEM_COMPONENT_NAMES) == 5
+        assert {s.name for s in all_system_specs()} == set(SYSTEM_COMPONENT_NAMES)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_spec("spec2017-floating-point")
+
+    def test_derived_sizes_are_consistent(self):
+        spec = get_spec("sqlite")
+        assert spec.hot_code_bytes == (
+            spec.hot_functions * spec.blocks_per_hot_function * spec.block_bytes
+        )
+        assert spec.total_code_bytes == (
+            spec.hot_code_bytes + spec.warm_code_bytes + spec.cold_code_bytes
+        )
+
+    def test_scaling_multiplies_footprints(self):
+        spec = get_spec("sqlite")
+        bigger = spec.scaled(2.0)
+        assert bigger.hot_functions == spec.hot_functions * 2
+        assert bigger.eval_instructions == spec.eval_instructions * 2
+        with pytest.raises(WorkloadError):
+            spec.scaled(0)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(
+                name="bad",
+                category="proxy",
+                description="",
+                data_access_rate=1.5,
+            )
+
+    def test_with_overrides_creates_modified_copy(self):
+        spec = get_spec("sqlite")
+        other = spec.with_overrides(hot_functions=5)
+        assert other.hot_functions == 5
+        assert spec.hot_functions != 5
+
+
+class TestBuilder:
+    def test_build_produces_expected_function_counts(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        assert len(workload.hot_function_names) == tiny_spec.hot_functions
+        assert len(workload.warm_function_names) == tiny_spec.warm_functions
+        assert len(workload.cold_function_names) == tiny_spec.cold_functions
+
+    def test_builds_are_deterministic(self, tiny_spec):
+        a = SyntheticProgramBuilder().build(tiny_spec)
+        b = SyntheticProgramBuilder().build(tiny_spec)
+        assert [f.name for f in a.program.functions] == [
+            f.name for f in b.program.functions
+        ]
+        assert a.hot_trip_counts == b.hot_trip_counts
+        assert a.program.size_bytes == b.program.size_bytes
+
+    def test_function_sizes_are_jittered(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        sizes = {
+            len(workload.executed_blocks_of(name))
+            for name in workload.hot_function_names
+        }
+        assert len(sizes) > 1  # not every hot function has the same hot path
+
+    def test_trip_counts_within_bounds(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        for name in workload.hot_function_names:
+            assert 1 <= workload.trip_count(name) <= tiny_spec.max_hot_trip_count
+
+    def test_executed_blocks_exist_in_program(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        for name, blocks in workload.executed_blocks.items():
+            for block_id in blocks:
+                assert workload.program.block(block_id).size_bytes > 0
+
+
+class TestControlFlow:
+    def test_hot_function_classes_partition(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        classes = classify_hot_functions(workload)
+        combined = set(classes.core) | set(classes.regular) | set(classes.occasional)
+        assert combined == set(workload.hot_function_names)
+        assert classes.core and classes.regular
+
+    def test_core_functions_called_more_often_than_occasional(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        model = ControlFlowModel(workload, InputSet.EVALUATION)
+        classes = model.classes
+        counts = {name: 0 for name in workload.hot_function_names}
+        for _ in range(10):
+            for call in model.one_iteration():
+                if call.kind == "hot":
+                    counts[call.function_name] += 1
+        core_mean = sum(counts[n] for n in classes.core) / len(classes.core)
+        occ = classes.occasional or classes.regular
+        occ_mean = sum(counts[n] for n in occ) / len(occ)
+        assert core_mean > occ_mean
+
+    def test_training_never_executes_cold_functions(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        model = ControlFlowModel(workload, InputSet.TRAINING)
+        kinds = {
+            call.kind
+            for _ in range(20)
+            for call in model.one_iteration()
+        }
+        assert "cold" not in kinds
+
+    def test_model_is_deterministic_per_input_set(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        a = ControlFlowModel(workload, InputSet.EVALUATION)
+        b = ControlFlowModel(workload, InputSet.EVALUATION)
+        calls_a = list(itertools.islice(a.calls(), 200))
+        calls_b = list(itertools.islice(b.calls(), 200))
+        assert calls_a == calls_b
+
+    def test_training_and_evaluation_streams_differ(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        training = list(
+            itertools.islice(ControlFlowModel(workload, InputSet.TRAINING).calls(), 200)
+        )
+        evaluation = list(
+            itertools.islice(
+                ControlFlowModel(workload, InputSet.EVALUATION).calls(), 200
+            )
+        )
+        assert training != evaluation
+
+
+class TestProfiling:
+    def test_profile_covers_hot_and_warm_but_not_cold(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        profile = collect_profile(workload)
+        hot_block = workload.executed_blocks_of(workload.hot_function_names[0])[0]
+        assert profile.count(hot_block) > 0
+        for name in workload.cold_function_names:
+            for block_id in workload.executed_blocks_of(name):
+                assert profile.count(block_id) == 0
+
+    def test_hot_counts_dominate_warm_counts(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        profile = collect_profile(workload)
+        hot_counts = [
+            profile.count(b)
+            for n in workload.hot_function_names
+            for b in workload.executed_blocks_of(n)
+        ]
+        warm_counts = [
+            profile.count(b)
+            for n in workload.warm_function_names
+            for b in workload.executed_blocks_of(n)
+        ]
+        assert min(c for c in hot_counts if c) > max(warm_counts + [0]) * 5
+
+    def test_invalid_arguments_rejected(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        with pytest.raises(ValueError):
+            collect_profile(workload, iterations=0)
+        with pytest.raises(ValueError):
+            collect_profile(workload, trip_multiplier=0)
+
+
+class TestTraceGenerator:
+    @pytest.fixture
+    def generator(self, tiny_spec) -> TraceGenerator:
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        profile = collect_profile(workload)
+        binary = PGOCompiler().compile_with_pgo(workload.program, profile)
+        return TraceGenerator(workload, binary)
+
+    def test_produces_requested_number_of_records(self, generator):
+        records = generator.take(500)
+        assert len(records) == 500
+        assert all(isinstance(record, TraceRecord) for record in records)
+
+    def test_records_are_deterministic_after_reset(self, generator):
+        first = generator.take(300)
+        generator.reset()
+        second = generator.take(300)
+        assert first == second
+
+    def test_stream_is_continuous_across_calls(self, generator):
+        a = generator.take(100)
+        b = generator.take(100)
+        assert a[-1] != b[0] or a != b  # continues, does not restart
+
+    def test_contains_branches_and_memory_accesses(self, generator):
+        records = generator.take(3000)
+        assert any(record.is_branch for record in records)
+        assert any(record.is_memory for record in records)
+        assert any(record.is_store for record in records)
+
+    def test_data_addresses_fall_in_data_regions(self, generator):
+        records = generator.take(3000)
+        workload = generator.workload
+        for record in records:
+            if record.mem_address is None:
+                continue
+            in_stream = (
+                workload.data_stream_base
+                <= record.mem_address
+                < workload.data_stream_base + workload.data_stream_bytes
+            )
+            in_reuse = (
+                workload.data_reuse_base
+                <= record.mem_address
+                < workload.data_reuse_base + workload.data_reuse_bytes
+            )
+            assert in_stream or in_reuse
+
+    def test_instruction_addresses_come_from_the_binary(self, generator):
+        records = generator.take(3000)
+        image = generator.binary.image
+        low, high = image.address_range()
+        for record in records:
+            inside_image = low <= record.pc < high
+            inside_external = image.is_external(record.pc)
+            assert inside_image or inside_external
+
+    def test_mismatched_binary_rejected(self, tiny_spec):
+        workload = SyntheticProgramBuilder().build(tiny_spec)
+        other_spec = tiny_spec.with_overrides(name="other")
+        other = SyntheticProgramBuilder().build(other_spec)
+        binary = PGOCompiler().compile_without_pgo(other.program)
+        with pytest.raises(WorkloadError):
+            TraceGenerator(workload, binary)
