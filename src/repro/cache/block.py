@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.common.temperature import Temperature
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheBlock:
     """State of one cache line resident in a set-associative cache.
 

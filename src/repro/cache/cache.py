@@ -7,9 +7,12 @@ from typing import Optional
 from repro.cache.block import CacheBlock
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.cache.stats import CacheStats
-from repro.common.addressing import CACHE_LINE_SIZE, is_power_of_two, line_address
+from repro.common.addressing import CACHE_LINE_SIZE, is_power_of_two
 from repro.common.errors import ConfigurationError
-from repro.common.request import MemoryRequest
+from repro.common.request import AccessType, MemoryRequest
+
+_IFETCH = AccessType.INSTRUCTION_FETCH
+_STORE = AccessType.DATA_STORE
 
 
 class SetAssociativeCache:
@@ -24,6 +27,12 @@ class SetAssociativeCache:
     ``access`` (lookup + replacement-state update on hits), ``fill`` (insert a
     line, returning the evicted block if any), ``invalidate`` and ``probe``
     (side-effect free lookup).
+
+    Lookups are O(1): each set maintains a ``tag -> way`` dict alongside the
+    block array, kept consistent by ``fill``/``invalidate``/``reset``.  The
+    dict is authoritative for residency; the block array remains the source of
+    per-line metadata (dirty bits, timestamps) that statistics and the
+    analysis modules read.
     """
 
     def __init__(
@@ -63,6 +72,13 @@ class SetAssociativeCache:
         self._sets: list[list[CacheBlock]] = [
             [CacheBlock() for _ in range(associativity)] for _ in range(num_sets)
         ]
+        #: Per-set ``tag -> way`` index over the *valid* blocks of the set.
+        self._tag_maps: list[dict[int, int]] = [{} for _ in range(num_sets)]
+        #: Number of valid blocks per set (skips the invalid-way scan once a
+        #: set is full, which is the steady state after warm-up).
+        self._valid_counts: list[int] = [0] * num_sets
+        #: Divisor that turns a byte address into a tag.
+        self._tag_divisor = line_size * num_sets
         self._time = 0
 
     # -------------------------------------------------------------- indexing
@@ -72,21 +88,21 @@ class SetAssociativeCache:
 
     def tag_of(self, address: int) -> int:
         """Tag for a byte address."""
-        return address // (self.line_size * self.num_sets)
+        return address // self._tag_divisor
 
     def blocks_in_set(self, set_index: int) -> list[CacheBlock]:
         """The blocks of one set (exposed for analysis and tests)."""
         return self._sets[set_index]
 
+    def tag_map_of(self, set_index: int) -> dict[int, int]:
+        """The ``tag -> way`` index of one set (exposed for invariant tests)."""
+        return dict(self._tag_maps[set_index])
+
     # -------------------------------------------------------------- lookups
     def probe(self, address: int) -> Optional[int]:
         """Return the way holding ``address`` without touching any state."""
-        set_index = self.set_index_of(address)
-        tag = self.tag_of(address)
-        for way, block in enumerate(self._sets[set_index]):
-            if block.valid and block.tag == tag:
-                return way
-        return None
+        set_index = (address // self.line_size) % self.num_sets
+        return self._tag_maps[set_index].get(address // self._tag_divisor)
 
     def contains(self, address: int) -> bool:
         """Whether the line containing ``address`` is resident."""
@@ -97,64 +113,115 @@ class SetAssociativeCache:
         """Look up a request; update stats and replacement state on a hit.
 
         Returns ``True`` on a hit.  Misses do **not** allocate — the hierarchy
-        decides where fills go.
+        decides where fills go.  (The statistics updates of
+        ``_record_access`` are inlined here: this method runs several times
+        per simulated instruction.)
         """
-        self._time += 1
-        set_index = self.set_index_of(request.address)
-        way = self.probe(request.address)
-        hit = way is not None
-        self._record_access(request, hit)
-        if hit:
+        time = self._time + 1
+        self._time = time
+        address = request.address
+        set_index = (address // self.line_size) % self.num_sets
+        way = self._tag_maps[set_index].get(address // self._tag_divisor)
+        stats = self.stats
+        if way is not None:
+            if request.is_prefetch:
+                stats.prefetch_hits += 1
+            elif request.access_type is _IFETCH:
+                stats.inst_hits += 1
+            else:
+                stats.data_hits += 1
             block = self._sets[set_index][way]
-            block.last_access_time = self._time
+            block.last_access_time = time
             block.access_count += 1
-            if request.is_write:
+            if request.access_type is _STORE:
                 block.dirty = True
             self.policy.on_hit(set_index, way, request)
-        return hit
+            return True
+        if request.is_prefetch:
+            stats.prefetch_misses += 1
+        elif request.access_type is _IFETCH:
+            stats.inst_misses += 1
+        else:
+            stats.data_misses += 1
+        return False
 
     def fill(self, request: MemoryRequest) -> Optional[CacheBlock]:
         """Insert the line for ``request``; return the evicted block, if any.
 
         Filling a line that is already resident refreshes its metadata without
-        evicting anything (this happens with overlapping prefetches).
+        evicting anything (this happens with overlapping prefetches).  The
+        refresh keeps the line's dirty bit: a clean refill must not discard a
+        pending writeback.
         """
-        self._time += 1
-        set_index = self.set_index_of(request.address)
-        tag = self.tag_of(request.address)
-        blocks = self._sets[set_index]
+        return self._fill_impl(request, copy_victim=True)
 
-        existing = self.probe(request.address)
+    def fill_raw(self, request: MemoryRequest) -> Optional[tuple[int, bool, int]]:
+        """Like :meth:`fill`, but the victim is ``(address, is_instruction,
+        pc)`` instead of a copied :class:`CacheBlock`.
+
+        The hierarchy only needs those three victim fields (back-invalidation
+        and SLC victim fills); skipping the ten-field block copy matters on
+        eviction-heavy workloads.
+        """
+        return self._fill_impl(request, copy_victim=False)
+
+    def _fill_impl(self, request: MemoryRequest, copy_victim: bool):
+        self._time += 1
+        address = request.address
+        set_index = (address // self.line_size) % self.num_sets
+        tag = address // self._tag_divisor
+        blocks = self._sets[set_index]
+        tag_map = self._tag_maps[set_index]
+
+        existing = tag_map.get(tag)
         if existing is not None:
-            self._install(blocks[existing], request, tag)
+            block = blocks[existing]
+            was_dirty = block.dirty
+            self._install(block, request, tag)
+            if was_dirty:
+                block.dirty = True
             return None
 
-        victim_block: Optional[CacheBlock] = None
-        way = self._find_invalid_way(set_index)
+        victim = None
+        way: Optional[int] = None
+        if self._valid_counts[set_index] < self.associativity:
+            way = self._find_invalid_way(set_index)
         if way is None:
             way = self.policy.select_victim(set_index, request)
             block = blocks[way]
             if block.valid:
-                victim_block = self._copy_block(block)
+                victim = (
+                    self._copy_block(block)
+                    if copy_victim
+                    else (block.address, block.is_instruction, block.pc)
+                )
+                del tag_map[block.tag]
+                self._valid_counts[set_index] -= 1
                 self.stats.evictions += 1
                 if block.dirty:
                     self.stats.writebacks += 1
                 self.policy.on_evict(set_index, way, request)
 
         self._install(blocks[way], request, tag)
+        tag_map[tag] = way
+        self._valid_counts[set_index] += 1
         self.stats.fills += 1
         if request.is_prefetch:
             self.stats.prefetch_fills += 1
         self.policy.on_insert(set_index, way, request)
-        return victim_block
+        return victim
 
     def invalidate(self, address: int) -> bool:
         """Remove the line containing ``address`` (back-invalidation)."""
-        set_index = self.set_index_of(address)
-        way = self.probe(address)
+        set_index = (address // self.line_size) % self.num_sets
+        tag = address // self._tag_divisor
+        tag_map = self._tag_maps[set_index]
+        way = tag_map.get(tag)
         if way is None:
             return False
         self.policy.on_evict(set_index, way, None)
+        del tag_map[tag]
+        self._valid_counts[set_index] -= 1
         self._sets[set_index][way].invalidate()
         self.stats.invalidations += 1
         return True
@@ -164,6 +231,10 @@ class SetAssociativeCache:
         for blocks in self._sets:
             for block in blocks:
                 block.invalidate()
+        for tag_map in self._tag_maps:
+            tag_map.clear()
+        for set_index in range(self.num_sets):
+            self._valid_counts[set_index] = 0
         self.stats.reset()
         self.policy.reset()
         self._time = 0
@@ -176,11 +247,12 @@ class SetAssociativeCache:
         return None
 
     def _install(self, block: CacheBlock, request: MemoryRequest, tag: int) -> None:
+        address = request.address
         block.tag = tag
-        block.address = line_address(request.address, self.line_size)
+        block.address = address - address % self.line_size
         block.valid = True
-        block.dirty = request.is_write
-        block.is_instruction = request.is_instruction
+        block.dirty = request.access_type is _STORE
+        block.is_instruction = request.access_type is _IFETCH
         block.temperature = request.temperature
         block.pc = request.pc
         block.insertion_time = self._time
@@ -201,33 +273,6 @@ class SetAssociativeCache:
             last_access_time=block.last_access_time,
             access_count=block.access_count,
         )
-
-    def _record_access(self, request: MemoryRequest, hit: bool) -> None:
-        stats = self.stats
-        if request.is_prefetch:
-            stats.prefetch_accesses += 1
-            if hit:
-                stats.prefetch_hits += 1
-            else:
-                stats.prefetch_misses += 1
-            return
-        stats.demand_accesses += 1
-        if hit:
-            stats.demand_hits += 1
-        else:
-            stats.demand_misses += 1
-        if request.is_instruction:
-            stats.inst_accesses += 1
-            if hit:
-                stats.inst_hits += 1
-            else:
-                stats.inst_misses += 1
-        else:
-            stats.data_accesses += 1
-            if hit:
-                stats.data_hits += 1
-            else:
-                stats.data_misses += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

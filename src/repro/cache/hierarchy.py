@@ -12,14 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.cache.block import CacheBlock
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.prefetch import Prefetcher, make_prefetcher
 from repro.cache.replacement.factory import create_policy
 from repro.cache.stats import HierarchyStats
 from repro.common.addressing import CACHE_LINE_SIZE
 from repro.common.errors import ConfigurationError
-from repro.common.request import AccessResult, AccessType, HitLevel, MemoryRequest
+from repro.common.request import (
+    AccessResult,
+    AccessType,
+    HitLevel,
+    MemoryRequest,
+    ScratchRequest,
+)
 
 
 @dataclass
@@ -101,7 +106,11 @@ class CacheHierarchy:
         #: Optional hook invoked as ``observer(request, hit)`` for every
         #: *demand* access that reaches the L2 (i.e. every L1 miss).  Used by
         #: the reuse-distance analysis (Figure 3) without perturbing timing.
+        #: Observers must read the request during the callback and not retain
+        #: it (fast-path requests are reused scratch objects).
         self.l2_access_observer = None
+        self._prefetch_scratch = ScratchRequest()
+        self._prefetch_scratch.is_prefetch = True
 
     # ----------------------------------------------------------- public API
     def access_instruction(self, request: MemoryRequest) -> AccessResult:
@@ -139,6 +148,85 @@ class CacheHierarchy:
             cache.stats.reset()
         self.stats.reset()
 
+    # ------------------------------------------------------------ fast paths
+    def access_instruction_fast(self, request: MemoryRequest) -> tuple[int, bool]:
+        """Demand instruction fetch without result-object construction.
+
+        Returns ``(latency, l2_miss)``.  L1-I hits — the overwhelmingly common
+        case on repeat fetches of a resident line — skip the full hierarchy
+        walk and the :class:`AccessResult` allocation while performing exactly
+        the same state updates (cache stats, replacement hooks, prefetcher
+        observations) as :meth:`access_instruction`.
+        """
+        stats = self.stats
+        stats.instruction_fetches += 1
+        l1 = self.l1i
+        # Inlined L1-I demand hit (the code below mirrors
+        # SetAssociativeCache.access for a demand instruction fetch).
+        time = l1._time + 1
+        l1._time = time
+        address = request.address
+        set_index = (address // l1.line_size) % l1.num_sets
+        way = l1._tag_maps[set_index].get(address // l1._tag_divisor)
+        if way is not None:
+            l1.stats.inst_hits += 1
+            block = l1._sets[set_index][way]
+            block.last_access_time = time
+            block.access_count += 1
+            l1.policy.on_hit(set_index, way, request)
+            latency = self.config.l1i.latency
+            stats.total_latency += latency
+            targets = self.l1i_prefetcher.observe(request, True)
+            if targets:
+                self._issue_targets(request, l1, targets)
+            targets = self.l2_prefetcher.observe(request, False)
+            if targets:
+                self._issue_targets(request, l1, targets)
+            return latency, False
+        l1.stats.inst_misses += 1
+        latency, level = self._walk_below_l1(request, l1, None)
+        self._account(request, latency, level, False, True)
+        self._run_prefetchers(request, l1, self.l1i_prefetcher, False, level == 2)
+        return latency, level >= 3
+
+    def access_data_fast(self, request: MemoryRequest) -> int:
+        """Demand data access without result-object construction.
+
+        Returns the access latency; state updates match :meth:`access_data`.
+        """
+        stats = self.stats
+        stats.data_accesses += 1
+        l1 = self.l1d
+        # Inlined L1-D demand hit (mirrors SetAssociativeCache.access for a
+        # demand data access).
+        time = l1._time + 1
+        l1._time = time
+        address = request.address
+        set_index = (address // l1.line_size) % l1.num_sets
+        way = l1._tag_maps[set_index].get(address // l1._tag_divisor)
+        if way is not None:
+            l1.stats.data_hits += 1
+            block = l1._sets[set_index][way]
+            block.last_access_time = time
+            block.access_count += 1
+            if request.access_type is AccessType.DATA_STORE:
+                block.dirty = True
+            l1.policy.on_hit(set_index, way, request)
+            latency = self.config.l1d.latency
+            stats.total_latency += latency
+            targets = self.l1d_prefetcher.observe(request, True)
+            if targets:
+                self._issue_targets(request, l1, targets)
+            targets = self.l2_prefetcher.observe(request, False)
+            if targets:
+                self._issue_targets(request, l1, targets)
+            return latency
+        l1.stats.data_misses += 1
+        latency, level = self._walk_below_l1(request, l1, None)
+        self._account(request, latency, level, False, True)
+        self._run_prefetchers(request, l1, self.l1d_prefetcher, False, level == 2)
+        return latency
+
     # -------------------------------------------------------------- internals
     def _access(
         self,
@@ -149,71 +237,102 @@ class CacheHierarchy:
     ) -> AccessResult:
         demand = not request.is_prefetch
         if demand:
-            if request.is_instruction:
+            if request.access_type is AccessType.INSTRUCTION_FETCH:
                 self.stats.instruction_fetches += 1
             else:
                 self.stats.data_accesses += 1
 
-        result = self._walk_hierarchy(request, l1)
-
-        # Instruction-side L2 misses are counted for demand fetches *and* for
-        # FDIP instruction prefetches: with a decoupled frontend the run-ahead
-        # prefetcher issues the demand stream early, so its misses are the
-        # instruction misses the program pays for (the later demand fetch then
-        # hits the L1-I).  Data prefetches stay excluded from MPKI.
-        if result.l2_miss and request.is_instruction:
-            self.stats.l2_inst_misses += 1
-
-        if demand:
-            self.stats.total_latency += result.latency
-            if not result.l1_hit:
-                if request.is_instruction:
-                    self.stats.l1i_misses += 1
-                else:
-                    self.stats.l1d_misses += 1
-            if result.l2_miss and not request.is_instruction:
-                self.stats.l2_data_misses += 1
-            if not result.slc_hit and result.l2_miss:
-                self.stats.slc_misses += 1
-            if result.dram_access:
-                self.stats.dram_accesses += 1
-
-        if allow_prefetch and demand:
-            self._run_prefetchers(request, result, l1, l1_prefetcher)
-        return result
-
-    def _walk_hierarchy(
-        self, request: MemoryRequest, l1: SetAssociativeCache
-    ) -> AccessResult:
-        cfg = self.config
-        evicted: list[int] = []
-
-        # L1 lookup.
         if l1.access(request):
             latency = self._l1_latency(request)
-            return AccessResult(
+            result = AccessResult(
                 request=request,
                 hit_level=HitLevel.L1,
                 latency=latency,
                 l1_hit=True,
             )
+            self._account(request, latency, 1, True, demand)
+        else:
+            evicted: list[int] = []
+            latency, level = self._walk_below_l1(request, l1, evicted)
+            result = AccessResult(
+                request=request,
+                hit_level=HitLevel(level),
+                latency=latency,
+                l2_hit=level == 2,
+                slc_hit=level == 3,
+                evicted_lines=tuple(evicted),
+            )
+            self._account(request, latency, level, False, demand)
+
+        if allow_prefetch and demand:
+            self._run_prefetchers(
+                request, l1, l1_prefetcher, result.l1_hit, result.l2_hit
+            )
+        return result
+
+    def _account(
+        self,
+        request: MemoryRequest,
+        latency: int,
+        level: int,
+        l1_hit: bool,
+        demand: bool,
+    ) -> None:
+        """Update hierarchy counters for an access serviced at ``level``.
+
+        ``level`` is the integer value of the servicing :class:`HitLevel`
+        (1=L1 … 4=DRAM); an L2 miss therefore is ``level >= 3``.
+        """
+        stats = self.stats
+        is_instruction = request.access_type is AccessType.INSTRUCTION_FETCH
+        l2_miss = level >= 3
+        # Instruction-side L2 misses are counted for demand fetches *and* for
+        # FDIP instruction prefetches: with a decoupled frontend the run-ahead
+        # prefetcher issues the demand stream early, so its misses are the
+        # instruction misses the program pays for (the later demand fetch then
+        # hits the L1-I).  Data prefetches stay excluded from MPKI.
+        if l2_miss and is_instruction:
+            stats.l2_inst_misses += 1
+
+        if demand:
+            stats.total_latency += latency
+            if not l1_hit:
+                if is_instruction:
+                    stats.l1i_misses += 1
+                else:
+                    stats.l1d_misses += 1
+            if l2_miss and not is_instruction:
+                stats.l2_data_misses += 1
+            if level == 4:
+                # Serviced by DRAM: missed the SLC as well as the L2.
+                stats.slc_misses += 1
+                stats.dram_accesses += 1
+
+    def _walk_below_l1(
+        self,
+        request: MemoryRequest,
+        l1: SetAssociativeCache,
+        evicted: Optional[list[int]],
+    ) -> tuple[int, int]:
+        """Continue the walk after an L1 miss has already been recorded.
+
+        Returns ``(latency, level)`` with ``level`` the integer
+        :class:`HitLevel` that serviced the access.  ``evicted`` collects the
+        addresses of lines evicted by the fills when a list is supplied (the
+        compat path exposes them through ``AccessResult.evicted_lines``; the
+        fast paths pass ``None``).
+        """
+        cfg = self.config
         latency = self._l1_latency(request)
 
         # L2 lookup (the level whose replacement policy is under evaluation).
         l2_hit = self.l2.access(request)
         if self.l2_access_observer is not None and not request.is_prefetch:
             self.l2_access_observer(request, l2_hit)
-        if l2_hit:
-            latency += cfg.l2.latency
-            self._fill(l1, request, evicted)
-            return AccessResult(
-                request=request,
-                hit_level=HitLevel.L2,
-                latency=latency,
-                l2_hit=True,
-                evicted_lines=tuple(evicted),
-            )
         latency += cfg.l2.latency
+        if l2_hit:
+            self._fill(l1, request, evicted)
+            return latency, 2
 
         # SLC lookup.
         if self.slc.access(request):
@@ -222,30 +341,18 @@ class CacheHierarchy:
                 self.slc.invalidate(request.address)
             self._fill_l2(request, evicted)
             self._fill(l1, request, evicted)
-            return AccessResult(
-                request=request,
-                hit_level=HitLevel.SLC,
-                latency=latency,
-                slc_hit=True,
-                evicted_lines=tuple(evicted),
-            )
-        latency += cfg.slc.latency
+            return latency, 3
 
         # DRAM.
-        latency += cfg.dram_latency
+        latency += cfg.slc.latency + cfg.dram_latency
         self._fill_l2(request, evicted)
         if not cfg.slc_exclusive:
-            self.slc.fill(request)
+            self.slc.fill_raw(request)
         self._fill(l1, request, evicted)
-        return AccessResult(
-            request=request,
-            hit_level=HitLevel.DRAM,
-            latency=latency,
-            evicted_lines=tuple(evicted),
-        )
+        return latency, 4
 
     def _l1_latency(self, request: MemoryRequest) -> int:
-        if request.is_instruction:
+        if request.access_type is AccessType.INSTRUCTION_FETCH:
             return self.config.l1i.latency
         return self.config.l1d.latency
 
@@ -253,53 +360,86 @@ class CacheHierarchy:
         self,
         cache: SetAssociativeCache,
         request: MemoryRequest,
-        evicted: list[int],
+        evicted: Optional[list[int]],
     ) -> None:
-        victim = cache.fill(request)
-        if victim is not None:
-            evicted.append(victim.address)
+        victim = cache.fill_raw(request)
+        if victim is not None and evicted is not None:
+            evicted.append(victim[0])
 
-    def _fill_l2(self, request: MemoryRequest, evicted: list[int]) -> None:
-        victim = self.l2.fill(request)
+    def _fill_l2(self, request: MemoryRequest, evicted: Optional[list[int]]) -> None:
+        victim = self.l2.fill_raw(request)
         if victim is None:
             return
-        evicted.append(victim.address)
+        address, is_instruction, pc = victim
+        if evicted is not None:
+            evicted.append(address)
         if self.config.l2_inclusive:
             # Back-invalidate the victim from the private L1s.
-            self.l1i.invalidate(victim.address)
-            self.l1d.invalidate(victim.address)
+            self.l1i.invalidate(address)
+            self.l1d.invalidate(address)
         if self.config.slc_exclusive:
             # Exclusive SLC acts as a victim cache for L2 evictions.
-            self.slc.fill(self._victim_request(victim))
-
-    @staticmethod
-    def _victim_request(victim: CacheBlock) -> MemoryRequest:
-        access_type = (
-            AccessType.INSTRUCTION_FETCH
-            if victim.is_instruction
-            else AccessType.DATA_LOAD
-        )
-        return MemoryRequest(
-            address=victim.address,
-            access_type=access_type,
-            pc=victim.pc,
-            is_prefetch=True,
-        )
+            self.slc.fill_raw(
+                MemoryRequest(
+                    address=address,
+                    access_type=(
+                        AccessType.INSTRUCTION_FETCH
+                        if is_instruction
+                        else AccessType.DATA_LOAD
+                    ),
+                    pc=pc,
+                    is_prefetch=True,
+                )
+            )
 
     def _run_prefetchers(
         self,
         request: MemoryRequest,
-        result: AccessResult,
         l1: SetAssociativeCache,
         l1_prefetcher: Prefetcher,
+        l1_hit: bool,
+        l2_hit: bool,
     ) -> None:
-        targets: list[int] = []
-        targets.extend(l1_prefetcher.observe(request, result.l1_hit))
-        targets.extend(self.l2_prefetcher.observe(request, result.l2_hit))
+        targets = l1_prefetcher.observe(request, l1_hit)
+        if targets:
+            self._issue_targets(request, l1, targets)
+        targets = self.l2_prefetcher.observe(request, l2_hit)
+        if targets:
+            self._issue_targets(request, l1, targets)
+
+    def _issue_targets(self, request, l1: SetAssociativeCache, targets) -> None:
+        """Issue prefetches for ``targets`` derived from a demand ``request``.
+
+        The prefetch requests travel as one reused
+        :class:`~repro.common.request.ScratchRequest` — every consumer on the
+        prefetch walk (cache stats, fills, replacement hooks) only reads field
+        values, so a mutable request carrying the same values is
+        indistinguishable from a fresh frozen one.
+        """
+        scratch = self._prefetch_scratch
+        scratch.access_type = request.access_type
+        scratch.pc = request.pc
+        scratch.temperature = request.temperature
+        scratch.starvation_hint = request.starvation_hint
+        stats = self.stats
         for address in targets:
-            self.stats.prefetches_issued += 1
-            prefetch = request.as_prefetch(address)
-            self._access(prefetch, l1, l1_prefetcher, allow_prefetch=False)
+            stats.prefetches_issued += 1
+            scratch.address = address
+            self._issue_prefetch(scratch, l1)
+
+    def _issue_prefetch(self, request: MemoryRequest, l1: SetAssociativeCache) -> None:
+        """Walk a prefetch through the hierarchy without building a result.
+
+        Equivalent to ``_access(request, ..., allow_prefetch=False)`` for a
+        prefetch request: no demand counters, no nested prefetching, only the
+        instruction-prefetch L2-miss accounting.
+        """
+        if l1.access(request):
+            # A prefetch L1 hit updates no hierarchy counters.
+            return
+        latency, level = self._walk_below_l1(request, l1, None)
+        if level >= 3 and request.access_type is AccessType.INSTRUCTION_FETCH:
+            self.stats.l2_inst_misses += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

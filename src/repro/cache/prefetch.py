@@ -10,9 +10,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.common.addressing import CACHE_LINE_SIZE, line_address
 from repro.common.request import MemoryRequest
+
+
+#: Shared empty result for observations that issue nothing — the common case,
+#: returned once per demand access in the simulation hot loop.
+_NO_PREFETCHES: tuple[int, ...] = ()
 
 
 class Prefetcher(abc.ABC):
@@ -21,7 +27,7 @@ class Prefetcher(abc.ABC):
     name: str = "none"
 
     @abc.abstractmethod
-    def observe(self, request: MemoryRequest, hit: bool) -> list[int]:
+    def observe(self, request: MemoryRequest, hit: bool) -> "Sequence[int]":
         """Observe a demand access and return line addresses to prefetch."""
 
     def reset(self) -> None:
@@ -33,8 +39,8 @@ class NullPrefetcher(Prefetcher):
 
     name = "none"
 
-    def observe(self, request: MemoryRequest, hit: bool) -> list[int]:
-        return []
+    def observe(self, request: MemoryRequest, hit: bool) -> "Sequence[int]":
+        return _NO_PREFETCHES
 
 
 class NextLinePrefetcher(Prefetcher):
@@ -57,7 +63,7 @@ class NextLinePrefetcher(Prefetcher):
         return [base + i * self.line_size for i in range(1, self.degree + 1)]
 
 
-@dataclass
+@dataclass(slots=True)
 class _StrideEntry:
     last_address: int = 0
     stride: int = 0
@@ -89,34 +95,44 @@ class StridePrefetcher(Prefetcher):
         self.line_size = line_size
         self._table: dict[int, _StrideEntry] = {}
 
-    def observe(self, request: MemoryRequest, hit: bool) -> list[int]:
-        key = request.pc % self.table_entries if request.pc else (
-            request.address // 4096
-        ) % self.table_entries
-        entry = self._table.get(key)
+    def observe(self, request: MemoryRequest, hit: bool) -> "Sequence[int]":
+        address = request.address
+        table = self._table
+        entries = self.table_entries
+        pc = request.pc
+        key = pc % entries if pc else (address // 4096) % entries
+        entry = table.get(key)
         if entry is None:
-            if len(self._table) >= self.table_entries:
+            if len(table) >= entries:
                 # Capacity eviction: drop an arbitrary (oldest-inserted) entry.
-                self._table.pop(next(iter(self._table)))
-            self._table[key] = _StrideEntry(last_address=request.address)
-            return []
+                table.pop(next(iter(table)))
+            table[key] = _StrideEntry(last_address=address)
+            return _NO_PREFETCHES
 
-        stride = request.address - entry.last_address
+        threshold = self.threshold
+        stride = address - entry.last_address
         if stride != 0 and stride == entry.stride:
-            entry.confidence = min(entry.confidence + 1, self.threshold + 2)
+            confidence = entry.confidence + 1
+            if confidence > threshold + 2:
+                confidence = threshold + 2
+            entry.confidence = confidence
         else:
-            entry.confidence = max(entry.confidence - 1, 0)
+            confidence = entry.confidence - 1
+            if confidence < 0:
+                confidence = 0
+            entry.confidence = confidence
             entry.stride = stride
-        entry.last_address = request.address
+        entry.last_address = address
 
-        if entry.confidence < self.threshold or entry.stride == 0:
-            return []
-        base = request.address
+        if confidence < threshold or stride == 0:
+            return _NO_PREFETCHES
+        line_size = self.line_size
+        stride = entry.stride
         prefetches = []
         for i in range(1, self.degree + 1):
-            target = base + i * entry.stride
+            target = address + i * stride
             if target >= 0:
-                prefetches.append(line_address(target, self.line_size))
+                prefetches.append(target - target % line_size)
         return prefetches
 
     def reset(self) -> None:

@@ -32,20 +32,27 @@ class LRUPolicy(ReplacementPolicy):
         self._clock += 1
         self._stamps[set_index][way] = self._clock
 
+    # The hit/insert hooks run on every single cache access in the simulation
+    # hot loop; list indexing raises IndexError for out-of-range ways on its
+    # own, so the explicit range checks are left to the cold entry points.
     def on_hit(self, set_index: int, way: int, request: MemoryRequest) -> None:
-        self._check_set(set_index)
-        self._check_way(way)
-        self._touch(set_index, way)
+        self._clock += 1
+        self._stamps[set_index][way] = self._clock
 
     def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
-        self._check_set(set_index)
-        self._check_way(way)
-        self._touch(set_index, way)
+        self._clock += 1
+        self._stamps[set_index][way] = self._clock
 
     def select_victim(self, set_index: int, request: MemoryRequest) -> int:
-        self._check_set(set_index)
         stamps = self._stamps[set_index]
-        return min(range(self.num_ways), key=lambda way: stamps[way])
+        victim = 0
+        best = stamps[0]
+        for way in range(1, self.num_ways):
+            stamp = stamps[way]
+            if stamp < best:
+                best = stamp
+                victim = way
+        return victim
 
     def on_evict(
         self, set_index: int, way: int, request: Optional[MemoryRequest] = None
@@ -70,12 +77,9 @@ class FIFOPolicy(ReplacementPolicy):
         self._stamps = [[0] * num_ways for _ in range(num_sets)]
 
     def on_hit(self, set_index: int, way: int, request: MemoryRequest) -> None:
-        self._check_set(set_index)
-        self._check_way(way)
+        pass
 
     def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
-        self._check_set(set_index)
-        self._check_way(way)
         self._clock += 1
         self._stamps[set_index][way] = self._clock
 

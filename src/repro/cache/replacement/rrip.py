@@ -72,13 +72,18 @@ class RRIPBase(ReplacementPolicy):
                 rrpvs[way] = self.rrpv_max
 
     # ------------------------------------------------------------------ hooks
+    # The hooks write the RRPV arrays directly: they run on every access of
+    # the simulation hot loop with indices the cache validated already, and
+    # ``insertion_rrpv`` implementations return in-range predictions by
+    # construction.  ``set_rrpv`` (with its range validation) remains the
+    # entry point for tests and analysis code.
     def on_hit(self, set_index: int, way: int, request: MemoryRequest) -> None:
         """Default RRIP hit promotion: predict immediate re-reference."""
-        self.set_rrpv(set_index, way, self.rrpv_immediate)
+        self._rrpv[set_index][way] = self.rrpv_immediate
 
     def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
         """Default (SRRIP-style) insertion at intermediate re-reference."""
-        self.set_rrpv(set_index, way, self.insertion_rrpv(set_index, request))
+        self._rrpv[set_index][way] = self.insertion_rrpv(set_index, request)
 
     def insertion_rrpv(self, set_index: int, request: MemoryRequest) -> int:
         """RRPV assigned to a newly inserted line (overridden by subclasses)."""

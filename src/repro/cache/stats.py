@@ -3,27 +3,29 @@
 The quantities here are exactly the ones the paper's evaluation reports:
 demand misses split into instruction and data streams (for the L2 MPKI of
 Table 3), plus hit/eviction counts used by tests and the analysis modules.
+
+``CacheStats`` stores only the primitive counters the cache increments on its
+hot path (one increment per access) — instruction/data hits and misses, and
+prefetch hits and misses.  Every aggregate (demand accesses, demand hits,
+stream totals) is derived on read; that keeps
+:meth:`repro.cache.cache.SetAssociativeCache.access` down to a single counter
+update per lookup, which is measurable when every simulated instruction
+performs several cache lookups.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Counters maintained by a single cache level."""
 
-    demand_accesses: int = 0
-    demand_hits: int = 0
-    demand_misses: int = 0
-    inst_accesses: int = 0
     inst_hits: int = 0
     inst_misses: int = 0
-    data_accesses: int = 0
     data_hits: int = 0
     data_misses: int = 0
-    prefetch_accesses: int = 0
     prefetch_hits: int = 0
     prefetch_misses: int = 0
     fills: int = 0
@@ -32,19 +34,53 @@ class CacheStats:
     invalidations: int = 0
     writebacks: int = 0
 
+    # -------------------------------------------------------------- aggregates
+    @property
+    def demand_hits(self) -> int:
+        """Demand (non-prefetch) hits across both streams."""
+        return self.inst_hits + self.data_hits
+
+    @property
+    def demand_misses(self) -> int:
+        """Demand (non-prefetch) misses across both streams."""
+        return self.inst_misses + self.data_misses
+
+    @property
+    def demand_accesses(self) -> int:
+        """Demand (non-prefetch) lookups across both streams."""
+        return self.inst_hits + self.data_hits + self.inst_misses + self.data_misses
+
+    @property
+    def inst_accesses(self) -> int:
+        """Instruction-stream demand lookups."""
+        return self.inst_hits + self.inst_misses
+
+    @property
+    def data_accesses(self) -> int:
+        """Data-stream demand lookups."""
+        return self.data_hits + self.data_misses
+
+    @property
+    def prefetch_accesses(self) -> int:
+        """Prefetch lookups."""
+        return self.prefetch_hits + self.prefetch_misses
+
+    # -------------------------------------------------------------------- rates
     @property
     def hit_rate(self) -> float:
         """Demand hit rate (0.0 when the cache was never accessed)."""
-        if self.demand_accesses == 0:
+        accesses = self.demand_accesses
+        if accesses == 0:
             return 0.0
-        return self.demand_hits / self.demand_accesses
+        return self.demand_hits / accesses
 
     @property
     def miss_rate(self) -> float:
         """Demand miss rate (0.0 when the cache was never accessed)."""
-        if self.demand_accesses == 0:
+        accesses = self.demand_accesses
+        if accesses == 0:
             return 0.0
-        return self.demand_misses / self.demand_accesses
+        return self.demand_misses / accesses
 
     def mpki(self, instructions: int) -> float:
         """Demand misses per kilo-instruction."""
@@ -69,7 +105,7 @@ class CacheStats:
             setattr(self, name, 0)
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Counters aggregated across the cache hierarchy."""
 

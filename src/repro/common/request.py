@@ -50,7 +50,7 @@ class HitLevel(enum.IntEnum):
         return self >= HitLevel.SLC
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryRequest:
     """A single memory access presented to the cache hierarchy."""
 
@@ -75,9 +75,14 @@ class MemoryRequest:
 
     def as_prefetch(self, address: int | None = None) -> "MemoryRequest":
         """Return a prefetch copy of this request (optionally retargeted)."""
-        return replace(
-            self,
+        # Direct construction: this runs once per issued prefetch, and
+        # ``dataclasses.replace`` costs several times a plain ``__init__``.
+        return MemoryRequest(
             address=self.address if address is None else address,
+            access_type=self.access_type,
+            pc=self.pc,
+            temperature=self.temperature,
+            starvation_hint=self.starvation_hint,
             is_prefetch=True,
         )
 
@@ -90,7 +95,56 @@ class MemoryRequest:
         return replace(self, starvation_hint=hint)
 
 
-@dataclass
+class ScratchRequest:
+    """Mutable, reusable stand-in for :class:`MemoryRequest`.
+
+    The packed-trace replay loop issues one data request per memory
+    instruction; allocating a frozen dataclass for each dominates the L1-hit
+    fast path.  A single ``ScratchRequest`` is reused instead: it exposes the
+    same attribute surface (so caches, replacement policies, prefetchers and
+    observers read identical values) but is overwritten in place between
+    accesses.  Consumers therefore must never retain a reference past the
+    access — every built-in consumer only reads field values.
+    """
+
+    __slots__ = (
+        "address",
+        "access_type",
+        "pc",
+        "temperature",
+        "starvation_hint",
+        "is_prefetch",
+    )
+
+    def __init__(self) -> None:
+        self.address = 0
+        self.access_type = AccessType.DATA_LOAD
+        self.pc = 0
+        self.temperature = Temperature.NONE
+        self.starvation_hint = False
+        self.is_prefetch = False
+
+    @property
+    def is_instruction(self) -> bool:
+        return self.access_type.is_instruction
+
+    @property
+    def is_write(self) -> bool:
+        return self.access_type.is_write
+
+    def as_prefetch(self, address: int | None = None) -> MemoryRequest:
+        """Materialise a real (immutable) prefetch request from this one."""
+        return MemoryRequest(
+            address=self.address if address is None else address,
+            access_type=self.access_type,
+            pc=self.pc,
+            temperature=self.temperature,
+            starvation_hint=self.starvation_hint,
+            is_prefetch=True,
+        )
+
+
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of presenting a request to the cache hierarchy."""
 

@@ -36,3 +36,7 @@ class IdentityTranslator:
 
     def translate_data(self, vaddr: int) -> tuple[int, Temperature]:
         return vaddr, Temperature.NONE
+
+    def translate_data_addr(self, vaddr: int) -> int:
+        """Address-only data translation (optional fast-path protocol hook)."""
+        return vaddr

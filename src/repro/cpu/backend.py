@@ -15,7 +15,12 @@ from dataclasses import dataclass
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.addressing import CACHE_LINE_SIZE, line_address
-from repro.common.request import AccessResult, AccessType, MemoryRequest
+from repro.common.request import (
+    AccessResult,
+    AccessType,
+    MemoryRequest,
+    ScratchRequest,
+)
 from repro.common.translation import AddressTranslator, IdentityTranslator
 
 
@@ -73,6 +78,13 @@ class BackendModel:
         self.config.validate()
         self.line_size = line_size
         self.stats = BackendStats()
+        #: Reusable request object for the packed-trace data fast path.
+        self._scratch = ScratchRequest()
+        #: Address-only data translation, when the translator offers it
+        #: (avoids one tuple allocation per data access on the fast path).
+        self._translate_data_addr = getattr(
+            self.translator, "translate_data_addr", None
+        )
 
     def access_data(self, vaddr: int, pc: int, is_store: bool) -> DataAccessOutcome:
         """Issue a data load/store and return the exposed stall cycles."""
@@ -92,6 +104,38 @@ class BackendModel:
             stall *= 0.5
         self.stats.mem_stall_cycles += stall
         return DataAccessOutcome(stall_cycles=stall, result=result)
+
+    def access_data_fast(self, vaddr: int, pc: int, is_store: bool) -> float:
+        """Issue a data access and return only the exposed stall cycles.
+
+        Fast-path twin of :meth:`access_data` used by the packed-trace replay
+        loop: repeat L1-D hits skip the full hierarchy walk, and the request
+        travels as a reused :class:`ScratchRequest` so no outcome or request
+        object is allocated.  All state updates are identical to the slow
+        path; custom ``l2_access_observer`` hooks must not retain the request.
+        """
+        translate = self._translate_data_addr
+        if translate is not None:
+            paddr = translate(vaddr)
+        else:
+            paddr, _temperature = self.translator.translate_data(vaddr)
+        request = self._scratch
+        request.address = paddr
+        request.access_type = (
+            AccessType.DATA_STORE if is_store else AccessType.DATA_LOAD
+        )
+        request.pc = pc
+        latency = self.hierarchy.access_data_fast(request)
+        stats = self.stats
+        stats.data_accesses += 1
+
+        exposed = max(0.0, float(latency - self.config.hide_latency))
+        stall = exposed * (1.0 - self.config.overlap_fraction)
+        # Stores retire through the store buffer; expose only half their cost.
+        if is_store:
+            stall *= 0.5
+        stats.mem_stall_cycles += stall
+        return stall
 
     def charge_depend_stall(self, cycles: float) -> float:
         """Account synthetic dependency-chain stalls from the trace."""

@@ -105,30 +105,16 @@ class BranchPredictionUnit:
         """Predict a branch, update all structures with the actual outcome."""
         if not record.is_branch:
             raise ValueError("predict_and_update requires a branch record")
-        cfg = self.config
-        self.stats.branches += 1
-
-        predicted_taken = self._predict_direction(record.pc)
-        predicted_target = self._predict_target(record)
-
-        direction_wrong = predicted_taken != record.branch_taken
-        target_wrong = (
-            record.branch_taken
-            and not direction_wrong
-            and predicted_target != record.branch_target
+        outcome = self.predict_and_update_raw(
+            record.pc,
+            record.size,
+            record.branch_taken,
+            record.branch_target,
+            record.is_indirect,
+            record.is_call,
+            record.is_return,
         )
-        mispredicted = direction_wrong or target_wrong
-
-        if mispredicted:
-            self.stats.mispredictions += 1
-        if direction_wrong:
-            self.stats.direction_mispredictions += 1
-        if target_wrong:
-            self.stats.target_mispredictions += 1
-
-        self._update_direction(record.pc, record.branch_taken)
-        self._update_target(record)
-        self._history = ((self._history << 1) | int(record.branch_taken)) & self._history_mask
+        predicted_taken, predicted_target, mispredicted, direction_wrong, target_wrong = outcome
         return PredictionOutcome(
             predicted_taken=predicted_taken,
             predicted_target=predicted_target,
@@ -136,6 +122,46 @@ class BranchPredictionUnit:
             direction_wrong=direction_wrong,
             target_wrong=target_wrong,
         )
+
+    def predict_and_update_raw(
+        self,
+        pc: int,
+        size: int,
+        taken: bool,
+        target: int,
+        is_indirect: bool,
+        is_call: bool,
+        is_return: bool,
+    ) -> tuple[bool, int, bool, bool, bool]:
+        """Scalar-argument twin of :meth:`predict_and_update`.
+
+        Used by the packed-trace replay loop, which has no record object to
+        hand over.  Returns ``(predicted_taken, predicted_target,
+        mispredicted, direction_wrong, target_wrong)``.
+        """
+        stats = self.stats
+        stats.branches += 1
+
+        predicted_taken = self._predict_direction(pc)
+        predicted_target = self._predict_target_raw(pc, is_indirect, is_return)
+
+        direction_wrong = predicted_taken != taken
+        target_wrong = (
+            taken and not direction_wrong and predicted_target != target
+        )
+        mispredicted = direction_wrong or target_wrong
+
+        if mispredicted:
+            stats.mispredictions += 1
+        if direction_wrong:
+            stats.direction_mispredictions += 1
+        if target_wrong:
+            stats.target_mispredictions += 1
+
+        self._update_direction(pc, taken)
+        self._update_target_raw(pc, size, taken, target, is_indirect, is_call, is_return)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return predicted_taken, predicted_target, mispredicted, direction_wrong, target_wrong
 
     def reset(self) -> None:
         cfg = self.config
@@ -185,35 +211,47 @@ class BranchPredictionUnit:
             entry.current = 0
 
     # ---------------------------------------------------------------- targets
-    def _predict_target(self, record: TraceRecord) -> int:
-        if record.is_return and self._return_stack:
+    def _predict_target_raw(self, pc: int, is_indirect: bool, is_return: bool) -> int:
+        if is_return and self._return_stack:
             return self._return_stack[-1]
-        if record.is_indirect:
-            return self._indirect_btb.get(record.pc, 0)
-        target = self._btb.get(record.pc)
+        if is_indirect:
+            return self._indirect_btb.get(pc, 0)
+        target = self._btb.get(pc)
         if target is None:
             self.stats.btb_misses += 1
             return 0
         return target
 
-    def _update_target(self, record: TraceRecord) -> None:
+    def _predict_target(self, record: TraceRecord) -> int:
+        return self._predict_target_raw(record.pc, record.is_indirect, record.is_return)
+
+    def _update_target_raw(
+        self,
+        pc: int,
+        size: int,
+        taken: bool,
+        target: int,
+        is_indirect: bool,
+        is_call: bool,
+        is_return: bool,
+    ) -> None:
         cfg = self.config
-        if record.is_call:
-            self._return_stack.append(record.pc + record.size)
+        if is_call:
+            self._return_stack.append(pc + size)
             if len(self._return_stack) > cfg.return_stack_entries:
                 self._return_stack.pop(0)
-        if record.is_return and self._return_stack:
+        if is_return and self._return_stack:
             self._return_stack.pop()
-        if not record.branch_taken:
+        if not taken:
             return
-        if record.is_indirect:
+        if is_indirect:
             if (
-                record.pc not in self._indirect_btb
+                pc not in self._indirect_btb
                 and len(self._indirect_btb) >= cfg.indirect_btb_entries
             ):
                 self._indirect_btb.pop(next(iter(self._indirect_btb)))
-            self._indirect_btb[record.pc] = record.branch_target
+            self._indirect_btb[pc] = target
         else:
-            if record.pc not in self._btb and len(self._btb) >= cfg.btb_entries:
+            if pc not in self._btb and len(self._btb) >= cfg.btb_entries:
                 self._btb.pop(next(iter(self._btb)))
-            self._btb[record.pc] = record.branch_target
+            self._btb[pc] = target

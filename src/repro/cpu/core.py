@@ -22,12 +22,44 @@ from typing import Iterable, Optional
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.addressing import CACHE_LINE_SIZE, line_address
-from repro.common.trace import TraceRecord
+from repro.common.trace import (
+    FLAG_BRANCH,
+    FLAG_CALL,
+    FLAG_DEPEND,
+    FLAG_INDIRECT,
+    FLAG_ISSUE,
+    FLAG_MEM,
+    FLAG_RETURN,
+    FLAG_STORE,
+    FLAG_TAKEN,
+    PackedTrace,
+    TraceRecord,
+)
 from repro.common.translation import AddressTranslator
 from repro.cpu.backend import BackendConfig, BackendModel
 from repro.cpu.branch import BranchPredictionUnit, BranchPredictorConfig
 from repro.cpu.frontend import FetchEngine, FrontendConfig
 from repro.cpu.topdown import TopDownBreakdown
+
+
+#: Memoised results of ``n`` sequential additions of a retire increment.
+#: The record loop accumulates ``1/width`` per instruction; the packed loop
+#: must produce the bit-identical float total, which is a pure function of
+#: ``(increment, n)`` — cached so repeated replays of equally long windows
+#: (policy sweeps replay the same trace many times) skip the O(n) accumulation.
+_RETIRE_SUMS: dict[tuple[float, int], float] = {}
+
+
+def _retire_total(increment: float, count: int) -> float:
+    """The float reached by adding ``increment`` to 0.0 ``count`` times."""
+    key = (increment, count)
+    total = _RETIRE_SUMS.get(key)
+    if total is None:
+        total = 0.0
+        for _ in range(count):
+            total += increment
+        _RETIRE_SUMS[key] = total
+    return total
 
 
 @dataclass
@@ -106,14 +138,20 @@ class CoreModel:
         self.branch_unit = BranchPredictionUnit(self.config.branch)
 
     # ------------------------------------------------------------------- run
-    def run(self, trace: Iterable[TraceRecord]) -> CoreResult:
+    def run(self, trace: Iterable[TraceRecord] | PackedTrace) -> CoreResult:
         """Execute a trace and return cycles plus the Top-Down breakdown.
 
         Each call accounts only its own instructions (per-line stall maps are
         cleared and branch statistics are reported as deltas), while predictor
         state, starvation history and cache contents persist across calls —
         so a warm-up window can be run first and discarded.
+
+        A :class:`~repro.common.trace.PackedTrace` is replayed through the
+        column-oriented fast loop (:meth:`run_packed`), which produces
+        bit-identical results to replaying the equivalent record stream.
         """
+        if isinstance(trace, PackedTrace):
+            return self.run_packed(trace)
         topdown = TopDownBreakdown()
         instructions = 0
         current_line = -1
@@ -165,6 +203,114 @@ class CoreModel:
             ),
             line_stall_cycles=dict(self.frontend.line_stall_cycles),
             line_miss_counts=dict(self.frontend.line_miss_counts),
+        )
+
+    def run_packed(self, trace: PackedTrace) -> CoreResult:
+        """Replay a packed trace through the column-oriented hot loop.
+
+        Semantically identical to :meth:`run` over the same instructions, but
+        the loop reads machine integers out of the packed columns, keeps the
+        Top-Down accumulators in hoisted local floats (folded into the
+        :class:`TopDownBreakdown` once at the end, with the same per-category
+        accumulation order so the totals are bit-identical), and enters the
+        memory system through the resident-line fast paths of
+        :class:`~repro.cpu.frontend.FetchEngine` and
+        :class:`~repro.cpu.backend.BackendModel`.
+        """
+        frontend = self.frontend
+        backend = self.backend
+        branch_unit = self.branch_unit
+        frontend.line_stall_cycles.clear()
+        frontend.line_miss_counts.clear()
+        branches_before = branch_unit.stats.branches
+        mispredictions_before = branch_unit.stats.mispredictions
+
+        width = self.config.dispatch_width
+        retire_inc = 1.0 / width
+        penalty = float(self.config.branch.mispredict_penalty)
+        line_size = self.line_size
+
+        fetch_fast = frontend.fetch_line_fast
+        data_fast = backend.access_data_fast
+        predict_raw = branch_unit.predict_and_update_raw
+        backend_stats = backend.stats
+
+        sizes = trace.size
+        targets = trace.branch_target
+        mems = trace.mem_address
+        depends = trace.depend_stall
+        issues = trace.issue_stall
+
+        instructions = len(trace.pc)
+        # Only instructions that carry flags or cross a fetch boundary can
+        # change simulator state; everything else just retires.  Iterate the
+        # precomputed event indices and account retire bandwidth separately
+        # (with the same one-add-per-instruction accumulation as the record
+        # loop, so the total stays bit-identical).
+        ifetch = 0.0
+        mispred = 0.0
+        depend = 0.0
+        issue = 0.0
+        mem = 0.0
+        current_line = -1
+        event_indices, event_pcs, event_flags = trace.fetch_events(line_size)
+        for index, pc, flags in zip(event_indices, event_pcs, event_flags):
+            fetch_line = pc - pc % line_size
+            if fetch_line != current_line:
+                current_line = fetch_line
+                stall = fetch_fast(fetch_line)
+                if stall > 0.0:
+                    ifetch += stall
+
+            if flags:
+                if flags & FLAG_BRANCH:
+                    outcome = predict_raw(
+                        pc,
+                        sizes[index],
+                        flags & FLAG_TAKEN != 0,
+                        targets[index],
+                        flags & FLAG_INDIRECT != 0,
+                        flags & FLAG_CALL != 0,
+                        flags & FLAG_RETURN != 0,
+                    )
+                    if outcome[2]:
+                        mispred += penalty
+                    if flags & FLAG_TAKEN:
+                        # Fetch redirects to the branch target.
+                        current_line = -1
+                if flags & FLAG_MEM:
+                    stall = data_fast(mems[index], pc, flags & FLAG_STORE != 0)
+                    if stall > 0.0:
+                        mem += stall
+                if flags & FLAG_DEPEND:
+                    cycles = depends[index]
+                    backend_stats.depend_stall_cycles += cycles
+                    depend += cycles
+                if flags & FLAG_ISSUE:
+                    cycles = issues[index]
+                    backend_stats.issue_stall_cycles += cycles
+                    issue += cycles
+
+        retire = _retire_total(retire_inc, instructions)
+
+        topdown = TopDownBreakdown(
+            retire=retire,
+            ifetch=ifetch,
+            mispred=mispred,
+            depend=depend,
+            issue=issue,
+            mem=mem,
+        )
+        return CoreResult(
+            instructions=instructions,
+            cycles=topdown.total_cycles,
+            topdown=topdown,
+            branches=branch_unit.stats.branches - branches_before,
+            branch_mispredictions=(
+                branch_unit.stats.mispredictions - mispredictions_before
+            ),
+            line_stall_cycles=dict(frontend.line_stall_cycles),
+            line_miss_counts=dict(frontend.line_miss_counts),
         )
 
     def reset(self) -> None:

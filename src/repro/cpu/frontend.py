@@ -89,6 +89,12 @@ class FetchEngine:
         #: Virtual line addresses whose demand miss starved decode; requests
         #: to these lines carry Emissary's starvation hint when refetched.
         self._starved_lines: dict[int, bool] = {}
+        #: Per-virtual-line cache of translated fetch requests used by the
+        #: fast path.  ``MemoryRequest`` is immutable and the translation of a
+        #: line never changes once the page is mapped, so a cached request is
+        #: value-identical to a freshly built one; entries are dropped whenever
+        #: the line's starvation hint changes.
+        self._request_cache: dict[int, MemoryRequest] = {}
         #: Per-virtual-line accumulated demand ifetch stall cycles and miss
         #: counts, used by the costly-miss coverage analysis (Figure 7).
         self.line_stall_cycles: dict[int, float] = {}
@@ -125,13 +131,61 @@ class FetchEngine:
             stall_cycles=stall, result=result, caused_starvation=caused_starvation
         )
 
+    def fetch_line_fast(self, vline: int) -> float:
+        """Demand-fetch an (already line-aligned) virtual line; return stall.
+
+        This is the resident-line fast path used by the packed-trace replay
+        loop: the translated :class:`MemoryRequest` is cached per line and the
+        hierarchy is entered through its L1-hit fast path, so a repeat fetch
+        of a resident line costs two dict lookups instead of three object
+        allocations and a full hierarchy walk.  All simulation state
+        transitions (cache statistics, replacement/prefetcher state,
+        starvation tracking, per-line stall maps) are identical to
+        :meth:`fetch_line`; the one observable difference is that the
+        translator is consulted once per line instead of once per fetch, so
+        MMU *translation counters* (never simulation results) read lower than
+        on the record path.
+        """
+        request = self._request_cache.get(vline)
+        if request is None:
+            paddr, temperature = self.translator.translate_instruction(vline)
+            request = MemoryRequest(
+                address=paddr,
+                access_type=AccessType.INSTRUCTION_FETCH,
+                pc=vline,
+                temperature=temperature,
+                starvation_hint=vline in self._starved_lines,
+            )
+            self._request_cache[vline] = request
+        latency, l2_miss = self.hierarchy.access_instruction_fast(request)
+        stats = self.stats
+        stats.demand_fetches += 1
+
+        hidden = self.config.fetch_buffer_slack
+        if self.config.fdip_enabled:
+            hidden += self.config.fdip_lead_cycles
+        stall = float(latency) - hidden
+        if l2_miss:
+            self._remember_starvation(vline)
+            stats.starvation_events += 1
+        if stall > 0:
+            stats.ifetch_stall_cycles += stall
+            self.line_stall_cycles[vline] = self.line_stall_cycles.get(vline, 0.0) + stall
+            self.line_miss_counts[vline] = self.line_miss_counts.get(vline, 0) + 1
+            return stall
+        return 0.0
+
     # ------------------------------------------------------------- starvation
     def _remember_starvation(self, vline: int) -> None:
-        if (
-            vline not in self._starved_lines
-            and len(self._starved_lines) >= self.config.starvation_table_entries
-        ):
-            self._starved_lines.pop(next(iter(self._starved_lines)))
+        if vline not in self._starved_lines:
+            if len(self._starved_lines) >= self.config.starvation_table_entries:
+                evicted = next(iter(self._starved_lines))
+                self._starved_lines.pop(evicted)
+                # The evicted line's hint flips back to False: rebuild its
+                # cached request on next fetch.
+                self._request_cache.pop(evicted, None)
+            # This line's hint flips to True: invalidate its cached request.
+            self._request_cache.pop(vline, None)
         self._starved_lines[vline] = True
 
     def starved_lines(self) -> frozenset[int]:
@@ -141,5 +195,6 @@ class FetchEngine:
     def reset(self) -> None:
         self.stats = FrontendStats()
         self._starved_lines.clear()
+        self._request_cache.clear()
         self.line_stall_cycles.clear()
         self.line_miss_counts.clear()

@@ -5,16 +5,25 @@ prepare a benchmark through the co-design pipeline, materialise its trace
 once, and replay it against several L2 replacement policies.  The
 :class:`BenchmarkRunner` caches prepared workloads and traces so a full
 figure (10 benchmarks x 9 policies) only pays for compilation and trace
-generation once per benchmark.
+generation once per benchmark.  Traces are materialised in the packed
+column-oriented format and replayed through the fast engine; the results are
+bit-identical to record-at-a-time replay (see ``tests/test_determinism.py``).
+
+For multi-benchmark sweeps the runner can also fan the (benchmark × policy)
+grid out over worker processes (:meth:`BenchmarkRunner.run_grid`): every grid
+point is an independent deterministic simulation, so the parallel map returns
+exactly the results — in exactly the order — the serial loop would produce.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.analysis.reuse import ReuseDistanceTracker
-from repro.common.trace import TraceRecord
+from repro.common.trace import PackedTrace, TraceRecord
 from repro.core.pipeline import CoDesignPipeline, PipelineOptions, PreparedWorkload
 from repro.sim.config import BASELINE_POLICY, SimulatorConfig
 from repro.sim.results import SimulationResult
@@ -42,6 +51,7 @@ class BenchmarkRunner:
         self.config.validate()
         self._prepared: dict[tuple, PreparedWorkload] = {}
         self._traces: dict[tuple, tuple[list[TraceRecord], list[TraceRecord]]] = {}
+        self._packed: dict[tuple, tuple[PackedTrace, PackedTrace]] = {}
 
     # ----------------------------------------------------------- preparation
     def resolve_spec(self, benchmark: str | WorkloadSpec) -> WorkloadSpec:
@@ -57,7 +67,18 @@ class BenchmarkRunner:
         options: PipelineOptions | None = None,
     ) -> PreparedWorkload:
         """Run the co-design pipeline for a benchmark (cached)."""
-        spec = self.resolve_spec(benchmark)
+        return self._prepare_resolved(self.resolve_spec(benchmark), options)
+
+    def _prepare_resolved(
+        self, spec: WorkloadSpec, options: PipelineOptions | None = None
+    ) -> PreparedWorkload:
+        """Like :meth:`prepare` for a spec that is already config-scaled.
+
+        Config scaling must be applied exactly once per spec; the multi-run
+        entry points (:meth:`run_policies`, :meth:`run_grid`) resolve up
+        front and come in through here so the scaling is not re-applied per
+        grid point.
+        """
         options = options or self.pipeline_options
         key = (spec, self._options_key(options))
         if key not in self._prepared:
@@ -76,6 +97,23 @@ class BenchmarkRunner:
             measured = generator.take(prepared.spec.eval_instructions)
             self._traces[key] = (warmup, measured)
         return self._traces[key]
+
+    def packed_traces(
+        self, prepared: PreparedWorkload
+    ) -> tuple[PackedTrace, PackedTrace]:
+        """(warm-up, measured) packed traces for a prepared workload (cached).
+
+        Emitted directly from the generator's column stream — the same
+        deterministic instruction sequence :meth:`traces` yields, without
+        allocating one ``TraceRecord`` per dynamic instruction.
+        """
+        key = (prepared.spec, self._options_key(prepared.options))
+        if key not in self._packed:
+            generator = prepared.trace_generator(InputSet.EVALUATION)
+            warmup = generator.take_packed(prepared.spec.warmup_instructions)
+            measured = generator.take_packed(prepared.spec.eval_instructions)
+            self._packed[key] = (warmup, measured)
+        return self._packed[key]
 
     @staticmethod
     def _options_key(options: PipelineOptions) -> tuple:
@@ -99,8 +137,25 @@ class BenchmarkRunner:
         config: SimulatorConfig | None = None,
     ) -> RunArtifacts:
         """Simulate one benchmark under one L2 replacement policy."""
-        prepared = self.prepare(benchmark, options)
-        warmup, measured = self.traces(prepared)
+        return self._run_resolved(
+            self.resolve_spec(benchmark),
+            policy,
+            options=options,
+            track_reuse=track_reuse,
+            config=config,
+        )
+
+    def _run_resolved(
+        self,
+        spec: WorkloadSpec,
+        policy: str = BASELINE_POLICY,
+        options: PipelineOptions | None = None,
+        track_reuse: bool = False,
+        config: SimulatorConfig | None = None,
+    ) -> RunArtifacts:
+        """Like :meth:`run` for a spec that is already config-scaled."""
+        prepared = self._prepare_resolved(spec, options)
+        warmup, measured = self.packed_traces(prepared)
         base_config = config or self.config
         run_config = base_config.with_l2_policy(policy)
         simulator = SystemSimulator(
@@ -127,10 +182,76 @@ class BenchmarkRunner:
         config: SimulatorConfig | None = None,
     ) -> dict[str, SimulationResult]:
         """Run a benchmark under a baseline plus a list of policies."""
+        spec = self.resolve_spec(benchmark)
         results: dict[str, SimulationResult] = {}
         wanted = [baseline] + [p for p in policies if p != baseline]
         for policy in wanted:
-            results[policy] = self.run(
-                benchmark, policy, options=options, config=config
+            results[policy] = self._run_resolved(
+                spec, policy, options=options, config=config
             ).result
         return results
+
+    # ------------------------------------------------------------ parallel map
+    def run_grid(
+        self,
+        benchmarks: Sequence[str | WorkloadSpec],
+        policies: Sequence[str],
+        config: SimulatorConfig | None = None,
+        jobs: int | None = None,
+    ) -> list[tuple[str, str, SimulationResult]]:
+        """Simulate every (benchmark, policy) grid point, optionally in
+        parallel worker processes.
+
+        ``jobs=None`` (or 1) runs serially in this process; ``jobs=0`` uses
+        every available core; any other value caps the worker count.  Each
+        grid point is a fully deterministic, independent simulation, so the
+        returned list — ordered benchmark-major, exactly like the serial
+        nested loop — is identical regardless of ``jobs``.
+        """
+        specs = [self.resolve_spec(benchmark) for benchmark in benchmarks]
+        points = [(spec, policy) for spec in specs for policy in policies]
+        run_config = config or self.config
+        if jobs is None or jobs == 1 or len(points) <= 1:
+            results = [
+                self._run_resolved(spec, policy, config=run_config).result
+                for spec, policy in points
+            ]
+        else:
+            workers = jobs if jobs > 1 else (os.cpu_count() or 1)
+            workers = min(workers, len(points))
+            with multiprocessing.Pool(
+                processes=workers,
+                initializer=_init_grid_worker,
+                initargs=(run_config, self.pipeline_options),
+            ) as pool:
+                # Pool.map preserves input order, giving deterministic output
+                # ordering.  Points are benchmark-major, so chunks of
+                # len(policies) hand each worker whole benchmarks and its
+                # process-level runner cache pays workload preparation and
+                # trace generation once per benchmark instead of per point.
+                results = pool.map(
+                    _run_grid_point, points, chunksize=max(len(policies), 1)
+                )
+        return [
+            (spec.name, policy, result)
+            for (spec, policy), result in zip(points, results)
+        ]
+
+
+#: Per-worker-process runner, built once by the pool initializer so that a
+#: worker handling several grid points of the same benchmark reuses its
+#: prepared workload and packed traces.
+_GRID_RUNNER: Optional[BenchmarkRunner] = None
+
+
+def _init_grid_worker(
+    config: SimulatorConfig, pipeline_options: PipelineOptions
+) -> None:
+    global _GRID_RUNNER
+    _GRID_RUNNER = BenchmarkRunner(config=config, pipeline_options=pipeline_options)
+
+
+def _run_grid_point(point: tuple[WorkloadSpec, str]) -> SimulationResult:
+    spec, policy = point
+    assert _GRID_RUNNER is not None, "worker initializer did not run"
+    return _GRID_RUNNER._run_resolved(spec, policy).result

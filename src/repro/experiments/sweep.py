@@ -66,16 +66,28 @@ def run_policy_sweep(
     policies: Sequence[str] | None = None,
     config: SimulatorConfig | None = None,
     runner: BenchmarkRunner | None = None,
+    jobs: int | None = None,
 ) -> PolicySweepResult:
-    """Simulate every (benchmark, policy) pair against the SRRIP baseline."""
+    """Simulate every (benchmark, policy) pair against the SRRIP baseline.
+
+    ``jobs`` fans the (benchmark × policy) grid out over worker processes
+    (``0`` = all cores, ``None``/``1`` = serial).  Every grid point is an
+    independent deterministic simulation, so the sweep contents are identical
+    — including iteration order of the nested result dicts — for any ``jobs``
+    value.
+    """
     policies = tuple(policies or EVALUATED_POLICIES)
     runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
-    specs = [runner.resolve_spec(b) for b in (benchmarks or PROXY_BENCHMARK_NAMES)]
+    wanted_benchmarks = list(benchmarks or PROXY_BENCHMARK_NAMES)
     sweep = PolicySweepResult(
-        benchmarks=tuple(spec.name for spec in specs),
+        benchmarks=tuple(
+            runner.resolve_spec(b).name for b in wanted_benchmarks
+        ),
         policies=policies,
         baseline_policy=BASELINE_POLICY,
     )
-    for spec in specs:
-        sweep.results[spec.name] = runner.run_policies(spec, list(policies))
+    wanted = [BASELINE_POLICY] + [p for p in policies if p != BASELINE_POLICY]
+    grid = runner.run_grid(wanted_benchmarks, wanted, jobs=jobs)
+    for benchmark, policy, result in grid:
+        sweep.results.setdefault(benchmark, {})[policy] = result
     return sweep

@@ -41,6 +41,11 @@ class MMU:
         self.page_size = page_table.page_size
         self.demand_paging = demand_paging
         self.stats = MMUStats()
+        #: ``vpn -> physical frame`` cache for data translations.  Mappings
+        #: are never changed or revoked once established, so the cache stays
+        #: coherent for the lifetime of the MMU; it turns the per-access page
+        #: walk of the simulation hot loop into one dict lookup.
+        self._data_frame_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------ translation
     def _translate(self, vaddr: int, executable: bool) -> tuple[int, Temperature]:
@@ -73,10 +78,26 @@ class MMU:
         return self._translate(vaddr, executable=True)
 
     def translate_data(self, vaddr: int) -> tuple[int, Temperature]:
-        """Translate a data access; data pages carry no temperature."""
+        """Translate a data access; data pages carry no temperature.
+
+        The current TRRIP implementation has no temperature hints for data
+        lines (Section 3.4), so the attribute is always ``NONE`` even if the
+        data page happens to alias a tagged code page.
+        """
+        return self.translate_data_addr(vaddr), Temperature.NONE
+
+    def translate_data_addr(self, vaddr: int) -> int:
+        """Physical address of a data access, without the temperature tuple.
+
+        Fast-path variant of :meth:`translate_data` for callers that discard
+        the (always ``NONE``) data temperature — skips the tuple allocation
+        per access in the simulation hot loop.
+        """
         self.stats.data_translations += 1
+        page_size = self.page_size
+        frame = self._data_frame_cache.get(vaddr // page_size)
+        if frame is not None:
+            return frame * page_size + vaddr % page_size
         paddr, _temperature = self._translate(vaddr, executable=False)
-        # The current TRRIP implementation has no temperature hints for data
-        # lines (Section 3.4), so the attribute is stripped here even if the
-        # data page happens to alias a tagged code page.
-        return paddr, Temperature.NONE
+        self._data_frame_cache[vaddr // page_size] = paddr // page_size
+        return paddr

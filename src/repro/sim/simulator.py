@@ -17,7 +17,10 @@ class SystemSimulator:
     """One simulated core with its cache hierarchy and (optional) MMU.
 
     The simulator is trace-driven: callers provide iterables of
-    :class:`~repro.common.trace.TraceRecord`.  The usual protocol is
+    :class:`~repro.common.trace.TraceRecord`, or — for fast replay — a
+    :class:`~repro.common.trace.PackedTrace`, which the core routes through
+    its column-oriented hot loop with bit-identical results.  The usual
+    protocol is
 
     1. :meth:`warm_up` with the fast-forward window (Table 2),
     2. :meth:`run` with the measured window, which resets statistics first

@@ -2,7 +2,7 @@
 
 The generator walks the control-flow model (evaluation input), resolves each
 basic block to its virtual address in the compiled binary, and emits one
-:class:`~repro.common.trace.TraceRecord` per instruction:
+dynamic instruction per slot:
 
 * hot functions execute their hot path ``trip_count`` times (an inner loop
   that the L1-I absorbs — the L2-level reuse distance stays governed by the
@@ -13,6 +13,16 @@ basic block to its virtual address in the compiled binary, and emits one
   split between a streaming buffer and a smaller reused region;
 * external calls fetch code from the untagged external region (PLT stubs /
   other libraries — the coverage gap of Figure 7a).
+
+Internally the stream is produced as packed column tuples
+``(pc, size, flags, branch_target, mem_address, depend, issue)``; the
+:meth:`TraceGenerator.records` view wraps them into
+:class:`~repro.common.trace.TraceRecord` objects, while
+:meth:`TraceGenerator.take_packed` appends them straight into a
+:class:`~repro.common.trace.PackedTrace` without allocating one dataclass per
+dynamic instruction.  Both views draw from the same underlying stream with the
+same RNG consumption, so mixing them yields the exact trace a pure-record
+run would produce.
 
 The generator keeps internal state so a warm-up prefix and a measured window
 can be drawn from the same continuous stream (Table 2's fast-forwarding).
@@ -26,7 +36,19 @@ from typing import Iterator, Optional
 
 from repro.common.addressing import CACHE_LINE_SIZE
 from repro.common.errors import WorkloadError
-from repro.common.trace import TraceRecord
+from repro.common.trace import (
+    FLAG_BRANCH,
+    FLAG_CALL,
+    FLAG_DEPEND,
+    FLAG_INDIRECT,
+    FLAG_ISSUE,
+    FLAG_MEM,
+    FLAG_RETURN,
+    FLAG_STORE,
+    FLAG_TAKEN,
+    PackedTrace,
+    TraceRecord,
+)
 from repro.compiler.pgo import CompiledBinary
 from repro.workloads.behavior import ControlFlowModel, FunctionCall
 from repro.workloads.builder import SyntheticWorkload
@@ -41,6 +63,9 @@ STORE_FRACTION = 0.3
 #: several consecutive elements of a buffer before moving to the next cache
 #: line, so one line amortises a handful of accesses.
 STREAM_STRIDE_BYTES = 8
+
+#: Packed flag word of a function-ending return branch.
+_RETURN_FLAGS = FLAG_BRANCH | FLAG_TAKEN | FLAG_RETURN
 
 
 class TraceGenerator:
@@ -64,35 +89,70 @@ class TraceGenerator:
         self._model = ControlFlowModel(workload, input_set)
         self._rng = random.Random(self.spec.seed * 7919 + 3)
         self._stream_offset = 0
-        self._records = self._record_stream()
+        self._raw = self._raw_stream()
 
     # ------------------------------------------------------------ public API
     def records(self, count: int) -> Iterator[TraceRecord]:
         """Yield the next ``count`` records of the (infinite) trace."""
         if count < 0:
             raise WorkloadError("record count must be non-negative")
-        return itertools.islice(self._records, count)
+        return map(self._to_record, itertools.islice(self._raw, count))
 
     def take(self, count: int) -> list[TraceRecord]:
         """Materialise the next ``count`` records as a list."""
         return list(self.records(count))
+
+    def take_packed(self, count: int) -> PackedTrace:
+        """Materialise the next ``count`` instructions as a packed trace.
+
+        This advances the same underlying stream as :meth:`records`, but the
+        columns are filled directly — no per-instruction ``TraceRecord`` (with
+        its ``__post_init__`` validation) is ever allocated.
+        """
+        if count < 0:
+            raise WorkloadError("record count must be non-negative")
+        packed = PackedTrace()
+        append = packed.append_raw
+        for row in itertools.islice(self._raw, count):
+            append(*row)
+        return packed
 
     def reset(self) -> None:
         """Restart the trace from the beginning (deterministic replay)."""
         self._model.reset()
         self._rng = random.Random(self.spec.seed * 7919 + 3)
         self._stream_offset = 0
-        self._records = self._record_stream()
+        self._raw = self._raw_stream()
 
     # ------------------------------------------------------------ generation
-    def _record_stream(self) -> Iterator[TraceRecord]:
+    @staticmethod
+    def _to_record(row: tuple[int, int, int, int, int, int, int]) -> TraceRecord:
+        pc, size, flags, branch_target, mem_address, depend, issue = row
+        return TraceRecord(
+            pc=pc,
+            size=size,
+            is_branch=bool(flags & FLAG_BRANCH),
+            branch_taken=bool(flags & FLAG_TAKEN),
+            branch_target=branch_target,
+            is_indirect=bool(flags & FLAG_INDIRECT),
+            is_call=bool(flags & FLAG_CALL),
+            is_return=bool(flags & FLAG_RETURN),
+            mem_address=mem_address if flags & FLAG_MEM else None,
+            is_store=bool(flags & FLAG_STORE),
+            depend_stall=depend,
+            issue_stall=issue,
+        )
+
+    def _raw_stream(self) -> Iterator[tuple[int, int, int, int, int, int, int]]:
         for call in self._model.calls():
             if call.kind == "external":
-                yield from self._external_records()
+                yield from self._external_rows()
             else:
-                yield from self._function_records(call)
+                yield from self._function_rows(call)
 
-    def _function_records(self, call: FunctionCall) -> Iterator[TraceRecord]:
+    def _function_rows(
+        self, call: FunctionCall
+    ) -> Iterator[tuple[int, int, int, int, int, int, int]]:
         workload = self.workload
         spec = self.spec
         name = call.function_name
@@ -111,7 +171,7 @@ class TraceGenerator:
                     pc = address + 4 * slot
                     is_last_instruction = slot == instructions_per_block - 1
                     if not is_last_instruction:
-                        yield self._plain_record(pc)
+                        yield self._plain_row(pc)
                         continue
                     yield self._block_end_branch(
                         pc,
@@ -125,18 +185,12 @@ class TraceGenerator:
 
     def _block_end_branch(
         self, pc: int, next_address: Optional[int], loop_back: bool
-    ) -> TraceRecord:
+    ) -> tuple[int, int, int, int, int, int, int]:
         rng = self._rng
         if next_address is None:
             # Function end: model as a return.  Target 0 keeps the return
             # stack trivially consistent (no matching call was emitted).
-            return TraceRecord(
-                pc=pc,
-                is_branch=True,
-                branch_taken=True,
-                branch_target=0,
-                is_return=True,
-            )
+            return (pc, 4, _RETURN_FLAGS, 0, 0, 0, 0)
         taken = next_address != pc + 4
         if loop_back:
             taken = True
@@ -144,37 +198,28 @@ class TraceGenerator:
             # Data-dependent branch: direction is effectively random, which is
             # what defeats the global history predictor.
             taken = rng.random() < 0.5
-        return TraceRecord(
-            pc=pc,
-            is_branch=True,
-            branch_taken=taken,
-            branch_target=next_address,
-        )
+        flags = FLAG_BRANCH | FLAG_TAKEN if taken else FLAG_BRANCH
+        return (pc, 4, flags, next_address, 0, 0, 0)
 
-    def _plain_record(self, pc: int) -> TraceRecord:
+    def _plain_row(self, pc: int) -> tuple[int, int, int, int, int, int, int]:
         spec = self.spec
         rng = self._rng
-        mem_address = None
-        is_store = False
+        flags = 0
+        mem_address = 0
         if rng.random() < spec.data_access_rate:
             mem_address, is_store = self._data_access()
-        depend = (
-            spec.depend_stall_cycles
-            if spec.depend_stall_rate and rng.random() < spec.depend_stall_rate
-            else 0
-        )
-        issue = (
-            spec.issue_stall_cycles
-            if spec.issue_stall_rate and rng.random() < spec.issue_stall_rate
-            else 0
-        )
-        return TraceRecord(
-            pc=pc,
-            mem_address=mem_address,
-            is_store=is_store,
-            depend_stall=depend,
-            issue_stall=issue,
-        )
+            flags = FLAG_MEM | FLAG_STORE if is_store else FLAG_MEM
+        depend = 0
+        if spec.depend_stall_rate and rng.random() < spec.depend_stall_rate:
+            depend = spec.depend_stall_cycles
+            if depend:
+                flags |= FLAG_DEPEND
+        issue = 0
+        if spec.issue_stall_rate and rng.random() < spec.issue_stall_rate:
+            issue = spec.issue_stall_cycles
+            if issue:
+                flags |= FLAG_ISSUE
+        return (pc, 4, flags, 0, mem_address, depend, issue)
 
     def _data_access(self) -> tuple[int, bool]:
         spec = self.spec
@@ -193,7 +238,7 @@ class TraceGenerator:
             address = workload.data_reuse_base + line * CACHE_LINE_SIZE
         return address, rng.random() < STORE_FRACTION
 
-    def _external_records(self) -> Iterator[TraceRecord]:
+    def _external_rows(self) -> Iterator[tuple[int, int, int, int, int, int, int]]:
         image = self.binary.image
         if image.external_size <= 0:
             return
@@ -209,13 +254,6 @@ class TraceGenerator:
                 pc = base + slot * EXTERNAL_INSTRUCTION_BYTES
                 last = line == span - 1 and slot == instructions_per_line - 1
                 if last:
-                    yield TraceRecord(
-                        pc=pc,
-                        size=EXTERNAL_INSTRUCTION_BYTES,
-                        is_branch=True,
-                        branch_taken=True,
-                        branch_target=0,
-                        is_return=True,
-                    )
+                    yield (pc, EXTERNAL_INSTRUCTION_BYTES, _RETURN_FLAGS, 0, 0, 0, 0)
                 else:
-                    yield TraceRecord(pc=pc, size=EXTERNAL_INSTRUCTION_BYTES)
+                    yield (pc, EXTERNAL_INSTRUCTION_BYTES, 0, 0, 0, 0, 0)

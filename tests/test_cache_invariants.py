@@ -1,0 +1,165 @@
+"""Property-style cache invariants under random operation sequences.
+
+The O(1) tag-index redesign of :class:`SetAssociativeCache` keeps a per-set
+``tag -> way`` dict alongside the block array.  These tests drive random
+``access``/``fill``/``invalidate`` sequences — across every replacement policy
+the factory can build — and assert after each batch that
+
+* the tag index agrees exactly with a linear scan of the block array,
+* no tag maps to more than one way within a set,
+* the statistics counters add up (hits + misses = accesses, per-stream
+  totals = demand totals, evictions/invalidations bounded by fills), and
+* ``probe`` answers match residency of the block array.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement.factory import available_policies, create_policy
+from repro.common.request import AccessType, MemoryRequest
+from repro.common.temperature import Temperature
+
+NUM_SETS = 8
+NUM_WAYS = 4
+LINE = 64
+
+ACCESS_TYPES = (
+    AccessType.INSTRUCTION_FETCH,
+    AccessType.DATA_LOAD,
+    AccessType.DATA_STORE,
+)
+TEMPERATURES = tuple(Temperature)
+
+
+def make_cache(policy_name: str) -> SetAssociativeCache:
+    policy = create_policy(policy_name, NUM_SETS, NUM_WAYS)
+    return SetAssociativeCache(
+        name=f"inv-{policy_name}",
+        size_bytes=NUM_SETS * NUM_WAYS * LINE,
+        associativity=NUM_WAYS,
+        policy=policy,
+        line_size=LINE,
+    )
+
+
+def random_request(rng: random.Random) -> MemoryRequest:
+    # A handful of tags per set keeps hits, refills and evictions all common.
+    line_number = rng.randrange(NUM_SETS * NUM_WAYS * 3)
+    return MemoryRequest(
+        address=line_number * LINE + rng.randrange(LINE),
+        access_type=rng.choice(ACCESS_TYPES),
+        pc=rng.randrange(1 << 20),
+        temperature=rng.choice(TEMPERATURES),
+        starvation_hint=rng.random() < 0.1,
+        is_prefetch=rng.random() < 0.2,
+    )
+
+
+def assert_invariants(cache: SetAssociativeCache) -> None:
+    stats = cache.stats
+    total_valid = 0
+    for set_index in range(cache.num_sets):
+        blocks = cache.blocks_in_set(set_index)
+        tag_map = cache.tag_map_of(set_index)
+
+        valid_tags = [block.tag for block in blocks if block.valid]
+        total_valid += len(valid_tags)
+        # At most one way per tag.
+        assert len(valid_tags) == len(set(valid_tags))
+        # The tag index is exactly the set of valid (tag, way) pairs.
+        expected = {
+            block.tag: way for way, block in enumerate(blocks) if block.valid
+        }
+        assert tag_map == expected
+        # probe() agrees with the block array for every resident line.
+        for way, block in enumerate(blocks):
+            if block.valid:
+                assert cache.probe(block.address) == way
+
+    # Statistics totals add up.
+    assert stats.demand_accesses == stats.demand_hits + stats.demand_misses
+    assert stats.inst_accesses == stats.inst_hits + stats.inst_misses
+    assert stats.data_accesses == stats.data_hits + stats.data_misses
+    assert stats.demand_accesses == stats.inst_accesses + stats.data_accesses
+    assert stats.demand_hits == stats.inst_hits + stats.data_hits
+    assert stats.demand_misses == stats.inst_misses + stats.data_misses
+    assert stats.prefetch_accesses == stats.prefetch_hits + stats.prefetch_misses
+    # Resident lines never exceed capacity, and every eviction and
+    # invalidation removed a line some fill had installed.
+    assert total_valid <= cache.num_sets * cache.associativity
+    assert stats.evictions + stats.invalidations + total_valid == stats.fills
+    assert stats.prefetch_fills <= stats.fills
+    assert stats.writebacks <= stats.evictions
+
+
+@pytest.mark.parametrize("policy_name", available_policies())
+def test_random_operations_preserve_invariants(policy_name):
+    rng = random.Random(hash(policy_name) & 0xFFFF)
+    cache = make_cache(policy_name)
+    operation_count = 0
+    for batch in range(20):
+        for _ in range(40):
+            request = random_request(rng)
+            roll = rng.random()
+            if roll < 0.45:
+                cache.access(request)
+            elif roll < 0.85:
+                cache.fill(request)
+            elif roll < 0.95:
+                cache.invalidate(request.address)
+            else:
+                # fill_raw must uphold the same invariants as fill.
+                cache.fill_raw(request)
+            operation_count += 1
+        assert_invariants(cache)
+    assert operation_count == 800
+
+
+@pytest.mark.parametrize("policy_name", ("lru", "srrip", "trrip-1"))
+def test_reset_clears_index_and_counts(policy_name):
+    rng = random.Random(7)
+    cache = make_cache(policy_name)
+    for _ in range(100):
+        cache.fill(random_request(rng))
+    cache.reset()
+    assert_invariants(cache)
+    for set_index in range(cache.num_sets):
+        assert cache.tag_map_of(set_index) == {}
+        assert all(not b.valid for b in cache.blocks_in_set(set_index))
+    assert cache.stats.fills == 0
+
+
+def test_refresh_fill_preserves_dirty_bit():
+    """A prefetch refresh of a resident dirty line must not drop the pending
+    writeback (regression test for the seed's fill refresh path)."""
+    cache = make_cache("lru")
+    store = MemoryRequest(address=0x1000, access_type=AccessType.DATA_STORE)
+    cache.fill(store)
+    set_index = cache.set_index_of(0x1000)
+    way = cache.probe(0x1000)
+    assert cache.blocks_in_set(set_index)[way].dirty
+
+    refresh = MemoryRequest(
+        address=0x1000, access_type=AccessType.DATA_LOAD, is_prefetch=True
+    )
+    cache.fill(refresh)
+    way = cache.probe(0x1000)
+    assert cache.blocks_in_set(set_index)[way].dirty, (
+        "clean refill of a resident line dropped the dirty bit"
+    )
+
+    # Evicting the line must therefore count a writeback.
+    writebacks_before = cache.stats.writebacks
+    conflicting = [
+        MemoryRequest(
+            address=0x1000 + i * NUM_SETS * LINE, access_type=AccessType.DATA_LOAD
+        )
+        for i in range(1, NUM_WAYS + 1)
+    ]
+    for request in conflicting:
+        cache.fill(request)
+    assert cache.stats.writebacks == writebacks_before + 1

@@ -1,0 +1,115 @@
+"""Determinism regression tests for the fast simulation engine.
+
+The engine promises three equalities, all bit-exact:
+
+1. running the same workload twice produces identical ``SimulationResult``s;
+2. the packed-trace fast loop reproduces the record-at-a-time loop exactly
+   (same MPKI, IPC and Top-Down numbers, down to float identity);
+3. the parallel sweep runner returns results identical — and identically
+   ordered — to the serial path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.trace import PackedTrace
+from repro.core.pipeline import CoDesignPipeline
+from repro.experiments.runner import BenchmarkRunner
+from repro.experiments.sweep import run_policy_sweep
+from repro.sim.config import SimulatorConfig
+from repro.sim.simulator import SystemSimulator
+from repro.workloads.spec import InputSet, get_spec
+
+#: Every scalar field of SimulationResult that must match bit-for-bit.
+RESULT_FIELDS = (
+    "benchmark",
+    "policy",
+    "config_name",
+    "instructions",
+    "cycles",
+    "ipc",
+    "l2_inst_misses",
+    "l2_data_misses",
+    "l2_inst_mpki",
+    "l2_data_mpki",
+    "l1i_mpki",
+    "branch_mpki",
+    "dram_accesses",
+)
+
+WARMUP = 4000
+MEASURED = 12000
+
+
+def assert_results_identical(a, b) -> None:
+    for field in RESULT_FIELDS:
+        assert getattr(a, field) == getattr(b, field), field
+    assert a.topdown == b.topdown
+    assert a.line_stall_cycles == b.line_stall_cycles
+    assert a.line_miss_counts == b.line_miss_counts
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return CoDesignPipeline().prepare(get_spec("sqlite"))
+
+
+def _run(prepared, policy: str, packed: bool):
+    config = SimulatorConfig.scaled().with_l2_policy(policy)
+    simulator = SystemSimulator(
+        config, translator=prepared.mmu(), benchmark=prepared.spec.name
+    )
+    generator = prepared.trace_generator(InputSet.EVALUATION)
+    if packed:
+        warmup = generator.take_packed(WARMUP)
+        measured = generator.take_packed(MEASURED)
+    else:
+        warmup = generator.take(WARMUP)
+        measured = generator.take(MEASURED)
+    simulator.warm_up(warmup)
+    return simulator.run(measured)
+
+
+class TestEngineDeterminism:
+    def test_same_workload_twice_is_bit_identical(self, prepared):
+        first = _run(prepared, "srrip", packed=False)
+        second = _run(prepared, "srrip", packed=False)
+        assert_results_identical(first, second)
+
+    @pytest.mark.parametrize("policy", ("srrip", "lru", "ship", "trrip-1"))
+    def test_packed_path_matches_record_path(self, prepared, policy):
+        via_records = _run(prepared, policy, packed=False)
+        via_packed = _run(prepared, policy, packed=True)
+        assert_results_identical(via_records, via_packed)
+
+    def test_packed_trace_from_records_equals_generator_packed(self, prepared):
+        generator = prepared.trace_generator(InputSet.EVALUATION)
+        records = generator.take(2000)
+        generator.reset()
+        packed = generator.take_packed(2000)
+        repacked = PackedTrace.from_records(records)
+        assert list(packed.pc) == list(repacked.pc)
+        assert list(packed.flags) == list(repacked.flags)
+        assert list(packed.mem_address) == list(repacked.mem_address)
+        assert packed.to_records() == records
+
+
+class TestParallelSweepDeterminism:
+    def test_parallel_grid_matches_serial(self):
+        runner_serial = BenchmarkRunner()
+        runner_parallel = BenchmarkRunner()
+        benchmarks = ("sqlite", "rapidjson")
+        policies = ("srrip", "trrip-1")
+        serial = runner_serial.run_grid(benchmarks, policies, jobs=None)
+        parallel = runner_parallel.run_grid(benchmarks, policies, jobs=2)
+        assert [(b, p) for b, p, _ in serial] == [(b, p) for b, p, _ in parallel]
+        for (_, _, a), (_, _, b) in zip(serial, parallel):
+            assert_results_identical(a, b)
+
+    def test_sweep_ordering_is_benchmark_major(self):
+        sweep = run_policy_sweep(
+            benchmarks=("sqlite",), policies=("lru",), jobs=None
+        )
+        assert sweep.benchmarks == ("sqlite",)
+        assert list(sweep.results["sqlite"].keys())[0] == sweep.baseline_policy

@@ -14,7 +14,7 @@ from tests.conftest import data_load
 class TestNullPrefetcher:
     def test_never_prefetches(self):
         prefetcher = NullPrefetcher()
-        assert prefetcher.observe(data_load(0x1000), hit=False) == []
+        assert not prefetcher.observe(data_load(0x1000), hit=False)
 
 
 class TestNextLinePrefetcher:
@@ -41,15 +41,15 @@ class TestStridePrefetcher:
     def test_no_prefetch_without_confidence(self):
         prefetcher = StridePrefetcher(degree=1, threshold=3)
         pc = 0x400
-        assert prefetcher.observe(data_load(0x1000, pc=pc), hit=False) == []
-        assert prefetcher.observe(data_load(0x1100, pc=pc), hit=False) == []
+        assert not prefetcher.observe(data_load(0x1000, pc=pc), hit=False)
+        assert not prefetcher.observe(data_load(0x1100, pc=pc), hit=False)
 
     def test_irregular_strides_reset_confidence(self):
         prefetcher = StridePrefetcher(degree=1, threshold=2)
         pc = 0x400
         addresses = [0x1000, 0x1100, 0x1200, 0x5000, 0x1400]
         results = [prefetcher.observe(data_load(a, pc=pc), hit=False) for a in addresses]
-        assert results[-1] == []
+        assert not results[-1]
 
     def test_table_capacity_is_bounded(self):
         prefetcher = StridePrefetcher(table_entries=4)
