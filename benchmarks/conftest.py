@@ -23,6 +23,14 @@ def pytest_addoption(parser):
         default=False,
         help="Run the benchmark harness over all ten proxy benchmarks.",
     )
+    parser.addoption(
+        "--bench-store",
+        metavar="DIR",
+        default=None,
+        help="Read/write simulation results through a persistent result "
+        "store (see repro.experiments.store).  Off by default so reported "
+        "timings always measure real simulations.",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -42,3 +50,29 @@ def bench_workloads_small(request):
     if request.config.getoption("--bench-all-workloads"):
         return PROXY_BENCHMARK_NAMES
     return SMALL_SUBSET
+
+
+@pytest.fixture(scope="session")
+def bench_store(request):
+    """A shared ResultStore when --bench-store is given, else None."""
+    path = request.config.getoption("--bench-store")
+    if not path:
+        return None
+    from repro.experiments.store import ResultStore
+
+    return ResultStore(path)
+
+
+@pytest.fixture(scope="session")
+def bench_runner(bench_store):
+    """A store-backed runner shared by the figure benchmarks (or None).
+
+    ``None`` keeps the default behaviour — every figure builds its own
+    runner and every timing measures real simulations.
+    """
+    if bench_store is None:
+        return None
+    from repro.experiments.runner import BenchmarkRunner
+    from repro.sim.config import SimulatorConfig
+
+    return BenchmarkRunner(config=SimulatorConfig.scaled(), store=bench_store)

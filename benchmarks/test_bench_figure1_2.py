@@ -3,8 +3,10 @@
 from repro.experiments import format_topdown_rows, run_figure1, run_figure2
 
 
-def test_bench_figure1_system_components_topdown(benchmark):
-    rows = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+def test_bench_figure1_system_components_topdown(benchmark, bench_runner):
+    rows = benchmark.pedantic(
+        run_figure1, kwargs={"runner": bench_runner}, rounds=1, iterations=1
+    )
     print("\n[Figure 1] Top-Down of mobile system components (PGO)\n")
     print(format_topdown_rows(rows))
     assert len(rows) == 5
@@ -12,9 +14,14 @@ def test_bench_figure1_system_components_topdown(benchmark):
     assert all(row.frontend_bound > 0.15 for row in rows)
 
 
-def test_bench_figure2_proxy_topdown_pgo_vs_nonpgo(benchmark, bench_workloads_small):
+def test_bench_figure2_proxy_topdown_pgo_vs_nonpgo(
+    benchmark, bench_workloads_small, bench_runner
+):
     rows = benchmark.pedantic(
-        run_figure2, kwargs={"benchmarks": bench_workloads_small}, rounds=1, iterations=1
+        run_figure2,
+        kwargs={"benchmarks": bench_workloads_small, "runner": bench_runner},
+        rounds=1,
+        iterations=1,
     )
     print("\n[Figure 2] Top-Down of proxies, non-PGO vs PGO (*)\n")
     print(format_topdown_rows(rows))

@@ -3,9 +3,12 @@
 from repro.experiments import format_figure3, run_figure3
 
 
-def test_bench_figure3_hot_line_reuse_distance(benchmark, bench_workloads):
+def test_bench_figure3_hot_line_reuse_distance(benchmark, bench_workloads, bench_runner):
     rows = benchmark.pedantic(
-        run_figure3, kwargs={"benchmarks": bench_workloads}, rounds=1, iterations=1
+        run_figure3,
+        kwargs={"benchmarks": bench_workloads, "runner": bench_runner},
+        rounds=1,
+        iterations=1,
     )
     print("\n[Figure 3] Reuse distance of hot lines in the L2 (base and ~)\n")
     print(format_figure3(rows))

@@ -3,9 +3,12 @@
 from repro.experiments import format_figure7, run_figure7
 
 
-def test_bench_figure7_costly_miss_coverage(benchmark, bench_workloads):
+def test_bench_figure7_costly_miss_coverage(benchmark, bench_workloads, bench_runner):
     rows = benchmark.pedantic(
-        run_figure7, kwargs={"benchmarks": bench_workloads}, rounds=1, iterations=1
+        run_figure7,
+        kwargs={"benchmarks": bench_workloads, "runner": bench_runner},
+        rounds=1,
+        iterations=1,
     )
     print("\n[Figure 7] Coverage of costly instruction misses\n")
     print(format_figure7(rows))

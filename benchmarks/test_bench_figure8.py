@@ -4,11 +4,17 @@ from repro.common.temperature import Temperature
 from repro.experiments import format_figure8, run_figure8
 
 
-def test_bench_figure8_hot_threshold_sensitivity(benchmark, bench_workloads_small):
+def test_bench_figure8_hot_threshold_sensitivity(
+    benchmark, bench_workloads_small, bench_runner
+):
     thresholds = (0.10, 0.99, 1.0)
     points = benchmark.pedantic(
         run_figure8,
-        kwargs={"benchmarks": bench_workloads_small, "thresholds": thresholds},
+        kwargs={
+            "benchmarks": bench_workloads_small,
+            "thresholds": thresholds,
+            "runner": bench_runner,
+        },
         rounds=1,
         iterations=1,
     )

@@ -8,12 +8,15 @@ from repro.experiments import (
 )
 
 
-def test_bench_figure9a_cache_size_sensitivity(benchmark, bench_workloads_small):
+def test_bench_figure9a_cache_size_sensitivity(
+    benchmark, bench_workloads_small, bench_store
+):
     points = benchmark.pedantic(
         run_figure9a,
         kwargs={
             "benchmarks": bench_workloads_small,
             "policies": ("trrip-1", "clip"),
+            "store": bench_store,
         },
         rounds=1,
         iterations=1,
@@ -28,10 +31,12 @@ def test_bench_figure9a_cache_size_sensitivity(benchmark, bench_workloads_small)
     assert trrip[-1].geomean_speedup <= trrip[0].geomean_speedup + 0.01
 
 
-def test_bench_figure9b_associativity_sensitivity(benchmark, bench_workloads_small):
+def test_bench_figure9b_associativity_sensitivity(
+    benchmark, bench_workloads_small, bench_store
+):
     points = benchmark.pedantic(
         run_figure9b,
-        kwargs={"benchmarks": bench_workloads_small},
+        kwargs={"benchmarks": bench_workloads_small, "store": bench_store},
         rounds=1,
         iterations=1,
     )

@@ -11,6 +11,11 @@ benchmark:
    once with TRRIP-1 — and print the MPKI / speedup comparison.
 
 Run with:  python examples/quickstart.py
+
+For regenerating the paper's figures and tables wholesale, prefer the
+``repro`` CLI (``repro list`` / ``repro run figure6``), which caches every
+simulation in an on-disk result store; see examples/cached_experiments.py
+for the library-level version of that flow.
 """
 
 from __future__ import annotations

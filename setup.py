@@ -1,11 +1,25 @@
-"""Setuptools shim.
+"""Package metadata and the ``repro`` console entry point.
 
-The project is fully described by ``pyproject.toml``; this file exists so the
-package can be installed editable (``pip install -e .``) on environments whose
-setuptools/pip lack PEP 660 editable-wheel support (e.g. offline machines
-without the ``wheel`` package).
+Install editable with ``pip install -e .``; that puts the ``repro`` command
+on PATH (``repro list`` / ``repro run figure3`` / ...).  Without installing,
+the same CLI is reachable as ``PYTHONPATH=src python -m repro.cli``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-trrip",
+    version="0.2.0",
+    description=(
+        "Reproduction of TRRIP: temperature-based code-cache replacement "
+        "via a compiler/OS/hardware co-design (simulator + experiments)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli.main:main",
+        ]
+    },
+)

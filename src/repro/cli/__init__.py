@@ -1,0 +1,17 @@
+"""Command-line front door for the reproduction (the ``repro`` command).
+
+Installed as a ``console_scripts`` entry point by ``setup.py``; also runnable
+without installation as ``python -m repro.cli``.  Subcommands:
+
+* ``repro list`` — the experiment catalog, benchmarks and policies;
+* ``repro run`` — regenerate any registered figure/table/ablation, serving
+  repeated runs from the on-disk result store;
+* ``repro sweep`` — arbitrary (benchmark × policy) grids with ``--jobs``
+  process parallelism;
+* ``repro report`` — re-render the cached output of a previous ``run`` as
+  text, JSON or CSV without simulating anything.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.cli`` as an uninstalled equivalent of ``repro``."""
+
+import sys
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,362 @@
+"""Argument parsing and subcommand implementations for ``repro``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.cache.replacement.factory import available_policies
+from repro.cli.serialize import render_csv, to_jsonable
+from repro.common.errors import WorkloadError
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentContext,
+    experiment_names,
+    get_experiment,
+)
+from repro.experiments.runner import BenchmarkRunner
+from repro.experiments.store import ResultStore
+from repro.experiments.sweep import run_policy_sweep
+from repro.experiments.table3 import format_table3
+from repro.experiments.figure6 import format_figure6
+from repro.sim.config import BASELINE_POLICY, EVALUATED_POLICIES, SimulatorConfig
+from repro.workloads.spec import (
+    PROXY_BENCHMARKS,
+    SYSTEM_COMPONENTS,
+    get_spec,
+    tiny_spec,
+)
+
+CONFIGS = {
+    "scaled": SimulatorConfig.scaled,
+    "paper": SimulatorConfig.paper,
+}
+
+
+# ------------------------------------------------------------------ arguments
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("result store")
+    group.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="result-store directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result store entirely (neither read nor write)",
+    )
+    group.add_argument(
+        "--refresh",
+        action="store_true",
+        help="ignore cached results but write fresh ones",
+    )
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config",
+        choices=sorted(CONFIGS),
+        default="scaled",
+        help="simulator configuration (default: scaled)",
+    )
+    workload_group = parser.add_mutually_exclusive_group()
+    workload_group.add_argument(
+        "--benchmarks",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated benchmark subset (default: the experiment's "
+        "paper benchmark list)",
+    )
+    workload_group.add_argument(
+        "--tiny",
+        action="store_true",
+        help="run on the miniature smoke-test workload instead of the paper "
+        "benchmarks (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for grid sweeps (0 = all cores; default: serial)",
+    )
+    _add_cache_options(parser)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's figures and tables from one "
+        "entry point, with cached, deterministic simulation runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser(
+        "list", help="show registered experiments, benchmarks and policies"
+    )
+    list_parser.add_argument(
+        "what",
+        nargs="?",
+        choices=("experiments", "benchmarks", "policies", "all"),
+        default="all",
+        help="which catalog to print (default: all)",
+    )
+
+    run_parser = sub.add_parser(
+        "run", help="regenerate one figure/table/ablation by name"
+    )
+    run_parser.add_argument(
+        "experiment",
+        metavar="EXPERIMENT",
+        help="an experiment name from `repro list` (e.g. figure3, table3)",
+    )
+    _add_run_options(run_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a (benchmark x policy) grid against the baseline"
+    )
+    sweep_parser.add_argument(
+        "--policies",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated policy list (default: the paper's evaluated "
+        "policies)",
+    )
+    _add_run_options(sweep_parser)
+
+    report_parser = sub.add_parser(
+        "report", help="render the cached output of a previous run"
+    )
+    report_parser.add_argument("experiment", metavar="EXPERIMENT")
+    report_parser.add_argument(
+        "--format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="output format (default: text)",
+    )
+    report_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write to a file instead of stdout",
+    )
+    report_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="result-store directory the run was saved to",
+    )
+    return parser
+
+
+# ------------------------------------------------------------------- helpers
+def _parse_benchmarks(args) -> Optional[list]:
+    if getattr(args, "tiny", False):
+        return [tiny_spec()]
+    if args.benchmarks is None:
+        return None
+    names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+    for name in names:
+        get_spec(name)  # raises WorkloadError with the known-benchmark list
+    return names
+
+
+def _make_store(args) -> Optional[ResultStore]:
+    if args.no_cache:
+        return None
+    return ResultStore(root=args.store, refresh=args.refresh)
+
+
+def _make_context(args) -> ExperimentContext:
+    config = CONFIGS[args.config]()
+    store = _make_store(args)
+    runner = BenchmarkRunner(config=config, store=store)
+    return ExperimentContext(
+        config=config,
+        runner=runner,
+        benchmarks=_parse_benchmarks(args),
+        jobs=args.jobs,
+    )
+
+
+def _cache_summary(ctx: ExperimentContext) -> str:
+    store = ctx.store
+    if store is None:
+        # No simulation count here: experiments that build internal runners
+        # (figure9) don't report through ctx.runner, so a number would lie.
+        return "# cache disabled"
+    return (
+        f"# {store.misses} simulation(s) run, {store.hits} served from cache "
+        f"({store.root})"
+    )
+
+
+def _save_report(ctx: ExperimentContext, name: str, text: str, data) -> None:
+    store = ctx.store
+    if store is None:
+        return
+    benchmarks = None
+    if ctx.benchmarks is not None:
+        benchmarks = [getattr(b, "name", b) for b in ctx.benchmarks]
+    store.save_report(
+        name,
+        {
+            "experiment": name,
+            "config": ctx.config.name,
+            "config_hash": ctx.config.content_hash(),
+            "benchmarks": benchmarks,
+            "text": text,
+            "data": to_jsonable(data),
+        },
+    )
+
+
+# --------------------------------------------------------------- subcommands
+def _cmd_list(args) -> int:
+    what = args.what
+    if what in ("experiments", "all"):
+        print("experiments:")
+        for name in experiment_names():
+            exp = REGISTRY[name]
+            kind = "simulated" if exp.simulates else "static"
+            print(f"  {name:22s} {exp.artifact:18s} [{kind}] {exp.description}")
+    if what in ("benchmarks", "all"):
+        print("proxy benchmarks (Table 2):")
+        for name, spec in PROXY_BENCHMARKS.items():
+            print(f"  {name:22s} {spec.description}")
+        print("system components (Figure 1):")
+        for name, spec in SYSTEM_COMPONENTS.items():
+            print(f"  {name:22s} {spec.description}")
+    if what in ("policies", "all"):
+        print("replacement policies:")
+        evaluated = set(EVALUATED_POLICIES)
+        for name in available_policies():
+            marks = []
+            if name == BASELINE_POLICY:
+                marks.append("baseline")
+            if name in evaluated:
+                marks.append("evaluated")
+            suffix = f" ({', '.join(marks)})" if marks else ""
+            print(f"  {name}{suffix}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    try:
+        experiment = get_experiment(args.experiment)
+    except KeyError as error:
+        print(f"repro run: {error.args[0]}", file=sys.stderr)
+        return 1
+    ctx = _make_context(args)
+    if args.jobs and not experiment.supports_jobs:
+        print(
+            f"repro run: note: {experiment.name} does not parallelise; "
+            "--jobs ignored",
+            file=sys.stderr,
+        )
+    if (
+        experiment.single_benchmark
+        and ctx.benchmarks is not None
+        and len(ctx.benchmarks) > 1
+    ):
+        print(
+            f"repro run: note: {experiment.name} sweeps a single workload; "
+            f"using only {getattr(ctx.benchmarks[0], 'name', ctx.benchmarks[0])!r}",
+            file=sys.stderr,
+        )
+    result = experiment.run(ctx)
+    text = experiment.format(result)
+    print(f"== {experiment.artifact}: {experiment.description}")
+    print(text)
+    if experiment.simulates:
+        print(_cache_summary(ctx))
+    _save_report(ctx, experiment.name, text, result)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    ctx = _make_context(args)
+    policies = None
+    if args.policies is not None:
+        policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    sweep = run_policy_sweep(
+        benchmarks=ctx.benchmarks,
+        policies=policies,
+        runner=ctx.runner,
+        jobs=ctx.jobs,
+    )
+    text = (
+        "== Speedup over SRRIP (Figure 6 view)\n"
+        + format_figure6(sweep)
+        + "\n\n== L2 MPKI (Table 3 view)\n"
+        + format_table3(sweep)
+    )
+    print(text)
+    print(_cache_summary(ctx))
+    _save_report(ctx, "sweep", text, sweep)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    store = ResultStore(root=args.store)
+    payload = store.load_report(args.experiment)
+    if payload is None:
+        print(
+            f"repro report: no cached report for {args.experiment!r} in "
+            f"{store.root} — run `repro run {args.experiment}` first",
+            file=sys.stderr,
+        )
+        return 1
+    # Provenance on stderr so piped CSV/JSON stays clean: the report is
+    # whatever the *last* `repro run` wrote, which may have been a --tiny
+    # smoke run or a benchmark subset.
+    benchmarks = payload.get("benchmarks")
+    scope = ",".join(benchmarks) if benchmarks else "default benchmark list"
+    print(
+        f"# report from `repro run {args.experiment}` "
+        f"(config={payload.get('config')}, benchmarks={scope})",
+        file=sys.stderr,
+    )
+    if args.format == "text":
+        rendered = payload["text"]
+    elif args.format == "json":
+        rendered = json.dumps(payload["data"], indent=1)
+    else:
+        rendered = render_csv(payload["data"])
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
+    else:
+        print(rendered.rstrip("\n"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except WorkloadError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into a consumer that exited early (e.g. `head`).
+        sys.stderr.close()
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

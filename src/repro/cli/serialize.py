@@ -1,0 +1,65 @@
+"""Generic result-to-JSON/CSV conversion for ``repro run`` / ``repro report``.
+
+Experiment results are plain dataclasses (rows, points, sweep containers),
+so one structural walk covers all of them: dataclasses become dicts, enums
+their values, tuples become lists, and non-string dict keys are stringified.
+CSV output flattens nested structures into dotted column names — best-effort,
+but stable, so downstream scripts can rely on the headers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any
+
+from repro.common.hashing import canonical_payload
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Reduce an experiment result to JSON-serialisable primitives.
+
+    Same structural walk the result store hashes with, but lenient: unknown
+    types render as ``str(obj)`` instead of failing.
+    """
+    return canonical_payload(obj, strict=False)
+
+
+def _flatten(value: Any, prefix: str, row: dict[str, Any]) -> None:
+    if isinstance(value, dict):
+        for k, v in value.items():
+            _flatten(v, f"{prefix}.{k}" if prefix else str(k), row)
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            _flatten(item, f"{prefix}.{index}" if prefix else str(index), row)
+    else:
+        row[prefix or "value"] = value
+
+
+def csv_rows(data: Any) -> tuple[list[str], list[dict[str, Any]]]:
+    """(headers, rows) for CSV output of a jsonable experiment result.
+
+    A list becomes one CSV row per element; anything else becomes a single
+    row.  Headers are the union of flattened keys in first-seen order.
+    """
+    items = data if isinstance(data, list) else [data]
+    rows: list[dict[str, Any]] = []
+    headers: list[str] = []
+    for item in items:
+        row: dict[str, Any] = {}
+        _flatten(to_jsonable(item), "", row)
+        rows.append(row)
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    return headers, rows
+
+
+def render_csv(data: Any) -> str:
+    headers, rows = csv_rows(data)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=headers, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()

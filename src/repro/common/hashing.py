@@ -1,0 +1,66 @@
+"""Stable content hashing for configuration objects.
+
+The result store keys cached simulations by a content hash of everything
+that determines the outcome of a run: the resolved
+:class:`~repro.workloads.spec.WorkloadSpec`, the replacement policy, the
+:class:`~repro.sim.config.SimulatorConfig` and the
+:class:`~repro.core.pipeline.PipelineOptions`.  For those keys to survive a
+process restart (and to be identical across worker processes) the hash must
+be computed over a *canonical* representation: dataclasses become sorted
+dicts, enums their values, tuples become lists, and dict keys are coerced to
+strings before sorting.  Anything else (sets, arbitrary objects) is rejected
+loudly rather than hashed ambiguously.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_payload(obj: Any, strict: bool = True) -> Any:
+    """Reduce ``obj`` to JSON-serialisable primitives, deterministically.
+
+    ``strict=True`` (hashing) rejects unknown types loudly; ``strict=False``
+    (display/report serialisation) falls back to ``str(obj)``.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonical_payload(getattr(obj, f.name), strict)
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return canonical_payload(obj.value, strict)
+    if isinstance(obj, dict):
+        return {
+            _canonical_key(key): canonical_payload(value, strict)
+            for key, value in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(item, strict) for item in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if strict:
+        raise TypeError(f"cannot canonicalise {type(obj).__name__!r} for hashing")
+    return str(obj)
+
+
+def _canonical_key(key: Any) -> str:
+    if isinstance(key, enum.Enum):
+        key = key.value
+    return str(key)
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON text of ``obj`` (sorted keys, no whitespace)."""
+    return json.dumps(
+        canonical_payload(obj), sort_keys=True, separators=(",", ":")
+    )
+
+
+def stable_hash(obj: Any) -> str:
+    """Hex SHA-256 of the canonical JSON representation of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()

@@ -1,5 +1,9 @@
 """Experiment harness: one module per table/figure of the paper.
 
+Every module is registered in :mod:`repro.experiments.registry` under the
+name the ``repro`` CLI uses (``repro run figure3``), and every simulation
+can be cached in the on-disk :mod:`repro.experiments.store`.
+
 ===========  =====================================================
 Experiment    Entry point
 ===========  =====================================================
@@ -21,6 +25,7 @@ Table 5       :func:`repro.experiments.tables.run_table5`
 from repro.experiments.ablations import (
     KillSwitchResult,
     PageSizeAblationPoint,
+    format_kill_switch,
     format_page_size_ablation,
     run_kill_switch_ablation,
     run_page_size_ablation,
@@ -59,9 +64,29 @@ from repro.experiments.topdown_figures import (
     run_figure2,
 )
 
+# The registry imports the experiment modules above, so it must come last.
+from repro.experiments.registry import (
+    REGISTRY,
+    Experiment,
+    ExperimentContext,
+    experiment_names,
+    get_experiment,
+)
+from repro.experiments.store import ResultStore, StoredRun, default_store_root, run_key
+
 __all__ = [
     "BenchmarkRunner",
     "RunArtifacts",
+    "REGISTRY",
+    "Experiment",
+    "ExperimentContext",
+    "experiment_names",
+    "get_experiment",
+    "ResultStore",
+    "StoredRun",
+    "default_store_root",
+    "run_key",
+    "format_kill_switch",
     "run_page_size_ablation",
     "run_kill_switch_ablation",
     "format_page_size_ablation",

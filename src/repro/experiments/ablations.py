@@ -1,5 +1,10 @@
 """Ablation studies beyond the paper's figures.
 
+Reproduces: the design points of **Section 4.9** (page sizes / overlap
+handling) and the **adoption kill-switch argument** the paper makes but does
+not quantify.  CLI: ``repro run ablation-page-size`` /
+``repro run ablation-kill-switch``.
+
 Two design points the paper discusses but does not quantify are measurable
 with this library:
 
@@ -59,8 +64,10 @@ def run_page_size_ablation(
                 overlap_policy=overlap_policy,
                 pad_sections_to_page=padded,
             )
-            baseline = runner.run(spec, BASELINE_POLICY, options=options).result
-            trrip = runner.run(spec, "trrip-1", options=options)
+            baseline = runner.run_resolved(
+                spec, BASELINE_POLICY, options=options
+            ).result
+            trrip = runner.run_resolved(spec, "trrip-1", options=options)
             prepared = trrip.prepared
             points.append(
                 PageSizeAblationPoint(
@@ -116,12 +123,23 @@ def run_kill_switch_ablation(
     spec = runner.resolve_spec(benchmark)
     tagged = PipelineOptions(propagate_temperature=True)
     untagged = PipelineOptions(propagate_temperature=False)
-    srrip = runner.run(spec, BASELINE_POLICY, options=untagged).result
-    trrip = runner.run(spec, "trrip-1", options=tagged).result
-    trrip_untagged = runner.run(spec, "trrip-1", options=untagged).result
+    srrip = runner.run_resolved(spec, BASELINE_POLICY, options=untagged).result
+    trrip = runner.run_resolved(spec, "trrip-1", options=tagged).result
+    trrip_untagged = runner.run_resolved(spec, "trrip-1", options=untagged).result
     return KillSwitchResult(
         benchmark=spec.name,
         srrip_cycles=srrip.cycles,
         trrip_cycles=trrip.cycles,
         trrip_untagged_cycles=trrip_untagged.cycles,
     )
+
+
+def format_kill_switch(result: KillSwitchResult) -> str:
+    lines = [
+        f"{'benchmark':12s} {'SRRIP cycles':>14s} {'TRRIP-1':>14s} "
+        f"{'TRRIP-1 untagged':>17s} {'degrades to SRRIP':>18s}",
+        f"{result.benchmark:12s} {result.srrip_cycles:14.0f} "
+        f"{result.trrip_cycles:14.0f} {result.trrip_untagged_cycles:17.0f} "
+        f"{str(result.degrades_to_baseline):>18s}",
+    ]
+    return "\n".join(lines)

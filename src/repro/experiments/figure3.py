@@ -1,4 +1,10 @@
-"""Figure 3: reuse-distance distribution of hot instruction lines in the L2."""
+"""Figure 3: reuse-distance distribution of hot instruction lines in the L2.
+
+Reproduces: **Figure 3** of the paper — for each proxy benchmark, the
+fraction of hot-line L2 accesses per set-level reuse-distance bucket
+(0-4 / 5-8 / 9-16 / 16+), both against all lines ("base") and against hot
+lines only ("~").  CLI: ``repro run figure3``.
+"""
 
 from __future__ import annotations
 
@@ -32,7 +38,7 @@ def run_figure3(
     rows: list[ReuseRow] = []
     for benchmark in benchmarks or PROXY_BENCHMARK_NAMES:
         spec = runner.resolve_spec(benchmark)
-        artifacts = runner.run(spec, BASELINE_POLICY, track_reuse=True)
+        artifacts = runner.run_resolved(spec, BASELINE_POLICY, track_reuse=True)
         tracker = artifacts.reuse
         base, hot_only = tracker.histograms()
         rows.append(

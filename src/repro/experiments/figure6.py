@@ -1,9 +1,16 @@
-"""Figure 6: speedup of every evaluated mechanism, normalised to SRRIP."""
+"""Figure 6: speedup of every evaluated mechanism, normalised to SRRIP.
+
+Reproduces: **Figure 6** of the paper — per-benchmark and geomean speedup of
+LRU/BRRIP/DRRIP/SHiP/CLIP/Emissary/TRRIP-1/TRRIP-2 over the SRRIP baseline,
+derived from the same (benchmark × policy) sweep as Table 3.
+CLI: ``repro run figure6``.
+"""
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.experiments.runner import BenchmarkRunner
 from repro.experiments.sweep import PolicySweepResult, run_policy_sweep
 from repro.sim.config import EVALUATED_POLICIES, SimulatorConfig
 
@@ -12,12 +19,16 @@ def run_figure6(
     benchmarks: Sequence[str] | None = None,
     policies: Sequence[str] | None = None,
     config: SimulatorConfig | None = None,
+    runner: BenchmarkRunner | None = None,
+    jobs: int | None = None,
 ) -> PolicySweepResult:
     """Run the full policy sweep Figure 6 (and Table 3) are derived from."""
     return run_policy_sweep(
         benchmarks=benchmarks,
         policies=policies or EVALUATED_POLICIES,
         config=config,
+        runner=runner,
+        jobs=jobs,
     )
 
 

@@ -1,4 +1,10 @@
-"""Figure 7: coverage of costly instruction misses by TRRIP's hot section."""
+"""Figure 7: coverage of costly instruction misses by TRRIP's hot section.
+
+Reproduces: **Figure 7** of the paper — the percentage of the costliest
+instruction-miss stall cycles (top 5/10/20/50%) that fall inside the
+compiler's hot section, including (7a) and excluding (7b) external code.
+CLI: ``repro run figure7``.
+"""
 
 from __future__ import annotations
 
@@ -32,7 +38,7 @@ def run_figure7(
     for benchmark in benchmarks or PROXY_BENCHMARK_NAMES:
         spec = runner.resolve_spec(benchmark)
         benchmark = spec.name
-        artifacts = runner.run(spec, BASELINE_POLICY)
+        artifacts = runner.run_resolved(spec, BASELINE_POLICY)
         result = artifacts.result
         binary = artifacts.prepared.binary
         hot_ranges = binary.hot_section_ranges

@@ -1,9 +1,10 @@
 """Figure 8: sensitivity to the compiler hot threshold (percentile_hot).
 
-For each threshold the application is "re-built" (re-classified and re-laid
-out), re-loaded, and run under TRRIP-1; speedups are normalised to the SRRIP
-baseline running the same executable (Section 4.7).  Figure 8a reports the
-hot/warm/cold split of the text section; Figure 8b the TRRIP-1 speedup.
+Reproduces: **Figure 8** of the paper (Section 4.7).  For each threshold the
+application is "re-built" (re-classified and re-laid out), re-loaded, and run
+under TRRIP-1; speedups are normalised to the SRRIP baseline running the same
+executable.  Figure 8a reports the hot/warm/cold split of the text section;
+Figure 8b the TRRIP-1 speedup.  CLI: ``repro run figure8``.
 """
 
 from __future__ import annotations
@@ -53,8 +54,10 @@ def run_figure8(
         spec = runner.resolve_spec(benchmark)
         for threshold in thresholds or DEFAULT_THRESHOLDS:
             options = PipelineOptions(percentile_hot=threshold)
-            baseline = runner.run(spec, BASELINE_POLICY, options=options).result
-            trrip = runner.run(spec, "trrip-1", options=options)
+            baseline = runner.run_resolved(
+                spec, BASELINE_POLICY, options=options
+            ).result
+            trrip = runner.run_resolved(spec, "trrip-1", options=options)
             image = trrip.prepared.binary.image
             by_temp = image.section_bytes_by_temperature()
             total = sum(by_temp.values()) or 1

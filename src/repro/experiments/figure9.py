@@ -1,18 +1,25 @@
 """Figure 9: sensitivity to L2 cache size and associativity.
 
-Figure 9a compares TRRIP-1, CLIP and Emissary on three L2 sizes (geomean
-speedup over SRRIP at the same size).  Figure 9b sweeps the associativity of
-the smallest L2 for TRRIP-1.  The scaled configuration uses L2 sizes that are
-the paper's 128/256/512 kB divided by the same factor as the rest of the
-hierarchy.
+Reproduces: **Figure 9** of the paper.  Figure 9a compares TRRIP-1, CLIP and
+Emissary on three L2 sizes (geomean speedup over SRRIP at the same size).
+Figure 9b sweeps the associativity of the smallest L2 for TRRIP-1.  The
+scaled configuration uses L2 sizes that are the paper's 128/256/512 kB
+divided by the same factor as the rest of the hierarchy.
+CLI: ``repro run figure9a`` / ``repro run figure9b``.
+
+Unlike the other figure modules these sweeps change the simulator
+configuration per point, so they build one :class:`BenchmarkRunner` per
+geometry internally; pass ``store=`` to have all of them share one result
+store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.runner import BenchmarkRunner
+from repro.experiments.store import ResultStore
 from repro.sim.config import BASELINE_POLICY, SimulatorConfig
 from repro.sim.results import geomean_speedup
 from repro.workloads.spec import PROXY_BENCHMARK_NAMES
@@ -52,6 +59,7 @@ def run_figure9a(
     policies: Sequence[str] = SIZE_SWEEP_POLICIES,
     l2_sizes: Sequence[int] | None = None,
     config: SimulatorConfig | None = None,
+    store: Optional[ResultStore] = None,
 ) -> list[SizeSweepPoint]:
     """Cache-size sensitivity of TRRIP-1, CLIP and Emissary (Figure 9a)."""
     config = config or SimulatorConfig.default()
@@ -59,7 +67,7 @@ def run_figure9a(
     points: list[SizeSweepPoint] = []
     for size in l2_sizes or default_l2_sizes(config):
         sized = config.with_l2_geometry(size_bytes=size)
-        runner = BenchmarkRunner(config=sized)
+        runner = BenchmarkRunner(config=sized, store=store)
         for policy in policies:
             speedups = []
             for benchmark in benchmarks:
@@ -81,6 +89,7 @@ def run_figure9b(
     benchmarks: Sequence[str] | None = None,
     associativities: Sequence[int] = DEFAULT_ASSOCIATIVITIES,
     config: SimulatorConfig | None = None,
+    store: Optional[ResultStore] = None,
 ) -> list[AssociativityPoint]:
     """Associativity sensitivity of TRRIP-1 (Figure 9b)."""
     config = config or SimulatorConfig.default()
@@ -88,12 +97,12 @@ def run_figure9b(
     points: list[AssociativityPoint] = []
     for associativity in associativities:
         shaped = config.with_l2_geometry(associativity=associativity)
-        runner = BenchmarkRunner(config=shaped)
+        runner = BenchmarkRunner(config=shaped, store=store)
         for benchmark in benchmarks:
             results = runner.run_policies(benchmark, ["trrip-1"])
             points.append(
                 AssociativityPoint(
-                    benchmark=benchmark,
+                    benchmark=getattr(benchmark, "name", benchmark),
                     associativity=associativity,
                     speedup=results["trrip-1"].speedup_over(results[BASELINE_POLICY]),
                 )

@@ -13,6 +13,14 @@ For multi-benchmark sweeps the runner can also fan the (benchmark × policy)
 grid out over worker processes (:meth:`BenchmarkRunner.run_grid`): every grid
 point is an independent deterministic simulation, so the parallel map returns
 exactly the results — in exactly the order — the serial loop would produce.
+
+A runner may additionally be given a persistent
+:class:`~repro.experiments.store.ResultStore`.  Because every run is fully
+determined by (resolved spec, policy, simulator config, pipeline options),
+a store hit skips the simulation entirely — only the (cheap, deterministic)
+workload preparation is redone to populate :class:`RunArtifacts.prepared`.
+The store is forwarded to pool workers, so parallel sweeps fill and reuse
+the same cache.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from typing import Optional, Sequence
 from repro.analysis.reuse import ReuseDistanceTracker
 from repro.common.trace import PackedTrace, TraceRecord
 from repro.core.pipeline import CoDesignPipeline, PipelineOptions, PreparedWorkload
+from repro.experiments.store import ResultStore, StoredRun, run_key
 from repro.sim.config import BASELINE_POLICY, SimulatorConfig
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import SystemSimulator
@@ -46,12 +55,16 @@ class BenchmarkRunner:
 
     config: SimulatorConfig = field(default_factory=SimulatorConfig.default)
     pipeline_options: PipelineOptions = field(default_factory=PipelineOptions)
+    #: Optional persistent cache; a hit skips the simulation entirely.
+    store: Optional[ResultStore] = None
 
     def __post_init__(self) -> None:
         self.config.validate()
         self._prepared: dict[tuple, PreparedWorkload] = {}
         self._traces: dict[tuple, tuple[list[TraceRecord], list[TraceRecord]]] = {}
         self._packed: dict[tuple, tuple[PackedTrace, PackedTrace]] = {}
+        #: Simulations actually executed by this runner (store hits excluded).
+        self.simulations_run = 0
 
     # ----------------------------------------------------------- preparation
     def resolve_spec(self, benchmark: str | WorkloadSpec) -> WorkloadSpec:
@@ -137,7 +150,7 @@ class BenchmarkRunner:
         config: SimulatorConfig | None = None,
     ) -> RunArtifacts:
         """Simulate one benchmark under one L2 replacement policy."""
-        return self._run_resolved(
+        return self.run_resolved(
             self.resolve_spec(benchmark),
             policy,
             options=options,
@@ -145,7 +158,7 @@ class BenchmarkRunner:
             config=config,
         )
 
-    def _run_resolved(
+    def run_resolved(
         self,
         spec: WorkloadSpec,
         policy: str = BASELINE_POLICY,
@@ -153,11 +166,58 @@ class BenchmarkRunner:
         track_reuse: bool = False,
         config: SimulatorConfig | None = None,
     ) -> RunArtifacts:
-        """Like :meth:`run` for a spec that is already config-scaled."""
+        """Like :meth:`run` for a spec that is already config-scaled.
+
+        Config scaling must be applied exactly once per spec, so every
+        multi-run flow (figure modules, :meth:`run_policies`,
+        :meth:`run_grid`) resolves up front and comes in through here.
+        When the runner has a :class:`~repro.experiments.store.ResultStore`,
+        this is also where cached runs are served from.
+        """
+        effective_options = options or self.pipeline_options
+        run_config = (config or self.config).with_l2_policy(policy)
+
+        key: Optional[str] = None
+        if self.store is not None:
+            key = run_key(spec, policy, run_config, effective_options)
+            cached = self.store.load_run(key, need_reuse=track_reuse)
+            if cached is not None:
+                # Re-prepare (cheap, deterministic, runner-cached) so callers
+                # can still inspect the binary/loaded image; skip simulation.
+                prepared = self._prepare_resolved(spec, effective_options)
+                return RunArtifacts(
+                    result=cached.result,
+                    prepared=prepared,
+                    # Only surface histograms the caller asked for, so cached
+                    # and fresh runs return identical artifact shapes.
+                    reuse=cached.reuse_tracker() if track_reuse else None,
+                )
+
+        artifacts = self._simulate(spec, effective_options, track_reuse, run_config)
+        if self.store is not None and key is not None:
+            self.store.save_run(
+                key,
+                StoredRun.from_tracker(artifacts.result, artifacts.reuse),
+                spec=spec,
+                policy=policy,
+                config=run_config,
+                options=effective_options,
+            )
+        return artifacts
+
+    # Backwards-compatible private alias (pre-CLI callers and pool workers).
+    _run_resolved = run_resolved
+
+    def _simulate(
+        self,
+        spec: WorkloadSpec,
+        options: PipelineOptions,
+        track_reuse: bool,
+        run_config: SimulatorConfig,
+    ) -> RunArtifacts:
+        """Actually execute one simulation (always counts as a fresh run)."""
         prepared = self._prepare_resolved(spec, options)
         warmup, measured = self.packed_traces(prepared)
-        base_config = config or self.config
-        run_config = base_config.with_l2_policy(policy)
         simulator = SystemSimulator(
             run_config, translator=prepared.mmu(), benchmark=prepared.spec.name
         )
@@ -171,6 +231,7 @@ class BenchmarkRunner:
             # Only the measured window contributes to the reuse histograms.
             simulator.hierarchy.l2_access_observer = tracker.observe
         result = simulator.run(measured)
+        self.simulations_run += 1
         return RunArtifacts(result=result, prepared=prepared, reuse=tracker)
 
     def run_policies(
@@ -186,7 +247,7 @@ class BenchmarkRunner:
         results: dict[str, SimulationResult] = {}
         wanted = [baseline] + [p for p in policies if p != baseline]
         for policy in wanted:
-            results[policy] = self._run_resolved(
+            results[policy] = self.run_resolved(
                 spec, policy, options=options, config=config
             ).result
         return results
@@ -213,7 +274,7 @@ class BenchmarkRunner:
         run_config = config or self.config
         if jobs is None or jobs == 1 or len(points) <= 1:
             results = [
-                self._run_resolved(spec, policy, config=run_config).result
+                self.run_resolved(spec, policy, config=run_config).result
                 for spec, policy in points
             ]
         else:
@@ -222,16 +283,25 @@ class BenchmarkRunner:
             with multiprocessing.Pool(
                 processes=workers,
                 initializer=_init_grid_worker,
-                initargs=(run_config, self.pipeline_options),
+                initargs=(run_config, self.pipeline_options, self.store),
             ) as pool:
                 # Pool.map preserves input order, giving deterministic output
                 # ordering.  Points are benchmark-major, so chunks of
                 # len(policies) hand each worker whole benchmarks and its
                 # process-level runner cache pays workload preparation and
                 # trace generation once per benchmark instead of per point.
-                results = pool.map(
+                outcomes = pool.map(
                     _run_grid_point, points, chunksize=max(len(policies), 1)
                 )
+            results = [result for result, _ in outcomes]
+            # Worker counters die with the pool; fold them back into this
+            # runner (and its store stats) so callers see accurate totals.
+            simulated = sum(count for _, count in outcomes)
+            self.simulations_run += simulated
+            if self.store is not None:
+                self.store.misses += simulated
+                self.store.writes += simulated
+                self.store.hits += len(points) - simulated
         return [
             (spec.name, policy, result)
             for (spec, policy), result in zip(points, results)
@@ -245,13 +315,20 @@ _GRID_RUNNER: Optional[BenchmarkRunner] = None
 
 
 def _init_grid_worker(
-    config: SimulatorConfig, pipeline_options: PipelineOptions
+    config: SimulatorConfig,
+    pipeline_options: PipelineOptions,
+    store: Optional[ResultStore] = None,
 ) -> None:
     global _GRID_RUNNER
-    _GRID_RUNNER = BenchmarkRunner(config=config, pipeline_options=pipeline_options)
+    _GRID_RUNNER = BenchmarkRunner(
+        config=config, pipeline_options=pipeline_options, store=store
+    )
 
 
-def _run_grid_point(point: tuple[WorkloadSpec, str]) -> SimulationResult:
+def _run_grid_point(point: tuple[WorkloadSpec, str]) -> tuple[SimulationResult, int]:
+    """(result, simulations actually executed) for one grid point."""
     spec, policy = point
     assert _GRID_RUNNER is not None, "worker initializer did not run"
-    return _GRID_RUNNER._run_resolved(spec, policy).result
+    before = _GRID_RUNNER.simulations_run
+    result = _GRID_RUNNER.run_resolved(spec, policy).result
+    return result, _GRID_RUNNER.simulations_run - before

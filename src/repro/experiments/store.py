@@ -1,0 +1,234 @@
+"""On-disk result store for cached simulation runs.
+
+Every simulation the experiment harness performs is fully determined by four
+inputs: the *resolved* (config-scaled) :class:`~repro.workloads.spec.WorkloadSpec`,
+the L2 replacement policy, the :class:`~repro.sim.config.SimulatorConfig`
+actually simulated, and the compile/load-time
+:class:`~repro.core.pipeline.PipelineOptions`.  The store keys each run by a
+SHA-256 content hash of those inputs (see :mod:`repro.common.hashing`), so
+regenerating a figure a second time — from the same process, a new process,
+or a pool worker — is a cache hit instead of a re-simulation.
+
+Layout under the store root (default ``~/.cache/repro``, overridable with
+the ``REPRO_CACHE_DIR`` environment variable or the CLI's ``--store``):
+
+* ``runs/<k0k1>/<key>.json`` — one cached :class:`~repro.sim.results.SimulationResult`
+  (plus reuse-distance histograms when the run tracked them), with the key
+  inputs echoed for debuggability;
+* ``reports/<experiment>.json`` — the rendered output of the most recent
+  ``repro run <experiment>``, consumed by ``repro report``.
+
+Entries never expire on their own; the key embeds a schema version, so a
+format change simply stops matching old entries.  ``refresh=True`` makes
+every lookup miss while still writing fresh entries (the CLI's
+``--refresh``), and deleting the root directory invalidates everything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.reuse import REUSE_BUCKETS, ReuseDistanceTracker
+from repro.common.hashing import canonical_payload, stable_hash
+from repro.core.pipeline import PipelineOptions
+from repro.sim.config import SimulatorConfig
+from repro.sim.results import SimulationResult
+from repro.workloads.spec import WorkloadSpec
+
+#: Bump when the cached-entry format (or anything about what a key covers)
+#: changes; old entries then simply stop matching.
+SCHEMA_VERSION = 1
+
+
+def default_store_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def run_key(
+    spec: WorkloadSpec,
+    policy: str,
+    config: SimulatorConfig,
+    options: PipelineOptions,
+) -> str:
+    """Content hash identifying one simulation run."""
+    return stable_hash(
+        {
+            "schema": SCHEMA_VERSION,
+            "spec": canonical_payload(spec),
+            "policy": policy,
+            "config": canonical_payload(config),
+            "options": canonical_payload(options),
+        }
+    )
+
+
+@dataclass
+class StoredRun:
+    """A cached simulation result plus optional reuse-distance side products."""
+
+    result: SimulationResult
+    reuse_num_sets: Optional[int] = None
+    reuse_base: Optional[dict[str, int]] = None
+    reuse_hot_only: Optional[dict[str, int]] = None
+
+    @property
+    def has_reuse(self) -> bool:
+        return self.reuse_num_sets is not None
+
+    def reuse_tracker(self) -> Optional[ReuseDistanceTracker]:
+        """Rebuild a tracker exposing the cached histograms (Figure 3)."""
+        if not self.has_reuse:
+            return None
+        tracker = ReuseDistanceTracker(self.reuse_num_sets)
+        tracker.base.counts = {
+            bucket: int(self.reuse_base.get(bucket, 0)) for bucket in REUSE_BUCKETS
+        }
+        tracker.hot_only.counts = {
+            bucket: int(self.reuse_hot_only.get(bucket, 0))
+            for bucket in REUSE_BUCKETS
+        }
+        return tracker
+
+    @classmethod
+    def from_tracker(
+        cls, result: SimulationResult, tracker: Optional[ReuseDistanceTracker]
+    ) -> "StoredRun":
+        if tracker is None:
+            return cls(result=result)
+        return cls(
+            result=result,
+            reuse_num_sets=tracker.num_sets,
+            reuse_base=dict(tracker.base.counts),
+            reuse_hot_only=dict(tracker.hot_only.counts),
+        )
+
+
+class ResultStore:
+    """Content-addressed store of simulation runs and experiment reports.
+
+    The store is safe to share between pool workers: entries are written to a
+    temporary file and atomically renamed into place, and two workers racing
+    on the same key write byte-identical content (simulations are
+    deterministic).  Hit/miss/write counters are per-instance — the CLI
+    reports them after each command.
+    """
+
+    def __init__(self, root: Path | str | None = None, refresh: bool = False):
+        self.root = Path(root) if root is not None else default_store_root()
+        #: When set, every lookup misses but fresh results are still written.
+        self.refresh = refresh
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -------------------------------------------------------------- run cache
+    def _run_path(self, key: str) -> Path:
+        return self.root / "runs" / key[:2] / f"{key}.json"
+
+    def load_run(self, key: str, need_reuse: bool = False) -> Optional[StoredRun]:
+        """The cached run for ``key``, or ``None`` on a miss.
+
+        ``need_reuse=True`` also requires the entry to carry reuse-distance
+        histograms; an entry without them counts as a miss (the re-run will
+        overwrite it with the histograms included).
+        """
+        entry = None
+        if not self.refresh:
+            entry = self._read_json(self._run_path(key))
+        if entry is not None and entry.get("schema") == SCHEMA_VERSION:
+            reuse = entry.get("reuse")
+            if not need_reuse or reuse is not None:
+                self.hits += 1
+                return StoredRun(
+                    result=SimulationResult.from_dict(entry["result"]),
+                    reuse_num_sets=reuse["num_sets"] if reuse else None,
+                    reuse_base=reuse["base"] if reuse else None,
+                    reuse_hot_only=reuse["hot_only"] if reuse else None,
+                )
+        self.misses += 1
+        return None
+
+    def save_run(
+        self,
+        key: str,
+        run: StoredRun,
+        spec: WorkloadSpec,
+        policy: str,
+        config: SimulatorConfig,
+        options: PipelineOptions,
+    ) -> None:
+        """Persist a finished run under ``key`` (atomic overwrite)."""
+        entry = {
+            "schema": SCHEMA_VERSION,
+            # The key inputs, echoed so entries are debuggable with jq/less.
+            "benchmark": spec.name,
+            "policy": policy,
+            "config_name": config.name,
+            "config_hash": config.content_hash(),
+            "options": canonical_payload(options),
+            "result": run.result.to_dict(),
+            "reuse": (
+                {
+                    "num_sets": run.reuse_num_sets,
+                    "base": run.reuse_base,
+                    "hot_only": run.reuse_hot_only,
+                }
+                if run.has_reuse
+                else None
+            ),
+        }
+        self._write_json(self._run_path(key), entry)
+        self.writes += 1
+
+    # ---------------------------------------------------------------- reports
+    def _report_path(self, experiment: str) -> Path:
+        return self.root / "reports" / f"{experiment}.json"
+
+    def save_report(self, experiment: str, payload: dict) -> Path:
+        """Persist the rendered output of ``repro run <experiment>``."""
+        path = self._report_path(experiment)
+        self._write_json(path, {"schema": SCHEMA_VERSION, **payload})
+        return path
+
+    def load_report(self, experiment: str) -> Optional[dict]:
+        """The most recent report for ``experiment``, or ``None``."""
+        entry = self._read_json(self._report_path(experiment))
+        if entry is not None and entry.get("schema") == SCHEMA_VERSION:
+            return entry
+        return None
+
+    # -------------------------------------------------------------- internals
+    @staticmethod
+    def _read_json(path: Path) -> Optional[dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            # Missing, unreadable or corrupt entries are plain misses.
+            return None
+
+    @staticmethod
+    def _write_json(path: Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

@@ -1,4 +1,11 @@
-"""Shared policy-sweep machinery used by Figure 6 and Table 3."""
+"""Shared policy-sweep machinery used by Figure 6 and Table 3.
+
+Runs the (benchmark × policy) grid against the SRRIP baseline and exposes
+speedup / MPKI-reduction / geomean accessors over it.  The CLI's
+``repro sweep`` drives this directly with arbitrary benchmark and policy
+lists; ``repro run figure6`` and ``repro run table3`` are fixed views of the
+same sweep.
+"""
 
 from __future__ import annotations
 

@@ -1,9 +1,16 @@
-"""Table 3: raw SRRIP L2 MPKI and per-policy MPKI reductions."""
+"""Table 3: raw SRRIP L2 MPKI and per-policy MPKI reductions.
+
+Reproduces: **Table 3** of the paper — SRRIP's raw instruction/data L2 MPKI
+per proxy benchmark, and the percentage MPKI reduction every evaluated policy
+achieves over it (the MPKI view of the Figure 6 sweep).
+CLI: ``repro run table3``.
+"""
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.experiments.runner import BenchmarkRunner
 from repro.experiments.sweep import PolicySweepResult, run_policy_sweep
 from repro.sim.config import EVALUATED_POLICIES, SimulatorConfig
 
@@ -12,12 +19,16 @@ def run_table3(
     benchmarks: Sequence[str] | None = None,
     policies: Sequence[str] | None = None,
     config: SimulatorConfig | None = None,
+    runner: BenchmarkRunner | None = None,
+    jobs: int | None = None,
 ) -> PolicySweepResult:
     """Same sweep as Figure 6; Table 3 reports the MPKI view of it."""
     return run_policy_sweep(
         benchmarks=benchmarks,
         policies=policies or EVALUATED_POLICIES,
         config=config,
+        runner=runner,
+        jobs=jobs,
     )
 
 

@@ -1,4 +1,13 @@
-"""Tables 1, 2, 4 and 5 of the paper."""
+"""Tables 1, 2, 4 and 5 of the paper.
+
+Reproduces: **Table 1** (simulator configuration), **Table 2** (benchmarks,
+input sets and instruction windows), **Table 4** (static power and area
+overheads of the evaluated mechanisms) and **Table 5** (hot/warm page counts
+per page size plus binary sizes).  None of these require timing simulation —
+Tables 1/2/4 are derived from configuration and the analytical power model,
+Table 5 runs only the compile/load pipeline.  CLI: ``repro run table1`` /
+``table2`` / ``table4`` / ``table5``.
+"""
 
 from __future__ import annotations
 
@@ -15,7 +24,11 @@ from repro.osmodel.pages import (
 )
 from repro.sim.config import SimulatorConfig, table1_rows
 from repro.common.temperature import Temperature
-from repro.workloads.spec import PROXY_BENCHMARK_NAMES, get_spec
+from repro.workloads.spec import PROXY_BENCHMARK_NAMES, WorkloadSpec, get_spec
+
+
+def _as_spec(benchmark: str | WorkloadSpec) -> WorkloadSpec:
+    return benchmark if isinstance(benchmark, WorkloadSpec) else get_spec(benchmark)
 
 
 # --------------------------------------------------------------------- Table 1
@@ -39,14 +52,16 @@ class Table2Row:
     measured_instructions: int
 
 
-def run_table2(benchmarks: Sequence[str] | None = None) -> list[Table2Row]:
+def run_table2(
+    benchmarks: Sequence[str | WorkloadSpec] | None = None,
+) -> list[Table2Row]:
     """Benchmark / input-set / fast-forward summary (Table 2)."""
     rows = []
-    for name in benchmarks or PROXY_BENCHMARK_NAMES:
-        spec = get_spec(name)
+    for benchmark in benchmarks or PROXY_BENCHMARK_NAMES:
+        spec = _as_spec(benchmark)
         rows.append(
             Table2Row(
-                benchmark=name,
+                benchmark=spec.name,
                 training_input=f"synthetic training walk (seed {spec.seed}, "
                 f"{spec.training_iterations} iterations)",
                 evaluation_input="synthetic evaluation walk (distinct random stream)",
@@ -95,14 +110,15 @@ class Table5Row:
 
 
 def run_table5(
-    benchmarks: Sequence[str] | None = None,
+    benchmarks: Sequence[str | WorkloadSpec] | None = None,
     options: PipelineOptions | None = None,
 ) -> list[Table5Row]:
     """Hot/warm page counts for 4 kB / 16 kB / 2 MB pages plus binary size."""
     pipeline = CoDesignPipeline(options or PipelineOptions())
     rows = []
-    for name in benchmarks or PROXY_BENCHMARK_NAMES:
-        prepared = pipeline.prepare(get_spec(name))
+    for benchmark in benchmarks or PROXY_BENCHMARK_NAMES:
+        spec = _as_spec(benchmark)
+        prepared = pipeline.prepare(spec)
         image = prepared.binary.image
 
         def hot_warm(page_size: int) -> tuple[int, int]:
@@ -111,7 +127,7 @@ def run_table5(
 
         rows.append(
             Table5Row(
-                benchmark=name,
+                benchmark=spec.name,
                 pages_4k=hot_warm(PAGE_SIZE_4K),
                 pages_16k=hot_warm(PAGE_SIZE_16K),
                 pages_2m=hot_warm(PAGE_SIZE_2M),

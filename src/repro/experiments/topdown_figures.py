@@ -1,9 +1,11 @@
 """Figures 1 and 2: Top-Down breakdowns.
 
-Figure 1 profiles the five mobile system-software components (PGO-compiled)
-and shows they remain frontend-bound.  Figure 2 profiles the ten proxy
-benchmarks twice — compiled without PGO and with PGO — and shows PGO improves
-the retire fraction but leaves a large ifetch component.
+Reproduces: **Figure 1** and **Figure 2** of the paper.  Figure 1 profiles
+the five mobile system-software components (PGO-compiled) and shows they
+remain frontend-bound.  Figure 2 profiles the ten proxy benchmarks twice —
+compiled without PGO and with PGO — and shows PGO improves the retire
+fraction but leaves a large ifetch component.  CLI: ``repro run figure1`` /
+``repro run figure2``.
 """
 
 from __future__ import annotations
@@ -40,7 +42,7 @@ def _topdown_row(
 ) -> TopDownRow:
     spec = runner.resolve_spec(benchmark)
     options = PipelineOptions(apply_pgo=apply_pgo, propagate_temperature=False)
-    artifacts = runner.run(spec, policy, options=options)
+    artifacts = runner.run_resolved(spec, policy, options=options)
     return TopDownRow(
         benchmark=spec.name,
         pgo_applied=apply_pgo,

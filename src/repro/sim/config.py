@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.hierarchy import CacheLevelConfig, HierarchyConfig
 from repro.common.errors import ConfigurationError
+from repro.common.hashing import canonical_payload, stable_hash
 from repro.cpu.core import CoreConfig
 
 KB = 1024
@@ -92,6 +93,21 @@ class SimulatorConfig:
 
     def with_page_size(self, page_size: int) -> "SimulatorConfig":
         return dataclasses.replace(self, page_size=page_size)
+
+    # ---------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        """Canonical nested-dict form of the full configuration.
+
+        Every field that influences simulation results is included (cache
+        geometry and latencies, policy names and kwargs, core parameters,
+        page size, workload scale), so two configs with equal dicts produce
+        identical simulations.  Used by the result store to key cached runs.
+        """
+        return canonical_payload(self)
+
+    def content_hash(self) -> str:
+        """Stable hex digest of :meth:`to_dict` (process-independent)."""
+        return stable_hash(self)
 
     # --------------------------------------------------------- constructions
     @classmethod

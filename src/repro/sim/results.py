@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -52,6 +53,32 @@ class SimulationResult:
             _reduction_percent(baseline.l2_inst_mpki, self.l2_inst_mpki),
             _reduction_percent(baseline.l2_data_mpki, self.l2_data_mpki),
         )
+
+    # ---------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; round-trips exactly via :meth:`from_dict`."""
+        payload = dataclasses.asdict(self)
+        # JSON object keys are strings; from_dict restores the int line keys.
+        payload["line_stall_cycles"] = {
+            str(k): v for k, v in self.line_stall_cycles.items()
+        }
+        payload["line_miss_counts"] = {
+            str(k): v for k, v in self.line_miss_counts.items()
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        """Rebuild a result previously serialised with :meth:`to_dict`."""
+        data = dict(payload)
+        data["topdown"] = TopDownBreakdown(**data["topdown"])
+        data["line_stall_cycles"] = {
+            int(k): v for k, v in data.get("line_stall_cycles", {}).items()
+        }
+        data["line_miss_counts"] = {
+            int(k): v for k, v in data.get("line_miss_counts", {}).items()
+        }
+        return cls(**data)
 
 
 def _reduction_percent(baseline: float, value: float) -> float:

@@ -487,6 +487,37 @@ def get_spec(name: str) -> WorkloadSpec:
     )
 
 
+def tiny_spec(name: str = "tinybench", seed: int = 99) -> WorkloadSpec:
+    """A miniature workload for smoke tests and CLI dry runs.
+
+    Roughly 10x smaller than the real proxies in both code footprint and
+    trace length, so a full experiment over it completes in well under a
+    second.  Used by the test suite and by ``repro run --tiny``; it is *not*
+    part of the paper's benchmark catalog (``get_spec`` does not know it).
+    """
+    return WorkloadSpec(
+        name=name,
+        category="proxy",
+        description="miniature smoke-test workload (not a paper benchmark)",
+        hot_functions=8,
+        warm_functions=4,
+        cold_functions=8,
+        blocks_per_hot_function=4,
+        blocks_per_warm_function=3,
+        blocks_per_cold_function=3,
+        internal_cold_blocks=2,
+        external_code_kb=4,
+        external_call_rate=0.05,
+        data_access_rate=0.25,
+        data_stream_kb=8,
+        data_reuse_kb=4,
+        eval_instructions=6_000,
+        warmup_instructions=2_000,
+        training_iterations=3,
+        seed=seed,
+    )
+
+
 def all_proxy_specs() -> list[WorkloadSpec]:
     """The ten Table 2 proxies, in paper order."""
     return [PROXY_BENCHMARKS[name] for name in PROXY_BENCHMARK_NAMES]

@@ -11,6 +11,7 @@ from repro.common.request import AccessType, MemoryRequest
 from repro.common.temperature import Temperature
 from repro.sim.config import SimulatorConfig
 from repro.workloads.spec import WorkloadSpec
+from repro.workloads.spec import tiny_spec as make_tiny_spec
 
 
 def make_request(
@@ -61,27 +62,7 @@ def small_srrip_cache() -> SetAssociativeCache:
 @pytest.fixture
 def tiny_spec() -> WorkloadSpec:
     """A miniature workload spec so simulator tests stay fast (<1 s)."""
-    return WorkloadSpec(
-        name="tinybench",
-        category="proxy",
-        description="miniature workload for tests",
-        hot_functions=8,
-        warm_functions=4,
-        cold_functions=8,
-        blocks_per_hot_function=4,
-        blocks_per_warm_function=3,
-        blocks_per_cold_function=3,
-        internal_cold_blocks=2,
-        external_code_kb=4,
-        external_call_rate=0.05,
-        data_access_rate=0.25,
-        data_stream_kb=8,
-        data_reuse_kb=4,
-        eval_instructions=6_000,
-        warmup_instructions=2_000,
-        training_iterations=3,
-        seed=99,
-    )
+    return make_tiny_spec()
 
 
 @pytest.fixture

@@ -1,0 +1,212 @@
+"""Tests for the ``repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.cli.serialize import csv_rows, render_csv, to_jsonable
+
+
+class TestParser:
+    def test_parser_covers_all_subcommands(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["list", "experiments"],
+            ["run", "figure3", "--tiny", "--no-cache"],
+            ["run", "table3", "--benchmarks", "sqlite,gcc", "--jobs", "2"],
+            ["sweep", "--policies", "lru,trrip-1", "--tiny"],
+            ["report", "figure3", "--format", "csv"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_unknown_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_tiny_and_benchmarks_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "figure6", "--tiny", "--benchmarks", "sqlite"]
+            )
+        assert "not allowed with" in capsys.readouterr().err
+
+
+class TestList:
+    def test_list_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3" in out
+        assert "sqlite" in out
+        assert "trrip-1" in out
+        assert "srrip (baseline)" in out
+
+    def test_list_sections(self, capsys):
+        assert main(["list", "policies"]) == 0
+        out = capsys.readouterr().out
+        assert "replacement policies" in out
+        assert "experiments:" not in out
+
+
+class TestRun:
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "figure33", "--no-cache"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_benchmark_fails_cleanly(self, capsys):
+        assert main(["run", "figure3", "--benchmarks", "nope", "--no-cache"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_static_experiment_runs_without_cache(self, capsys):
+        assert main(["run", "table2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "sqlite" in out
+
+    def test_tiny_run_caches_and_replays(self, tmp_path, capsys):
+        store = str(tmp_path)
+        assert main(["run", "figure7", "--tiny", "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert "Figure 7" in first
+        assert "0 served from cache" in first
+
+        assert main(["run", "figure7", "--tiny", "--store", store]) == 0
+        second = capsys.readouterr().out
+        assert "# 0 simulation(s) run" in second
+
+    def test_no_cache_disables_the_store(self, tmp_path, capsys):
+        store = str(tmp_path)
+        argv = ["run", "figure7", "--tiny", "--store", store, "--no-cache"]
+        assert main(argv) == 0
+        assert "cache disabled" in capsys.readouterr().out
+        assert not list(tmp_path.glob("runs/*/*.json"))
+
+    def test_jobs_warning_for_serial_experiments(self, tmp_path, capsys):
+        argv = ["run", "figure7", "--tiny", "--jobs", "4", "--store", str(tmp_path)]
+        assert main(argv) == 0
+        assert "--jobs ignored" in capsys.readouterr().err
+
+    def test_single_benchmark_experiments_warn_on_extra_benchmarks(
+        self, tmp_path, capsys
+    ):
+        argv = [
+            "run",
+            "ablation-kill-switch",
+            "--benchmarks",
+            "rapidjson,bullet",
+            "--store",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "using only 'rapidjson'" in captured.err
+        assert "bullet" not in captured.out
+
+    def test_refresh_ignores_cached_entries(self, tmp_path, capsys):
+        store = str(tmp_path)
+        assert main(["run", "figure7", "--tiny", "--store", store]) == 0
+        capsys.readouterr()
+        argv = ["run", "figure7", "--tiny", "--store", store, "--refresh"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 served from cache" in out
+
+
+class TestSweep:
+    def test_tiny_sweep(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--tiny",
+            "--policies",
+            "lru,trrip-1",
+            "--store",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6 view" in out
+        assert "Table 3 view" in out
+        assert "tinybench" in out
+
+        # Second sweep over the same grid is fully cached.
+        assert main(argv) == 0
+        assert "# 0 simulation(s) run" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_without_run_fails(self, tmp_path, capsys):
+        assert main(["report", "figure3", "--store", str(tmp_path)]) == 1
+        assert "no cached report" in capsys.readouterr().err
+
+    def test_report_formats(self, tmp_path, capsys):
+        store = str(tmp_path)
+        assert main(["run", "figure3", "--tiny", "--store", store]) == 0
+        run_out = capsys.readouterr().out
+
+        assert main(["report", "figure3", "--store", store]) == 0
+        captured = capsys.readouterr()
+        text = captured.out
+        assert text.strip() in run_out
+        # Provenance goes to stderr so piped output stays clean.
+        assert "benchmarks=tinybench" in captured.err
+
+        assert main(["report", "figure3", "--format", "json", "--store", store]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["benchmark"] == "tinybench"
+
+        assert main(["report", "figure3", "--format", "csv", "--store", store]) == 0
+        csv_text = capsys.readouterr().out
+        assert csv_text.splitlines()[0].startswith("benchmark,")
+
+    def test_sweep_report_keeps_both_views(self, tmp_path, capsys):
+        store = str(tmp_path)
+        argv = ["sweep", "--tiny", "--policies", "trrip-1", "--store", store]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["report", "sweep", "--store", store]) == 0
+        text = capsys.readouterr().out
+        assert "Figure 6 view" in text
+        assert "Table 3 view" in text
+
+    def test_report_to_file(self, tmp_path, capsys):
+        store = str(tmp_path)
+        assert main(["run", "table2", "--tiny", "--store", store]) == 0
+        capsys.readouterr()
+        output = tmp_path / "table2.csv"
+        argv = [
+            "report",
+            "table2",
+            "--format",
+            "csv",
+            "--store",
+            store,
+            "--output",
+            str(output),
+        ]
+        assert main(argv) == 0
+        assert output.read_text(encoding="utf-8").startswith("benchmark,")
+
+
+class TestSerialize:
+    def test_to_jsonable_handles_enums_and_nested_dataclasses(self):
+        from repro.common.temperature import Temperature
+        from repro.cpu.topdown import TopDownBreakdown
+
+        payload = to_jsonable(
+            {Temperature.HOT: TopDownBreakdown(retire=1.0), "plain": (1, 2)}
+        )
+        json.dumps(payload)  # must be serialisable
+        assert payload["plain"] == [1, 2]
+        [temp_key] = [k for k in payload if k != "plain"]
+        assert payload[temp_key]["retire"] == 1.0
+
+    def test_csv_rows_flatten_nested_structures(self):
+        headers, rows = csv_rows([{"a": {"b": 1}, "c": [2, 3]}])
+        assert headers == ["a.b", "c.0", "c.1"]
+        assert rows[0]["a.b"] == 1
+        text = render_csv([{"a": {"b": 1}, "c": [2, 3]}])
+        assert text.splitlines()[0] == "a.b,c.0,c.1"

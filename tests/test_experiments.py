@@ -1,5 +1,7 @@
 """Tests for the experiment harness (fast tables + miniature sweeps)."""
 
+import dataclasses
+
 import pytest
 
 from repro.common.temperature import Temperature
@@ -30,33 +32,9 @@ from repro.sim.config import SimulatorConfig
 @pytest.fixture(scope="module")
 def tiny_runner(request):
     """A shared runner over the miniature workload (keeps module fast)."""
-    from tests.conftest import tiny_spec as tiny_spec_fixture  # reuse definition
+    from repro.workloads.spec import tiny_spec
 
-    # Build the tiny spec directly (fixtures cannot be called across scopes).
-    from repro.workloads.spec import WorkloadSpec
-
-    spec = WorkloadSpec(
-        name="tinybench",
-        category="proxy",
-        description="miniature workload for experiment tests",
-        hot_functions=8,
-        warm_functions=4,
-        cold_functions=8,
-        blocks_per_hot_function=4,
-        blocks_per_warm_function=3,
-        blocks_per_cold_function=3,
-        internal_cold_blocks=2,
-        external_code_kb=4,
-        external_call_rate=0.05,
-        data_access_rate=0.25,
-        data_stream_kb=8,
-        data_reuse_kb=4,
-        eval_instructions=6_000,
-        warmup_instructions=2_000,
-        training_iterations=3,
-        seed=99,
-    )
-    return spec, BenchmarkRunner(config=SimulatorConfig.scaled())
+    return tiny_spec(), BenchmarkRunner(config=SimulatorConfig.scaled())
 
 
 class TestStaticTables:
@@ -153,3 +131,39 @@ class TestSimulationExperiments:
             >= low.text_fractions[Temperature.HOT]
         )
         assert "pct_hot" in format_figure8(points)
+
+
+class TestWorkloadScaling:
+    """Regression for the latent double-scaling bug (ROADMAP).
+
+    Figure modules used to resolve a spec (applying ``workload_scale``) and
+    pass it back into ``runner.run``, which resolved — and scaled — it again.
+    With ``workload_scale != 1`` every figure then simulated the wrong
+    footprints and trace lengths.  The modules now go through
+    ``run_resolved``, so the spec a figure prepares must be exactly the
+    directly-scaled one, with matching instruction counts.
+    """
+
+    def test_figure_module_scales_spec_exactly_once(self):
+        from repro.workloads.spec import tiny_spec
+
+        spec = tiny_spec()
+        config = dataclasses.replace(
+            SimulatorConfig.scaled(), name="halfscale", workload_scale=0.5
+        )
+        runner = BenchmarkRunner(config=config)
+        once_scaled = spec.scaled(0.5)
+
+        rows = run_figure1(components=[spec], runner=runner)
+        assert len(rows) == 1
+
+        # The figure prepared exactly the once-scaled spec — scaling a
+        # second time would have shrunk eval_instructions to 3000 * 0.5.
+        prepared_specs = {key[0] for key in runner._prepared}
+        assert prepared_specs == {once_scaled}
+
+        # And the simulated instruction count matches a direct resolve+run
+        # of the single-scaled spec.
+        artifacts = runner.run_resolved(once_scaled)
+        assert artifacts.result.instructions == once_scaled.eval_instructions
+        assert once_scaled.eval_instructions == spec.eval_instructions // 2

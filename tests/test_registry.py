@@ -1,0 +1,94 @@
+"""Tests for the central experiment registry (catalog + cached replays)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentContext,
+    experiment_names,
+    get_experiment,
+)
+from repro.experiments.runner import BenchmarkRunner
+from repro.experiments.store import ResultStore
+from repro.sim.config import SimulatorConfig
+from repro.workloads.spec import tiny_spec
+
+#: Every artifact of the paper the repository reproduces must be registered.
+EXPECTED_NAMES = {
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9a",
+    "figure9b",
+    "ablation-page-size",
+    "ablation-kill-switch",
+}
+
+SIMULATING = sorted(name for name, e in REGISTRY.items() if e.simulates)
+STATIC = sorted(name for name, e in REGISTRY.items() if not e.simulates)
+
+
+def make_context(store_root=None, refresh=False) -> ExperimentContext:
+    config = SimulatorConfig.scaled()
+    store = ResultStore(store_root, refresh=refresh) if store_root else None
+    return ExperimentContext(
+        config=config,
+        runner=BenchmarkRunner(config=config, store=store),
+        benchmarks=[tiny_spec()],
+    )
+
+
+class TestCatalog:
+    def test_catalog_is_complete(self):
+        assert set(experiment_names()) == EXPECTED_NAMES
+
+    def test_get_experiment_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="figure3"):
+            get_experiment("figure33")
+
+    def test_entries_have_artifacts_and_descriptions(self):
+        for experiment in REGISTRY.values():
+            assert experiment.artifact
+            assert experiment.description
+            assert callable(experiment.run)
+            assert callable(experiment.format)
+
+
+class TestStaticExperiments:
+    @pytest.mark.parametrize("name", STATIC)
+    def test_runs_and_formats(self, name):
+        experiment = get_experiment(name)
+        result = experiment.run(make_context())
+        text = experiment.format(result)
+        assert text.strip()
+
+
+class TestSimulatedExperiments:
+    """Acceptance: every experiment runs, and an identical second invocation
+    is served entirely from the result store (zero new simulations)."""
+
+    @pytest.mark.parametrize("name", SIMULATING)
+    def test_runs_then_replays_from_store(self, name, tmp_path):
+        experiment = get_experiment(name)
+
+        first = make_context(tmp_path)
+        text_first = experiment.format(experiment.run(first))
+        assert text_first.strip()
+        assert first.store.misses > 0  # something was actually simulated
+        assert first.store.writes == first.store.misses
+
+        second = make_context(tmp_path)
+        text_second = experiment.format(experiment.run(second))
+        assert second.store.misses == 0, f"{name} re-simulated on cached path"
+        assert second.runner.simulations_run == 0
+        assert text_second == text_first

@@ -1,0 +1,188 @@
+"""Tests for the on-disk result store and the runner's cached path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PipelineOptions
+from repro.experiments.runner import BenchmarkRunner
+from repro.experiments.store import ResultStore, run_key
+from repro.sim.config import SimulatorConfig
+from repro.workloads.spec import tiny_spec
+
+
+@pytest.fixture
+def spec():
+    return tiny_spec()
+
+
+@pytest.fixture
+def config():
+    return SimulatorConfig.scaled()
+
+
+class TestRunKey:
+    def test_key_is_stable_across_equal_inputs(self, spec, config):
+        options = PipelineOptions()
+        key1 = run_key(spec, "srrip", config, options)
+        key2 = run_key(spec, "srrip", SimulatorConfig.scaled(), PipelineOptions())
+        assert key1 == key2
+        assert len(key1) == 64  # hex sha256
+
+    def test_key_changes_with_each_input(self, spec, config):
+        options = PipelineOptions()
+        base = run_key(spec, "srrip", config, options)
+        assert run_key(spec, "trrip-1", config, options) != base
+        assert (
+            run_key(spec.scaled(0.5), "srrip", config, options) != base
+        )
+        bigger = config.with_l2_geometry(size_bytes=64 * 1024)
+        assert run_key(spec, "srrip", bigger, options) != base
+        other_options = PipelineOptions(percentile_hot=0.5)
+        assert run_key(spec, "srrip", config, other_options) != base
+
+    def test_config_content_hash_is_stable(self, config):
+        assert config.content_hash() == SimulatorConfig.scaled().content_hash()
+        assert config.content_hash() != SimulatorConfig.paper().content_hash()
+
+
+class TestCachedRuns:
+    def test_second_runner_serves_from_store_without_simulating(
+        self, tmp_path, spec, config
+    ):
+        first = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        warm = first.run(spec, "trrip-1")
+        assert first.simulations_run == 1
+        assert first.store.writes == 1
+
+        second = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        cached = second.run(spec, "trrip-1")
+        assert second.simulations_run == 0
+        assert second.store.hits == 1
+        assert second.store.misses == 0
+        # Bit-exact: the dataclass compares floats by identity.
+        assert cached.result == warm.result
+
+    def test_cache_hit_still_exposes_prepared_workload(self, tmp_path, spec, config):
+        store = ResultStore(tmp_path)
+        BenchmarkRunner(config=config, store=ResultStore(tmp_path)).run(spec)
+        runner = BenchmarkRunner(config=config, store=store)
+        artifacts = runner.run(spec)
+        assert runner.simulations_run == 0
+        assert artifacts.prepared.spec == runner.resolve_spec(spec)
+        assert artifacts.prepared.binary is not None
+
+    def test_reuse_histograms_round_trip(self, tmp_path, spec, config):
+        first = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        tracked = first.run(spec, track_reuse=True)
+        assert first.simulations_run == 1
+
+        second = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        cached = second.run(spec, track_reuse=True)
+        assert second.simulations_run == 0
+        assert cached.reuse is not None
+        assert cached.reuse.base.counts == tracked.reuse.base.counts
+        assert cached.reuse.hot_only.counts == tracked.reuse.hot_only.counts
+
+        # A cached hit without track_reuse keeps the fresh-run artifact
+        # shape: no tracker, even though the entry carries histograms.
+        untracked = second.run(spec)
+        assert second.simulations_run == 0
+        assert untracked.reuse is None
+
+    def test_entry_without_reuse_upgrades_when_tracking_requested(
+        self, tmp_path, spec, config
+    ):
+        # First run does not track reuse; a later track_reuse=True request
+        # must re-simulate and upgrade the entry in place.
+        BenchmarkRunner(config=config, store=ResultStore(tmp_path)).run(spec)
+        upgrading = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        artifacts = upgrading.run(spec, track_reuse=True)
+        assert upgrading.simulations_run == 1
+        assert artifacts.reuse is not None
+
+        third = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        third.run(spec, track_reuse=True)
+        assert third.simulations_run == 0
+
+    def test_refresh_resimulates_but_rewrites(self, tmp_path, spec, config):
+        BenchmarkRunner(config=config, store=ResultStore(tmp_path)).run(spec)
+        refreshing = BenchmarkRunner(
+            config=config, store=ResultStore(tmp_path, refresh=True)
+        )
+        refreshing.run(spec)
+        assert refreshing.simulations_run == 1
+        assert refreshing.store.writes == 1
+
+        after = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        after.run(spec)
+        assert after.simulations_run == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, spec, config):
+        store = ResultStore(tmp_path)
+        runner = BenchmarkRunner(config=config, store=store)
+        runner.run(spec)
+        entries = list(tmp_path.glob("runs/*/*.json"))
+        assert len(entries) == 1
+        entries[0].write_text("{not json", encoding="utf-8")
+
+        recovered = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        recovered.run(spec)
+        assert recovered.simulations_run == 1
+
+    def test_different_configs_do_not_collide(self, tmp_path, spec, config):
+        small = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        small_result = small.run(spec).result
+        big_config = config.with_l2_geometry(size_bytes=64 * 1024)
+        big = BenchmarkRunner(config=big_config, store=ResultStore(tmp_path))
+        big.run(spec)
+        assert big.simulations_run == 1  # no false hit from the small config
+
+        again = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        assert again.run(spec).result == small_result
+
+
+class TestResultSerialisation:
+    def test_simulation_result_round_trips_exactly(self, spec, config):
+        from repro.sim.results import SimulationResult
+
+        runner = BenchmarkRunner(config=config)
+        result = runner.run(spec, "trrip-1").result
+        assert result.line_stall_cycles  # non-trivial payload
+        restored = SimulationResult.from_dict(result.to_dict())
+        assert restored == result
+
+    def test_reports_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_report("figure3", {"text": "hello", "data": [1, 2]})
+        payload = store.load_report("figure3")
+        assert payload["text"] == "hello"
+        assert payload["data"] == [1, 2]
+        assert store.load_report("unknown") is None
+
+
+class TestParallelGridWithStore:
+    def test_grid_workers_share_the_store(self, tmp_path, spec, config):
+        store = ResultStore(tmp_path)
+        runner = BenchmarkRunner(config=config, store=store)
+        grid = runner.run_grid([spec], ["srrip", "trrip-1"], jobs=2)
+        assert len(grid) == 2
+        # Workers wrote their runs into the shared on-disk store, and their
+        # counters were folded back into the parent runner.
+        assert len(list(tmp_path.glob("runs/*/*.json"))) == 2
+        assert runner.simulations_run == 2
+        assert (store.misses, store.hits) == (2, 0)
+
+        serial = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        replay = serial.run_grid([spec], ["srrip", "trrip-1"], jobs=None)
+        assert serial.simulations_run == 0
+        assert [r for _, _, r in replay] == [r for _, _, r in grid]
+
+    def test_parallel_replay_counts_hits(self, tmp_path, spec, config):
+        BenchmarkRunner(config=config, store=ResultStore(tmp_path)).run_grid(
+            [spec], ["srrip", "trrip-1"], jobs=2
+        )
+        replay = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        replay.run_grid([spec], ["srrip", "trrip-1"], jobs=2)
+        assert replay.simulations_run == 0
+        assert (replay.store.misses, replay.store.hits) == (0, 2)
