@@ -5,6 +5,9 @@ Every benchmark regenerates one of the paper's tables or figures on the
 --benchmark-only`` run in the minutes range, the simulation-heavy figures use
 a representative subset of the ten proxy benchmarks by default; pass
 ``--bench-all-workloads`` to sweep all of them (as `EXPERIMENTS.md` documents).
+
+Store/config/session construction is shared with ``tests/conftest.py``
+through :mod:`repro.testing`.
 """
 
 from __future__ import annotations
@@ -55,24 +58,21 @@ def bench_workloads_small(request):
 @pytest.fixture(scope="session")
 def bench_store(request):
     """A shared ResultStore when --bench-store is given, else None."""
-    path = request.config.getoption("--bench-store")
-    if not path:
-        return None
-    from repro.experiments.store import ResultStore
+    from repro.testing import make_store
 
-    return ResultStore(path)
+    return make_store(request.config.getoption("--bench-store"))
 
 
 @pytest.fixture(scope="session")
-def bench_runner(bench_store):
-    """A store-backed runner shared by the figure benchmarks (or None).
+def bench_session(bench_store):
+    """A store-backed session shared by the figure benchmarks (or None).
 
     ``None`` keeps the default behaviour — every figure builds its own
-    runner and every timing measures real simulations.
+    session and every timing measures real simulations.
     """
     if bench_store is None:
         return None
-    from repro.experiments.runner import BenchmarkRunner
+    from repro.api.session import Session
     from repro.sim.config import SimulatorConfig
 
-    return BenchmarkRunner(config=SimulatorConfig.scaled(), store=bench_store)
+    return Session(config=SimulatorConfig.scaled(), store=bench_store)

@@ -3,9 +3,9 @@
 from repro.experiments import format_topdown_rows, run_figure1, run_figure2
 
 
-def test_bench_figure1_system_components_topdown(benchmark, bench_runner):
+def test_bench_figure1_system_components_topdown(benchmark, bench_session):
     rows = benchmark.pedantic(
-        run_figure1, kwargs={"runner": bench_runner}, rounds=1, iterations=1
+        run_figure1, kwargs={"session": bench_session}, rounds=1, iterations=1
     )
     print("\n[Figure 1] Top-Down of mobile system components (PGO)\n")
     print(format_topdown_rows(rows))
@@ -15,11 +15,11 @@ def test_bench_figure1_system_components_topdown(benchmark, bench_runner):
 
 
 def test_bench_figure2_proxy_topdown_pgo_vs_nonpgo(
-    benchmark, bench_workloads_small, bench_runner
+    benchmark, bench_workloads_small, bench_session
 ):
     rows = benchmark.pedantic(
         run_figure2,
-        kwargs={"benchmarks": bench_workloads_small, "runner": bench_runner},
+        kwargs={"benchmarks": bench_workloads_small, "session": bench_session},
         rounds=1,
         iterations=1,
     )

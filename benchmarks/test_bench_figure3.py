@@ -3,10 +3,10 @@
 from repro.experiments import format_figure3, run_figure3
 
 
-def test_bench_figure3_hot_line_reuse_distance(benchmark, bench_workloads, bench_runner):
+def test_bench_figure3_hot_line_reuse_distance(benchmark, bench_workloads, bench_session):
     rows = benchmark.pedantic(
         run_figure3,
-        kwargs={"benchmarks": bench_workloads, "runner": bench_runner},
+        kwargs={"benchmarks": bench_workloads, "session": bench_session},
         rounds=1,
         iterations=1,
     )

@@ -9,16 +9,16 @@ from repro.experiments import format_figure6, format_table3, run_figure6
 _CACHE: dict = {}
 
 
-def _sweep(benchmarks, runner=None):
+def _sweep(benchmarks, session=None):
     key = tuple(benchmarks)
     if key not in _CACHE:
-        _CACHE[key] = run_figure6(benchmarks=benchmarks, runner=runner)
+        _CACHE[key] = run_figure6(benchmarks=benchmarks, session=session)
     return _CACHE[key]
 
 
-def test_bench_figure6_speedups(benchmark, bench_workloads, bench_runner):
+def test_bench_figure6_speedups(benchmark, bench_workloads, bench_session):
     sweep = benchmark.pedantic(
-        _sweep, args=(bench_workloads, bench_runner), rounds=1, iterations=1
+        _sweep, args=(bench_workloads, bench_session), rounds=1, iterations=1
     )
     print("\n[Figure 6] Speedup (%) over SRRIP\n" + format_figure6(sweep))
     # Headline shape: TRRIP-1 delivers the best geomean speedup of the
@@ -30,9 +30,9 @@ def test_bench_figure6_speedups(benchmark, bench_workloads, bench_runner):
         assert trrip_speedup >= sweep.geomean_speedup(policy) - 0.005
 
 
-def test_bench_table3_mpki_reductions(benchmark, bench_workloads, bench_runner):
+def test_bench_table3_mpki_reductions(benchmark, bench_workloads, bench_session):
     sweep = benchmark.pedantic(
-        _sweep, args=(bench_workloads, bench_runner), rounds=1, iterations=1
+        _sweep, args=(bench_workloads, bench_session), rounds=1, iterations=1
     )
     print("\n[Table 3] L2 MPKI and reductions vs SRRIP\n" + format_table3(sweep))
     # Headline shape: TRRIP reduces instruction MPKI the most among the

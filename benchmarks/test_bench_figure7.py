@@ -3,10 +3,10 @@
 from repro.experiments import format_figure7, run_figure7
 
 
-def test_bench_figure7_costly_miss_coverage(benchmark, bench_workloads, bench_runner):
+def test_bench_figure7_costly_miss_coverage(benchmark, bench_workloads, bench_session):
     rows = benchmark.pedantic(
         run_figure7,
-        kwargs={"benchmarks": bench_workloads, "runner": bench_runner},
+        kwargs={"benchmarks": bench_workloads, "session": bench_session},
         rounds=1,
         iterations=1,
     )

@@ -5,7 +5,7 @@ from repro.experiments import format_figure8, run_figure8
 
 
 def test_bench_figure8_hot_threshold_sensitivity(
-    benchmark, bench_workloads_small, bench_runner
+    benchmark, bench_workloads_small, bench_session
 ):
     thresholds = (0.10, 0.99, 1.0)
     points = benchmark.pedantic(
@@ -13,7 +13,7 @@ def test_bench_figure8_hot_threshold_sensitivity(
         kwargs={
             "benchmarks": bench_workloads_small,
             "thresholds": thresholds,
-            "runner": bench_runner,
+            "session": bench_session,
         },
         rounds=1,
         iterations=1,

@@ -9,14 +9,14 @@ from repro.experiments import (
 
 
 def test_bench_figure9a_cache_size_sensitivity(
-    benchmark, bench_workloads_small, bench_store
+    benchmark, bench_workloads_small, bench_session
 ):
     points = benchmark.pedantic(
         run_figure9a,
         kwargs={
             "benchmarks": bench_workloads_small,
             "policies": ("trrip-1", "clip"),
-            "store": bench_store,
+            "session": bench_session,
         },
         rounds=1,
         iterations=1,
@@ -32,11 +32,11 @@ def test_bench_figure9a_cache_size_sensitivity(
 
 
 def test_bench_figure9b_associativity_sensitivity(
-    benchmark, bench_workloads_small, bench_store
+    benchmark, bench_workloads_small, bench_session
 ):
     points = benchmark.pedantic(
         run_figure9b,
-        kwargs={"benchmarks": bench_workloads_small, "store": bench_store},
+        kwargs={"benchmarks": bench_workloads_small, "session": bench_session},
         rounds=1,
         iterations=1,
     )

@@ -3,7 +3,7 @@
 
 Everything ``repro run`` does is available programmatically: pick an
 experiment from the central registry, run it through a
-:class:`~repro.experiments.runner.BenchmarkRunner` that carries a
+:class:`~repro.api.session.Session` that carries a
 :class:`~repro.experiments.store.ResultStore`, and re-run it to see the
 whole sweep served from the cache.
 
@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import tempfile
 
-from repro.experiments import BenchmarkRunner, ExperimentContext, ResultStore, get_experiment
+from repro.api import Session
+from repro.experiments import ExperimentContext, ResultStore, get_experiment
 from repro.sim.config import SimulatorConfig
 from repro.workloads.spec import tiny_spec
 
@@ -22,23 +23,23 @@ from repro.workloads.spec import tiny_spec
 def run_once(store_root: str, label: str) -> None:
     experiment = get_experiment("table3")
     config = SimulatorConfig.scaled()
-    runner = BenchmarkRunner(config=config, store=ResultStore(store_root))
+    session = Session(config=config, store=ResultStore(store_root))
     context = ExperimentContext(
-        config=config, runner=runner, benchmarks=[tiny_spec()]
+        config=config, session=session, benchmarks=[tiny_spec()]
     )
     result = experiment.run(context)
     print(f"--- {label}: {experiment.artifact} ({experiment.description})")
     print(experiment.format(result))
     print(
-        f"{label}: {runner.store.misses} simulated, "
-        f"{runner.store.hits} served from the store\n"
+        f"{label}: {session.store.misses} simulated, "
+        f"{session.store.hits} served from the store\n"
     )
 
 
 def main() -> None:
     with tempfile.TemporaryDirectory(prefix="repro-store-") as store_root:
         run_once(store_root, "first run")
-        # Same inputs, fresh runner: every (benchmark, policy) point hits.
+        # Same inputs, fresh session: every (benchmark, policy) point hits.
         run_once(store_root, "second run")
 
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart for the declarative Scenario/Session API.
+
+One :class:`~repro.api.session.Session` is the front door to every
+simulation in this repository: describe *what* to run as
+:class:`~repro.api.scenario.Scenario` objects (workloads x structured
+policies x configuration), let the session expand them into a deduplicated
+run plan, and stream results back in deterministic order.  With a result
+store attached, re-running the same plan simulates nothing.
+
+Run with:  python examples/session_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.api import PolicySpec, Scenario, Session
+from repro.experiments.store import ResultStore
+from repro.workloads.spec import tiny_spec
+
+
+def build_scenarios() -> tuple[Scenario, Scenario]:
+    """Two overlapping policy studies on the miniature smoke workload."""
+    # Policies can be plain names, parameterised CLI-style tokens, or
+    # PolicySpec objects; unknown names/parameters fail loudly right here.
+    headline = Scenario(
+        benchmarks=tiny_spec(),
+        policies=("srrip", "trrip-1", "trrip-2"),
+        label="headline policies",
+    )
+    tuned = Scenario(
+        benchmarks=tiny_spec(),
+        policies=("srrip", PolicySpec.parse("ship:shct_bits=3")),
+        label="tuned SHiP",
+    )
+    return headline, tuned
+
+
+def report(session: Session, label: str) -> None:
+    scenarios = build_scenarios()
+
+    # A plan is free to build and inspect: no simulation has happened yet.
+    plan = session.plan(*scenarios)
+    print(
+        f"--- {label}: {plan.total_runs} requested points, "
+        f"{plan.unique_runs} unique ({plan.deduplicated} deduplicated)"
+    )
+
+    print(f"{'benchmark':12s} {'policy':18s} {'IPC':>7s} {'L2 iMPKI':>9s}")
+    for request, artifacts in session.stream(*scenarios):
+        result = artifacts.result
+        print(
+            f"{request.benchmark:12s} {request.policy.canonical():18s} "
+            f"{result.ipc:7.3f} {result.l2_inst_mpki:9.2f}"
+        )
+    print(f"simulations actually run: {session.simulations_run}\n")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-session-") as store_root:
+        # First session: the shared SRRIP baseline is simulated once
+        # (deduplicated across scenarios), everything lands in the store.
+        report(Session(store=ResultStore(store_root)), "first session")
+
+        # Second session, same store: the whole plan replays from cache.
+        second = Session(store=ResultStore(store_root))
+        report(second, "second session (cached)")
+        assert second.simulations_run == 0, "expected a full cache replay"
+
+
+if __name__ == "__main__":
+    main()

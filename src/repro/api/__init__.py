@@ -1,0 +1,59 @@
+"""Declarative run layer: one front door for every simulation in the repo.
+
+The historical entry points — raw :class:`~repro.sim.simulator.SystemSimulator`
+driving, :class:`~repro.experiments.runner.BenchmarkRunner` call sequences,
+and the registry/CLI glue — still exist as the engine underneath, but every
+figure, table, ablation, benchmark and CLI command now runs through two
+objects defined here:
+
+* :class:`~repro.api.scenario.Scenario` — a declarative description of what
+  to simulate: workloads (names, specs or mixes of both), structured
+  :class:`~repro.cache.replacement.spec.PolicySpec` policies, simulator
+  configuration, pipeline options, warmup/measure phase overrides and
+  analysis options (reuse tracking).
+* :class:`~repro.api.session.Session` — the facade that expands scenario
+  grids into a deduplicated :class:`~repro.api.scenario.RunPlan`, executes
+  it through the store-aware (optionally parallel) engine, and streams
+  :class:`~repro.experiments.runner.RunArtifacts` back in deterministic
+  order.
+
+Quickstart::
+
+    from repro.api import PolicySpec, Scenario, Session
+
+    session = Session()                       # scaled config, no store
+    scenario = Scenario(
+        benchmarks=("sqlite", "gcc"),
+        policies=("srrip", "trrip-1", PolicySpec.parse("ship:shct_bits=3")),
+    )
+    for request, artifacts in session.stream(scenario):
+        print(request.benchmark, request.policy, artifacts.result.ipc)
+"""
+
+from repro.api.scenario import RunPlan, RunRequest, Scenario
+from repro.api.session import Session
+from repro.cache.replacement.spec import (
+    POLICY_REGISTRY,
+    PolicyInfo,
+    PolicyParam,
+    PolicySpec,
+    describe_policies,
+    get_policy_info,
+    policy_names,
+)
+from repro.experiments.runner import RunArtifacts
+
+__all__ = [
+    "Scenario",
+    "Session",
+    "RunPlan",
+    "RunRequest",
+    "RunArtifacts",
+    "PolicySpec",
+    "PolicyInfo",
+    "PolicyParam",
+    "POLICY_REGISTRY",
+    "policy_names",
+    "get_policy_info",
+    "describe_policies",
+]

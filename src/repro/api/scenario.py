@@ -1,0 +1,236 @@
+"""Declarative simulation scenarios and their expansion into run plans.
+
+A :class:`Scenario` says *what* to simulate — workloads, policies,
+configuration, pipeline options, phase lengths, analysis side-products —
+without saying how.  :meth:`Scenario.expand` turns it into concrete
+:class:`RunRequest` points (benchmark-major, policy-minor: the order every
+figure in the paper uses), and :func:`build_plan` folds any number of
+scenarios into one :class:`RunPlan` whose duplicate points — the same
+(workload, policy, config, options, analysis) coordinate reached from
+different scenarios — are executed exactly once.
+
+Everything here is plain data: expansion needs no
+:class:`~repro.experiments.runner.BenchmarkRunner`, no store and no
+simulator, so plans can be built, inspected and counted for free (the CLI
+and the tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.cache.replacement.spec import PolicySpec
+from repro.common.errors import ConfigurationError
+from repro.core.pipeline import PipelineOptions
+from repro.sim.config import BASELINE_POLICY, SimulatorConfig
+from repro.workloads.spec import WorkloadSpec, resolve_spec
+
+#: Anything accepted as a workload: a catalog name or a full spec.
+Benchmark = Union[str, WorkloadSpec]
+
+
+def resolve_benchmark(benchmark: Benchmark, config: SimulatorConfig) -> WorkloadSpec:
+    """Resolve a benchmark name/spec and apply the config's workload scale.
+
+    Delegates to :func:`repro.workloads.spec.resolve_spec` — the one
+    implementation of the scale-exactly-once rule — so downstream execution
+    always receives resolved specs.
+    """
+    return resolve_spec(benchmark, config.workload_scale)
+
+
+@dataclass(frozen=True, eq=False)
+class RunRequest:
+    """One fully-resolved simulation point of a plan.
+
+    ``spec`` is already config-scaled and phase-adjusted; ``config`` is the
+    *base* simulator configuration (the engine applies ``policy`` to its L2
+    when the point executes).
+    """
+
+    spec: WorkloadSpec
+    policy: PolicySpec
+    config: SimulatorConfig
+    options: PipelineOptions
+    track_reuse: bool = False
+
+    @property
+    def benchmark(self) -> str:
+        return self.spec.name
+
+    def key(self) -> tuple:
+        """Hashable dedup/equality coordinate of this point.
+
+        Two requests with equal keys are served by one simulation: the
+        result is fully determined by (spec, policy, config, options), and
+        reuse tracking only adds a side product.
+        """
+        return (
+            self.spec,
+            self.policy,
+            self.config.content_hash(),
+            self.options.cache_key(),
+            self.track_reuse,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunRequest({self.spec.name!r}, {self.policy.canonical()!r}, "
+            f"config={self.config.name!r})"
+        )
+
+
+def _as_tuple(value, scalar_types: tuple) -> tuple:
+    if value is None:
+        return ()
+    if isinstance(value, scalar_types):
+        return (value,)
+    return tuple(value)
+
+
+@dataclass(frozen=True, eq=False)
+class Scenario:
+    """A declarative description of a family of simulation runs.
+
+    Parameters
+    ----------
+    benchmarks:
+        One workload or a mix of them — catalog names (``"sqlite"``) and
+        full :class:`~repro.workloads.spec.WorkloadSpec` objects can be
+        freely combined.
+    policies:
+        One or more replacement policies: names, CLI tokens
+        (``"ship:shct_bits=3"``) or :class:`PolicySpec` objects.  Defaults
+        to the SRRIP baseline.
+    config:
+        Simulator configuration for every point of this scenario; ``None``
+        defers to the executing session's default.
+    options:
+        Compile/load-time :class:`~repro.core.pipeline.PipelineOptions`;
+        ``None`` defers to the session default.
+    warmup_instructions / measure_instructions:
+        Phase-length overrides applied to each resolved workload spec
+        (after config scaling); ``None`` keeps the spec's own windows.
+    track_reuse:
+        Collect reuse-distance histograms (Figure 3 analysis) per point.
+    label:
+        Free-form tag carried through for reporting.
+    """
+
+    benchmarks: Sequence[Benchmark] | Benchmark = ()
+    policies: Sequence[str | PolicySpec] | str | PolicySpec = (BASELINE_POLICY,)
+    config: Optional[SimulatorConfig] = None
+    options: Optional[PipelineOptions] = None
+    warmup_instructions: Optional[int] = None
+    measure_instructions: Optional[int] = None
+    track_reuse: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        benchmarks = _as_tuple(self.benchmarks, (str, WorkloadSpec))
+        if not benchmarks:
+            raise ConfigurationError("a Scenario needs at least one benchmark")
+        policies = tuple(
+            PolicySpec.of(p) for p in _as_tuple(self.policies, (str, PolicySpec))
+        )
+        if not policies:
+            raise ConfigurationError("a Scenario needs at least one policy")
+        object.__setattr__(self, "benchmarks", benchmarks)
+        object.__setattr__(self, "policies", policies)
+
+    # ------------------------------------------------------------- expansion
+    @property
+    def size(self) -> int:
+        """Number of grid points this scenario expands to."""
+        return len(self.benchmarks) * len(self.policies)
+
+    def expand(
+        self,
+        config: Optional[SimulatorConfig] = None,
+        options: Optional[PipelineOptions] = None,
+    ) -> list[RunRequest]:
+        """Concrete (benchmark-major, policy-minor) run requests.
+
+        ``config``/``options`` fill in for fields the scenario left as
+        ``None`` (the session passes its defaults here).
+        """
+        run_config = self.config or config or SimulatorConfig.default()
+        run_options = self.options or options or PipelineOptions()
+        requests: list[RunRequest] = []
+        for benchmark in self.benchmarks:
+            spec = resolve_benchmark(benchmark, run_config)
+            overrides = {}
+            if self.warmup_instructions is not None:
+                overrides["warmup_instructions"] = self.warmup_instructions
+            if self.measure_instructions is not None:
+                overrides["eval_instructions"] = self.measure_instructions
+            if overrides:
+                spec = dataclasses.replace(spec, **overrides)
+            for policy in self.policies:
+                requests.append(
+                    RunRequest(
+                        spec=spec,
+                        policy=policy,
+                        config=run_config,
+                        options=run_options,
+                        track_reuse=self.track_reuse,
+                    )
+                )
+        return requests
+
+
+@dataclass
+class RunPlan:
+    """A deduplicated, deterministically-ordered batch of run requests.
+
+    ``requests`` preserves the full scenario order (including duplicates);
+    ``unique`` holds each distinct coordinate once, in first-appearance
+    order, and ``indices[i]`` maps ``requests[i]`` to its entry in
+    ``unique``.  Execution simulates ``unique`` and fans results back out.
+    """
+
+    requests: list[RunRequest] = field(default_factory=list)
+    unique: list[RunRequest] = field(default_factory=list)
+    indices: list[int] = field(default_factory=list)
+
+    @property
+    def total_runs(self) -> int:
+        return len(self.requests)
+
+    @property
+    def unique_runs(self) -> int:
+        return len(self.unique)
+
+    @property
+    def deduplicated(self) -> int:
+        """How many requested points are served by an earlier identical one."""
+        return len(self.requests) - len(self.unique)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunPlan({self.total_runs} runs, {self.unique_runs} unique, "
+            f"{self.deduplicated} deduplicated)"
+        )
+
+
+def build_plan(
+    scenarios: Iterable[Scenario],
+    config: Optional[SimulatorConfig] = None,
+    options: Optional[PipelineOptions] = None,
+) -> RunPlan:
+    """Expand scenarios and fold identical points into one plan."""
+    plan = RunPlan()
+    seen: dict[tuple, int] = {}
+    for scenario in scenarios:
+        for request in scenario.expand(config=config, options=options):
+            key = request.key()
+            index = seen.get(key)
+            if index is None:
+                index = len(plan.unique)
+                seen[key] = index
+                plan.unique.append(request)
+            plan.requests.append(request)
+            plan.indices.append(index)
+    return plan

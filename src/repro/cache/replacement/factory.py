@@ -1,67 +1,33 @@
-"""Factory that builds replacement policies from configuration names.
+"""Factory that builds replacement policies from names or specs.
 
-The names accepted here are the ones used throughout the experiment harness
-and in the paper's figures: ``lru``, ``srrip``, ``brrip``, ``drrip``, ``ship``,
-``clip``, ``emissary``, ``trrip-1`` and ``trrip-2`` (plus ``fifo``, ``random``
-and ``opt`` for baselines/ablations).
+The canonical catalog — names, aliases, descriptions and typed parameters —
+lives in :mod:`repro.cache.replacement.spec` (:data:`POLICY_REGISTRY`).
+This module keeps the historical entry points on top of it:
+:func:`create_policy` accepts either a plain name (``"srrip"``), a
+parameterised CLI token (``"ship:shct_bits=3"``) or a
+:class:`~repro.cache.replacement.spec.PolicySpec`, and raises
+:class:`~repro.common.errors.ConfigurationError` — naming the offending
+token and the valid choices — for anything it does not recognise.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.cache.replacement.base import ReplacementPolicy
-from repro.cache.replacement.basic import FIFOPolicy, LRUPolicy, RandomPolicy
-from repro.cache.replacement.belady import OptimalPolicy
-from repro.cache.replacement.clip import CLIPPolicy
-from repro.cache.replacement.drrip import DRRIPPolicy
-from repro.cache.replacement.emissary import EmissaryPolicy
-from repro.cache.replacement.rrip import BRRIPPolicy, SRRIPPolicy
-from repro.cache.replacement.ship import SHiPPolicy
-from repro.common.errors import ConfigurationError
-
-#: Builders for policies that live in the cache substrate itself.
-_BUILDERS: dict[str, Callable[..., ReplacementPolicy]] = {
-    "lru": LRUPolicy,
-    "fifo": FIFOPolicy,
-    "random": RandomPolicy,
-    "srrip": SRRIPPolicy,
-    "brrip": BRRIPPolicy,
-    "drrip": DRRIPPolicy,
-    "ship": SHiPPolicy,
-    "clip": CLIPPolicy,
-    "emissary": EmissaryPolicy,
-    "opt": OptimalPolicy,
-}
+from repro.cache.replacement.spec import PolicySpec, policy_names
 
 
 def available_policies() -> tuple[str, ...]:
-    """Names accepted by :func:`create_policy` (including TRRIP variants)."""
-    return tuple(sorted(_BUILDERS)) + ("trrip-1", "trrip-2")
+    """Canonical names accepted by :func:`create_policy`, sorted."""
+    return tuple(sorted(policy_names()))
 
 
 def create_policy(
-    name: str, num_sets: int, num_ways: int, **kwargs
+    name: "str | PolicySpec", num_sets: int, num_ways: int, **kwargs
 ) -> ReplacementPolicy:
-    """Instantiate a replacement policy by name.
+    """Instantiate a replacement policy by name, token or spec.
 
-    TRRIP variants are imported lazily from :mod:`repro.core.trrip` (the
-    paper's contribution lives in ``repro.core``, which depends on this
-    package).
+    ``kwargs`` are merged over the spec's own parameters and validated
+    against the registry, so a typo in a parameter name fails loudly here
+    instead of surfacing as a ``TypeError`` from the builder.
     """
-    key = name.lower()
-    if key in ("trrip", "trrip-1", "trrip1"):
-        from repro.core.trrip import TRRIPPolicy
-
-        return TRRIPPolicy(num_sets, num_ways, variant=1, **kwargs)
-    if key in ("trrip-2", "trrip2"):
-        from repro.core.trrip import TRRIPPolicy
-
-        return TRRIPPolicy(num_sets, num_ways, variant=2, **kwargs)
-    builder = _BUILDERS.get(key)
-    if builder is None:
-        raise ConfigurationError(
-            f"unknown replacement policy {name!r}; known policies: "
-            f"{', '.join(available_policies())}"
-        )
-    return builder(num_sets, num_ways, **kwargs)
+    return PolicySpec.of(name).build(num_sets, num_ways, **kwargs)

@@ -7,18 +7,18 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from repro.api.session import Session
 from repro.cache.replacement.factory import available_policies
+from repro.cache.replacement.spec import PolicySpec, describe_policies
 from repro.cli.serialize import render_csv, to_jsonable
-from repro.common.errors import WorkloadError
+from repro.common.errors import ConfigurationError, WorkloadError
 from repro.experiments.registry import (
     REGISTRY,
     ExperimentContext,
     experiment_names,
     get_experiment,
 )
-from repro.experiments.runner import BenchmarkRunner
 from repro.experiments.store import ResultStore
-from repro.experiments.sweep import run_policy_sweep
 from repro.experiments.table3 import format_table3
 from repro.experiments.figure6 import format_figure6
 from repro.sim.config import BASELINE_POLICY, EVALUATED_POLICIES, SimulatorConfig
@@ -85,6 +85,17 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for grid sweeps (0 = all cores; default: serial)",
     )
+    parser.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="NAME[:P=V,...]",
+        dest="policy",
+        help="replacement policy to evaluate, with optional parameters "
+        "(e.g. trrip-1 or ship:shct_bits=3); repeatable.  See `repro "
+        "policies` for the catalog.  Experiments with a fixed policy list "
+        "(figure6, table3, sweep) use these instead",
+    )
     _add_cache_options(parser)
 
 
@@ -105,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("experiments", "benchmarks", "policies", "all"),
         default="all",
         help="which catalog to print (default: all)",
+    )
+
+    sub.add_parser(
+        "policies",
+        help="describe every replacement policy and its typed parameters",
     )
 
     run_parser = sub.add_parser(
@@ -166,6 +182,23 @@ def _parse_benchmarks(args) -> Optional[list]:
     return names
 
 
+def _parse_policies(args) -> Optional[list]:
+    """Structured policies from ``--policies`` tokens and ``--policy`` flags.
+
+    Validated eagerly against the policy registry: an unknown name or
+    parameter fails here with the offending token and the valid choices,
+    before any simulation starts.
+    """
+    tokens: list[str] = []
+    if getattr(args, "policies", None):
+        tokens.extend(p.strip() for p in args.policies.split(",") if p.strip())
+    if getattr(args, "policy", None):
+        tokens.extend(args.policy)
+    if not tokens:
+        return None
+    return [PolicySpec.of(token) for token in tokens]
+
+
 def _make_store(args) -> Optional[ResultStore]:
     if args.no_cache:
         return None
@@ -174,12 +207,12 @@ def _make_store(args) -> Optional[ResultStore]:
 
 def _make_context(args) -> ExperimentContext:
     config = CONFIGS[args.config]()
-    store = _make_store(args)
-    runner = BenchmarkRunner(config=config, store=store)
+    session = Session(config=config, store=_make_store(args))
     return ExperimentContext(
         config=config,
-        runner=runner,
+        session=session,
         benchmarks=_parse_benchmarks(args),
+        policies=_parse_policies(args),
         jobs=args.jobs,
     )
 
@@ -187,9 +220,9 @@ def _make_context(args) -> ExperimentContext:
 def _cache_summary(ctx: ExperimentContext) -> str:
     store = ctx.store
     if store is None:
-        # No simulation count here: experiments that build internal runners
-        # (figure9) don't report through ctx.runner, so a number would lie.
-        return "# cache disabled"
+        # Every simulation flows through the session, so the count is exact
+        # even for experiments that sweep configurations (figure9).
+        return f"# {ctx.session.simulations_run} simulation(s) run, cache disabled"
     return (
         f"# {store.misses} simulation(s) run, {store.hits} served from cache "
         f"({store.root})"
@@ -233,7 +266,7 @@ def _cmd_list(args) -> int:
         for name, spec in SYSTEM_COMPONENTS.items():
             print(f"  {name:22s} {spec.description}")
     if what in ("policies", "all"):
-        print("replacement policies:")
+        print("replacement policies (see `repro policies` for parameters):")
         evaluated = set(EVALUATED_POLICIES)
         for name in available_policies():
             marks = []
@@ -243,6 +276,25 @@ def _cmd_list(args) -> int:
                 marks.append("evaluated")
             suffix = f" ({', '.join(marks)})" if marks else ""
             print(f"  {name}{suffix}")
+    return 0
+
+
+def _cmd_policies(args) -> int:
+    """Describe every registered policy: description, aliases, parameters."""
+    print("replacement policies (policy syntax: name[:param=value,...]):")
+    evaluated = set(EVALUATED_POLICIES)
+    for info, params in describe_policies():
+        marks = []
+        if info.name == BASELINE_POLICY:
+            marks.append("baseline")
+        if info.name in evaluated:
+            marks.append("evaluated")
+        suffix = f" [{', '.join(marks)}]" if marks else ""
+        print(f"  {info.name:10s} {info.description}{suffix}")
+        if info.aliases:
+            print(f"  {'':10s} aliases: {', '.join(info.aliases)}")
+        if params:
+            print(f"  {'':10s} params:  {params}")
     return 0
 
 
@@ -257,6 +309,12 @@ def _cmd_run(args) -> int:
         print(
             f"repro run: note: {experiment.name} does not parallelise; "
             "--jobs ignored",
+            file=sys.stderr,
+        )
+    if ctx.policies and not experiment.supports_policies:
+        print(
+            f"repro run: note: {experiment.name} reproduces a fixed policy "
+            "list; --policy ignored",
             file=sys.stderr,
         )
     if (
@@ -281,13 +339,9 @@ def _cmd_run(args) -> int:
 
 def _cmd_sweep(args) -> int:
     ctx = _make_context(args)
-    policies = None
-    if args.policies is not None:
-        policies = [p.strip() for p in args.policies.split(",") if p.strip()]
-    sweep = run_policy_sweep(
+    sweep = ctx.session.sweep(
         benchmarks=ctx.benchmarks,
-        policies=policies,
-        runner=ctx.runner,
+        policies=ctx.policies,
         jobs=ctx.jobs,
     )
     text = (
@@ -342,13 +396,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "policies":
+            return _cmd_policies(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
         if args.command == "report":
             return _cmd_report(args)
-    except WorkloadError as error:
+    except (ConfigurationError, WorkloadError) as error:
         print(f"repro: {error}", file=sys.stderr)
         return 1
     except BrokenPipeError:

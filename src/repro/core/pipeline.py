@@ -47,6 +47,18 @@ class PipelineOptions:
     overlap_policy: OverlapPolicy = OverlapPolicy.MAJORITY
     pad_sections_to_page: bool = False
 
+    def cache_key(self) -> tuple:
+        """Hashable identity of these options (runner caches, plan dedup)."""
+        return (
+            self.apply_pgo,
+            self.propagate_temperature,
+            self.percentile_hot,
+            self.percentile_cold,
+            self.page_size,
+            self.overlap_policy,
+            self.pad_sections_to_page,
+        )
+
     def classifier_config(self) -> ClassifierConfig:
         return ClassifierConfig(
             percentile_hot=self.percentile_hot,

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.api.session import Session
 from repro.core.pipeline import PipelineOptions
 from repro.experiments.runner import BenchmarkRunner
 from repro.osmodel.loader import OverlapPolicy
@@ -47,16 +48,16 @@ def run_page_size_ablation(
     page_sizes: Sequence[int] = (4096, 16384),
     config: SimulatorConfig | None = None,
     runner: BenchmarkRunner | None = None,
+    session: Session | None = None,
 ) -> list[PageSizeAblationPoint]:
     """Sweep page sizes and §4.9 prevention mechanisms for one benchmark."""
-    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
+    session = Session.ensure(session, runner=runner, config=config)
     variants: list[tuple[OverlapPolicy, bool]] = [
         (OverlapPolicy.MAJORITY, False),
         (OverlapPolicy.DISABLE, False),
         (OverlapPolicy.MAJORITY, True),
     ]
     points: list[PageSizeAblationPoint] = []
-    spec = runner.resolve_spec(benchmark)
     for page_size in page_sizes:
         for overlap_policy, padded in variants:
             options = PipelineOptions(
@@ -64,14 +65,14 @@ def run_page_size_ablation(
                 overlap_policy=overlap_policy,
                 pad_sections_to_page=padded,
             )
-            baseline = runner.run_resolved(
-                spec, BASELINE_POLICY, options=options
+            baseline = session.run_one(
+                benchmark, BASELINE_POLICY, options=options
             ).result
-            trrip = runner.run_resolved(spec, "trrip-1", options=options)
+            trrip = session.run_one(benchmark, "trrip-1", options=options)
             prepared = trrip.prepared
             points.append(
                 PageSizeAblationPoint(
-                    benchmark=spec.name,
+                    benchmark=prepared.spec.name,
                     page_size=page_size,
                     overlap_policy=overlap_policy,
                     padded_sections=padded,
@@ -117,20 +118,20 @@ def run_kill_switch_ablation(
     benchmark: str = "sqlite",
     config: SimulatorConfig | None = None,
     runner: BenchmarkRunner | None = None,
+    session: Session | None = None,
 ) -> KillSwitchResult:
     """Show that TRRIP without PTE temperature bits behaves exactly like SRRIP."""
-    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
-    spec = runner.resolve_spec(benchmark)
+    session = Session.ensure(session, runner=runner, config=config)
     tagged = PipelineOptions(propagate_temperature=True)
     untagged = PipelineOptions(propagate_temperature=False)
-    srrip = runner.run_resolved(spec, BASELINE_POLICY, options=untagged).result
-    trrip = runner.run_resolved(spec, "trrip-1", options=tagged).result
-    trrip_untagged = runner.run_resolved(spec, "trrip-1", options=untagged).result
+    srrip = session.run_one(benchmark, BASELINE_POLICY, options=untagged)
+    trrip = session.run_one(benchmark, "trrip-1", options=tagged)
+    trrip_untagged = session.run_one(benchmark, "trrip-1", options=untagged)
     return KillSwitchResult(
-        benchmark=spec.name,
-        srrip_cycles=srrip.cycles,
-        trrip_cycles=trrip.cycles,
-        trrip_untagged_cycles=trrip_untagged.cycles,
+        benchmark=srrip.prepared.spec.name,
+        srrip_cycles=srrip.result.cycles,
+        trrip_cycles=trrip.result.cycles,
+        trrip_untagged_cycles=trrip_untagged.result.cycles,
     )
 
 

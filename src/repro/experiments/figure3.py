@@ -12,6 +12,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.reuse import REUSE_BUCKETS, ReuseHistogram
+from repro.api.scenario import Scenario
+from repro.api.session import Session
 from repro.experiments.runner import BenchmarkRunner
 from repro.sim.config import BASELINE_POLICY, SimulatorConfig
 from repro.workloads.spec import PROXY_BENCHMARK_NAMES
@@ -32,18 +34,22 @@ def run_figure3(
     benchmarks: Sequence[str] | None = None,
     config: SimulatorConfig | None = None,
     runner: BenchmarkRunner | None = None,
+    session: Session | None = None,
 ) -> list[ReuseRow]:
     """Measure per-set reuse distances of hot lines under the SRRIP baseline."""
-    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
+    session = Session.ensure(session, runner=runner, config=config)
+    scenario = Scenario(
+        benchmarks=tuple(benchmarks or PROXY_BENCHMARK_NAMES),
+        policies=BASELINE_POLICY,
+        track_reuse=True,
+        label="figure3",
+    )
     rows: list[ReuseRow] = []
-    for benchmark in benchmarks or PROXY_BENCHMARK_NAMES:
-        spec = runner.resolve_spec(benchmark)
-        artifacts = runner.run_resolved(spec, BASELINE_POLICY, track_reuse=True)
-        tracker = artifacts.reuse
-        base, hot_only = tracker.histograms()
+    for request, artifacts in session.stream(scenario):
+        base, hot_only = artifacts.reuse.histograms()
         rows.append(
             ReuseRow(
-                benchmark=spec.name,
+                benchmark=request.benchmark,
                 base=base.fractions(),
                 hot_only=hot_only.fractions(),
                 base_accesses=base.total,

@@ -12,6 +12,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.coverage import DEFAULT_PERCENTILES, CoverageResult, costly_miss_coverage
+from repro.api.scenario import Scenario
+from repro.api.session import Session
 from repro.experiments.runner import BenchmarkRunner
 from repro.sim.config import BASELINE_POLICY, SimulatorConfig
 from repro.workloads.spec import PROXY_BENCHMARK_NAMES
@@ -31,14 +33,19 @@ def run_figure7(
     percentiles: Sequence[int] = DEFAULT_PERCENTILES,
     config: SimulatorConfig | None = None,
     runner: BenchmarkRunner | None = None,
+    session: Session | None = None,
+    jobs: int | None = None,
 ) -> list[CoverageRow]:
     """Measure costly-miss coverage under the SRRIP baseline."""
-    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
+    session = Session.ensure(session, runner=runner, config=config)
+    scenario = Scenario(
+        benchmarks=tuple(benchmarks or PROXY_BENCHMARK_NAMES),
+        policies=BASELINE_POLICY,
+        label="figure7",
+    )
     rows: list[CoverageRow] = []
-    for benchmark in benchmarks or PROXY_BENCHMARK_NAMES:
-        spec = runner.resolve_spec(benchmark)
-        benchmark = spec.name
-        artifacts = runner.run_resolved(spec, BASELINE_POLICY)
+    for request, artifacts in session.stream(scenario, jobs=jobs):
+        benchmark = request.benchmark
         result = artifacts.result
         binary = artifacts.prepared.binary
         hot_ranges = binary.hot_section_ranges

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.api.scenario import Scenario
+from repro.api.session import Session
 from repro.common.temperature import Temperature
 from repro.core.pipeline import PipelineOptions
 from repro.experiments.runner import BenchmarkRunner
@@ -46,31 +48,39 @@ def run_figure8(
     thresholds: Sequence[float] | None = None,
     config: SimulatorConfig | None = None,
     runner: BenchmarkRunner | None = None,
+    session: Session | None = None,
 ) -> list[ThresholdPoint]:
     """Sweep percentile_hot and measure section split + TRRIP-1 speedup."""
-    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
+    session = Session.ensure(session, runner=runner, config=config)
+    # One scenario per (benchmark, threshold): the threshold lives in the
+    # pipeline options, and each scenario contributes its baseline/TRRIP
+    # pair in order, so the stream below is consumed pairwise.
+    scenarios = [
+        Scenario(
+            benchmarks=benchmark,
+            policies=(BASELINE_POLICY, "trrip-1"),
+            options=PipelineOptions(percentile_hot=threshold),
+            label="figure8",
+        )
+        for benchmark in (benchmarks or DEFAULT_BENCHMARKS)
+        for threshold in (thresholds or DEFAULT_THRESHOLDS)
+    ]
     points: list[ThresholdPoint] = []
-    for benchmark in benchmarks or DEFAULT_BENCHMARKS:
-        spec = runner.resolve_spec(benchmark)
-        for threshold in thresholds or DEFAULT_THRESHOLDS:
-            options = PipelineOptions(percentile_hot=threshold)
-            baseline = runner.run_resolved(
-                spec, BASELINE_POLICY, options=options
-            ).result
-            trrip = runner.run_resolved(spec, "trrip-1", options=options)
-            image = trrip.prepared.binary.image
-            by_temp = image.section_bytes_by_temperature()
-            total = sum(by_temp.values()) or 1
-            points.append(
-                ThresholdPoint(
-                    benchmark=spec.name,
-                    percentile_hot=threshold,
-                    text_fractions={
-                        temp: size / total for temp, size in by_temp.items()
-                    },
-                    speedup_over_srrip=trrip.result.speedup_over(baseline),
-                )
+    stream = session.stream(*scenarios)
+    for (request, baseline), (_, trrip) in zip(stream, stream):
+        image = trrip.prepared.binary.image
+        by_temp = image.section_bytes_by_temperature()
+        total = sum(by_temp.values()) or 1
+        points.append(
+            ThresholdPoint(
+                benchmark=request.benchmark,
+                percentile_hot=request.options.percentile_hot,
+                text_fractions={
+                    temp: size / total for temp, size in by_temp.items()
+                },
+                speedup_over_srrip=trrip.result.speedup_over(baseline.result),
             )
+        )
     return points
 
 

@@ -8,9 +8,11 @@ divided by the same factor as the rest of the hierarchy.
 CLI: ``repro run figure9a`` / ``repro run figure9b``.
 
 Unlike the other figure modules these sweeps change the simulator
-configuration per point, so they build one :class:`BenchmarkRunner` per
-geometry internally; pass ``store=`` to have all of them share one result
-store.
+configuration per point; each geometry is expressed as a per-scenario
+:class:`~repro.sim.config.SimulatorConfig` and the session keeps one engine
+per geometry.  Because the plan is deduplicated, the SRRIP baseline for a
+given (benchmark, geometry) is simulated once and shared across the swept
+policies — pass ``store=`` (or a session with one) to also persist runs.
 """
 
 from __future__ import annotations
@@ -18,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.experiments.runner import BenchmarkRunner
+from repro.api.scenario import Scenario
+from repro.api.session import Session
 from repro.experiments.store import ResultStore
 from repro.sim.config import BASELINE_POLICY, SimulatorConfig
 from repro.sim.results import geomean_speedup
@@ -60,28 +63,39 @@ def run_figure9a(
     l2_sizes: Sequence[int] | None = None,
     config: SimulatorConfig | None = None,
     store: Optional[ResultStore] = None,
+    session: Session | None = None,
 ) -> list[SizeSweepPoint]:
     """Cache-size sensitivity of TRRIP-1, CLIP and Emissary (Figure 9a)."""
-    config = config or SimulatorConfig.default()
+    session = Session.ensure(session, config=config, store=store)
+    base_config = config or session.config
     benchmarks = tuple(benchmarks or PROXY_BENCHMARK_NAMES)
+    # One scenario per (L2 size, policy), each pairing the baseline with the
+    # swept policy per benchmark; identical baseline points across policies
+    # collapse in the plan and simulate once.
+    scenarios = [
+        Scenario(
+            config=base_config.with_l2_geometry(size_bytes=size),
+            benchmarks=benchmarks,
+            policies=(BASELINE_POLICY, policy),
+            label="figure9a",
+        )
+        for size in (l2_sizes or default_l2_sizes(base_config))
+        for policy in policies
+    ]
     points: list[SizeSweepPoint] = []
-    for size in l2_sizes or default_l2_sizes(config):
-        sized = config.with_l2_geometry(size_bytes=size)
-        runner = BenchmarkRunner(config=sized, store=store)
-        for policy in policies:
-            speedups = []
-            for benchmark in benchmarks:
-                results = runner.run_policies(benchmark, [policy])
-                speedups.append(
-                    results[policy].speedup_over(results[BASELINE_POLICY])
-                )
-            points.append(
-                SizeSweepPoint(
-                    policy=policy,
-                    l2_size_bytes=size,
-                    geomean_speedup=geomean_speedup(speedups),
-                )
+    stream = session.stream(*scenarios)
+    for scenario in scenarios:
+        speedups = []
+        for _ in scenario.benchmarks:
+            (_, baseline), (_, swept) = next(stream), next(stream)
+            speedups.append(swept.result.speedup_over(baseline.result))
+        points.append(
+            SizeSweepPoint(
+                policy=scenario.policies[-1].canonical(),
+                l2_size_bytes=scenario.config.hierarchy.l2.size_bytes,
+                geomean_speedup=geomean_speedup(speedups),
             )
+        )
     return points
 
 
@@ -90,21 +104,31 @@ def run_figure9b(
     associativities: Sequence[int] = DEFAULT_ASSOCIATIVITIES,
     config: SimulatorConfig | None = None,
     store: Optional[ResultStore] = None,
+    session: Session | None = None,
 ) -> list[AssociativityPoint]:
     """Associativity sensitivity of TRRIP-1 (Figure 9b)."""
-    config = config or SimulatorConfig.default()
+    session = Session.ensure(session, config=config, store=store)
+    base_config = config or session.config
     benchmarks = tuple(benchmarks or PROXY_BENCHMARK_NAMES)
+    scenarios = [
+        Scenario(
+            config=base_config.with_l2_geometry(associativity=associativity),
+            benchmarks=benchmarks,
+            policies=(BASELINE_POLICY, "trrip-1"),
+            label="figure9b",
+        )
+        for associativity in associativities
+    ]
     points: list[AssociativityPoint] = []
-    for associativity in associativities:
-        shaped = config.with_l2_geometry(associativity=associativity)
-        runner = BenchmarkRunner(config=shaped, store=store)
-        for benchmark in benchmarks:
-            results = runner.run_policies(benchmark, ["trrip-1"])
+    stream = session.stream(*scenarios)
+    for scenario in scenarios:
+        for _ in scenario.benchmarks:
+            (request, baseline), (_, trrip) = next(stream), next(stream)
             points.append(
                 AssociativityPoint(
-                    benchmark=getattr(benchmark, "name", benchmark),
-                    associativity=associativity,
-                    speedup=results["trrip-1"].speedup_over(results[BASELINE_POLICY]),
+                    benchmark=request.benchmark,
+                    associativity=scenario.config.hierarchy.l2.associativity,
+                    speedup=trrip.result.speedup_over(baseline.result),
                 )
             )
     return points

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro.api.session import Session
+from repro.cache.replacement.spec import PolicySpec
 from repro.experiments import ablations, figure3, figure6, figure7, figure8
 from repro.experiments import figure9, table3, tables, topdown_figures
 from repro.experiments.runner import BenchmarkRunner
@@ -27,22 +29,32 @@ class ExperimentContext:
 
     ``benchmarks`` is ``None`` to use the experiment's paper-default
     benchmark list; entries may be benchmark names or full
-    :class:`~repro.workloads.spec.WorkloadSpec` objects (the runner accepts
-    both).
+    :class:`~repro.workloads.spec.WorkloadSpec` objects.  ``policies`` is
+    ``None`` to use the experiment's paper policy list; entries are
+    normalised to :class:`~repro.cache.replacement.spec.PolicySpec`.  All
+    execution flows through one :class:`~repro.api.session.Session` —
+    adapters hand it to the experiment modules, so every simulation shares
+    the session's engines and result store.
     """
 
     config: SimulatorConfig = field(default_factory=SimulatorConfig.default)
-    runner: Optional[BenchmarkRunner] = None
+    session: Optional[Session] = None
+    runner: Optional[BenchmarkRunner] = None  #: legacy handle; adopted if given
     benchmarks: Optional[Sequence[str | WorkloadSpec]] = None
+    policies: Optional[Sequence[str | PolicySpec]] = None
     jobs: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.session is None:
+            self.session = Session.ensure(runner=self.runner, config=self.config)
         if self.runner is None:
-            self.runner = BenchmarkRunner(config=self.config)
+            self.runner = self.session.runner
+        if self.policies is not None:
+            self.policies = tuple(PolicySpec.of(p) for p in self.policies)
 
     @property
     def store(self) -> Optional[ResultStore]:
-        return self.runner.store
+        return self.session.store
 
     def first_benchmark(self, default: str) -> str | WorkloadSpec:
         """The single benchmark for experiments that sweep one workload."""
@@ -65,6 +77,9 @@ class Experiment:
     simulates: bool = True
     #: Whether the adapter forwards ``ctx.jobs`` into a parallel sweep.
     supports_jobs: bool = False
+    #: Whether the adapter forwards ``ctx.policies`` (CLI ``--policy``) into
+    #: the experiment; fixed-policy artifacts ignore the flag and warn.
+    supports_policies: bool = False
     #: Whether the experiment sweeps a single workload (ablations) and
     #: therefore uses only the first entry of ``ctx.benchmarks``.
     single_benchmark: bool = False
@@ -120,7 +135,7 @@ register(
         artifact="Figure 1",
         description="Top-Down breakdown of the PGO'd mobile system components",
         run=lambda ctx: topdown_figures.run_figure1(
-            components=ctx.benchmarks, runner=ctx.runner
+            components=ctx.benchmarks, session=ctx.session
         ),
         format=topdown_figures.format_topdown_rows,
     )
@@ -131,7 +146,7 @@ register(
         artifact="Figure 2",
         description="Top-Down breakdown of the proxies, non-PGO vs. PGO",
         run=lambda ctx: topdown_figures.run_figure2(
-            benchmarks=ctx.benchmarks, runner=ctx.runner
+            benchmarks=ctx.benchmarks, session=ctx.session
         ),
         format=topdown_figures.format_topdown_rows,
     )
@@ -142,7 +157,7 @@ register(
         artifact="Figure 3",
         description="reuse-distance distribution of hot instruction lines",
         run=lambda ctx: figure3.run_figure3(
-            benchmarks=ctx.benchmarks, runner=ctx.runner
+            benchmarks=ctx.benchmarks, session=ctx.session
         ),
         format=figure3.format_figure3,
     )
@@ -153,10 +168,14 @@ register(
         artifact="Figure 6",
         description="speedup of every evaluated policy over SRRIP",
         run=lambda ctx: figure6.run_figure6(
-            benchmarks=ctx.benchmarks, runner=ctx.runner, jobs=ctx.jobs
+            benchmarks=ctx.benchmarks,
+            policies=ctx.policies,
+            session=ctx.session,
+            jobs=ctx.jobs,
         ),
         format=figure6.format_figure6,
         supports_jobs=True,
+        supports_policies=True,
     )
 )
 register(
@@ -165,10 +184,14 @@ register(
         artifact="Table 3",
         description="raw SRRIP L2 MPKI and per-policy MPKI reductions",
         run=lambda ctx: table3.run_table3(
-            benchmarks=ctx.benchmarks, runner=ctx.runner, jobs=ctx.jobs
+            benchmarks=ctx.benchmarks,
+            policies=ctx.policies,
+            session=ctx.session,
+            jobs=ctx.jobs,
         ),
         format=table3.format_table3,
         supports_jobs=True,
+        supports_policies=True,
     )
 )
 register(
@@ -187,9 +210,10 @@ register(
         artifact="Figure 7",
         description="coverage of costly instruction misses by the hot section",
         run=lambda ctx: figure7.run_figure7(
-            benchmarks=ctx.benchmarks, runner=ctx.runner
+            benchmarks=ctx.benchmarks, session=ctx.session, jobs=ctx.jobs
         ),
         format=figure7.format_figure7,
+        supports_jobs=True,
     )
 )
 register(
@@ -198,7 +222,7 @@ register(
         artifact="Figure 8",
         description="sensitivity to the compiler hot threshold",
         run=lambda ctx: figure8.run_figure8(
-            benchmarks=ctx.benchmarks, runner=ctx.runner
+            benchmarks=ctx.benchmarks, session=ctx.session
         ),
         format=figure8.format_figure8,
     )
@@ -209,7 +233,7 @@ register(
         artifact="Figure 9a",
         description="L2 size sensitivity of TRRIP-1, CLIP and Emissary",
         run=lambda ctx: figure9.run_figure9a(
-            benchmarks=ctx.benchmarks, config=ctx.config, store=ctx.store
+            benchmarks=ctx.benchmarks, session=ctx.session
         ),
         format=figure9.format_figure9a,
     )
@@ -220,7 +244,7 @@ register(
         artifact="Figure 9b",
         description="L2 associativity sensitivity of TRRIP-1",
         run=lambda ctx: figure9.run_figure9b(
-            benchmarks=ctx.benchmarks, config=ctx.config, store=ctx.store
+            benchmarks=ctx.benchmarks, session=ctx.session
         ),
         format=figure9.format_figure9b,
     )
@@ -241,7 +265,7 @@ register(
         artifact="Section 4.9",
         description="page-size / overlap-handling ablation for TRRIP-1",
         run=lambda ctx: ablations.run_page_size_ablation(
-            benchmark=ctx.first_benchmark("sqlite"), runner=ctx.runner
+            benchmark=ctx.first_benchmark("sqlite"), session=ctx.session
         ),
         format=ablations.format_page_size_ablation,
         single_benchmark=True,
@@ -253,7 +277,7 @@ register(
         artifact="adoption argument",
         description="TRRIP with temperature bits disabled degrades to SRRIP",
         run=lambda ctx: ablations.run_kill_switch_ablation(
-            benchmark=ctx.first_benchmark("sqlite"), runner=ctx.runner
+            benchmark=ctx.first_benchmark("sqlite"), session=ctx.session
         ),
         format=ablations.format_kill_switch,
         single_benchmark=True,

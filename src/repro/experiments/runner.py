@@ -31,13 +31,15 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.analysis.reuse import ReuseDistanceTracker
+from repro.cache.replacement.spec import PolicySpec
 from repro.common.trace import PackedTrace, TraceRecord
 from repro.core.pipeline import CoDesignPipeline, PipelineOptions, PreparedWorkload
 from repro.experiments.store import ResultStore, StoredRun, run_key
 from repro.sim.config import BASELINE_POLICY, SimulatorConfig
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import SystemSimulator
-from repro.workloads.spec import InputSet, WorkloadSpec, get_spec
+from repro.workloads.spec import InputSet, WorkloadSpec
+from repro.workloads.spec import resolve_spec as resolve_workload_spec
 
 
 @dataclass
@@ -69,10 +71,7 @@ class BenchmarkRunner:
     # ----------------------------------------------------------- preparation
     def resolve_spec(self, benchmark: str | WorkloadSpec) -> WorkloadSpec:
         """Accept either a spec or a benchmark name, applying config scaling."""
-        spec = benchmark if isinstance(benchmark, WorkloadSpec) else get_spec(benchmark)
-        if self.config.workload_scale != 1.0:
-            spec = spec.scaled(self.config.workload_scale)
-        return spec
+        return resolve_workload_spec(benchmark, self.config.workload_scale)
 
     def prepare(
         self,
@@ -93,7 +92,7 @@ class BenchmarkRunner:
         grid point.
         """
         options = options or self.pipeline_options
-        key = (spec, self._options_key(options))
+        key = (spec, options.cache_key())
         if key not in self._prepared:
             pipeline = CoDesignPipeline(options)
             self._prepared[key] = pipeline.prepare(spec)
@@ -103,7 +102,7 @@ class BenchmarkRunner:
         self, prepared: PreparedWorkload
     ) -> tuple[list[TraceRecord], list[TraceRecord]]:
         """(warm-up, measured) record lists for a prepared workload (cached)."""
-        key = (prepared.spec, self._options_key(prepared.options))
+        key = (prepared.spec, prepared.options.cache_key())
         if key not in self._traces:
             generator = prepared.trace_generator(InputSet.EVALUATION)
             warmup = generator.take(prepared.spec.warmup_instructions)
@@ -120,7 +119,7 @@ class BenchmarkRunner:
         deterministic instruction sequence :meth:`traces` yields, without
         allocating one ``TraceRecord`` per dynamic instruction.
         """
-        key = (prepared.spec, self._options_key(prepared.options))
+        key = (prepared.spec, prepared.options.cache_key())
         if key not in self._packed:
             generator = prepared.trace_generator(InputSet.EVALUATION)
             warmup = generator.take_packed(prepared.spec.warmup_instructions)
@@ -128,23 +127,11 @@ class BenchmarkRunner:
             self._packed[key] = (warmup, measured)
         return self._packed[key]
 
-    @staticmethod
-    def _options_key(options: PipelineOptions) -> tuple:
-        return (
-            options.apply_pgo,
-            options.propagate_temperature,
-            options.percentile_hot,
-            options.percentile_cold,
-            options.page_size,
-            options.overlap_policy,
-            options.pad_sections_to_page,
-        )
-
     # ------------------------------------------------------------------ runs
     def run(
         self,
         benchmark: str | WorkloadSpec,
-        policy: str = BASELINE_POLICY,
+        policy: str | PolicySpec = BASELINE_POLICY,
         options: PipelineOptions | None = None,
         track_reuse: bool = False,
         config: SimulatorConfig | None = None,
@@ -161,7 +148,7 @@ class BenchmarkRunner:
     def run_resolved(
         self,
         spec: WorkloadSpec,
-        policy: str = BASELINE_POLICY,
+        policy: str | PolicySpec = BASELINE_POLICY,
         options: PipelineOptions | None = None,
         track_reuse: bool = False,
         config: SimulatorConfig | None = None,
@@ -174,6 +161,7 @@ class BenchmarkRunner:
         When the runner has a :class:`~repro.experiments.store.ResultStore`,
         this is also where cached runs are served from.
         """
+        policy = PolicySpec.of(policy)
         effective_options = options or self.pipeline_options
         run_config = (config or self.config).with_l2_policy(policy)
 
@@ -237,73 +225,99 @@ class BenchmarkRunner:
     def run_policies(
         self,
         benchmark: str | WorkloadSpec,
-        policies: Sequence[str],
-        baseline: str = BASELINE_POLICY,
+        policies: Sequence[str | PolicySpec],
+        baseline: str | PolicySpec = BASELINE_POLICY,
         options: PipelineOptions | None = None,
         config: SimulatorConfig | None = None,
     ) -> dict[str, SimulationResult]:
-        """Run a benchmark under a baseline plus a list of policies."""
+        """Run a benchmark under a baseline plus a list of policies.
+
+        Results are keyed by each policy's canonical string form (for plain
+        policies, the bare name).
+        """
         spec = self.resolve_spec(benchmark)
+        baseline = PolicySpec.of(baseline)
         results: dict[str, SimulationResult] = {}
-        wanted = [baseline] + [p for p in policies if p != baseline]
+        wanted = [baseline] + [
+            s for s in (PolicySpec.of(p) for p in policies) if s != baseline
+        ]
         for policy in wanted:
-            results[policy] = self.run_resolved(
+            results[policy.canonical()] = self.run_resolved(
                 spec, policy, options=options, config=config
             ).result
         return results
 
     # ------------------------------------------------------------ parallel map
+    def run_points(
+        self,
+        points: Sequence[tuple[WorkloadSpec, str | PolicySpec]],
+        config: SimulatorConfig | None = None,
+        jobs: int | None = None,
+        chunksize: int | None = None,
+    ) -> list[SimulationResult]:
+        """Simulate a list of (resolved spec, policy) points, optionally in
+        parallel worker processes, returning results in input order.
+
+        ``jobs=None`` (or 1) runs serially in this process; ``jobs=0`` uses
+        every available core; any other value caps the worker count.  Each
+        point is a fully deterministic, independent simulation, so the
+        returned list is identical regardless of ``jobs``.
+        """
+        points = [(spec, PolicySpec.of(policy)) for spec, policy in points]
+        run_config = config or self.config
+        if jobs is None or jobs == 1 or len(points) <= 1:
+            return [
+                self.run_resolved(spec, policy, config=run_config).result
+                for spec, policy in points
+            ]
+        workers = jobs if jobs > 1 else (os.cpu_count() or 1)
+        workers = min(workers, len(points))
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_init_grid_worker,
+            initargs=(run_config, self.pipeline_options, self.store),
+        ) as pool:
+            # Pool.map preserves input order, giving deterministic output
+            # ordering.  Callers that know the grid shape pass a chunksize
+            # that hands each worker contiguous same-benchmark points, so
+            # its process-level runner cache pays workload preparation and
+            # trace generation once per benchmark instead of per point.
+            outcomes = pool.map(
+                _run_grid_point, points, chunksize=max(chunksize or 1, 1)
+            )
+        results = [result for result, _ in outcomes]
+        # Worker counters die with the pool; fold them back into this
+        # runner (and its store stats) so callers see accurate totals.
+        simulated = sum(count for _, count in outcomes)
+        self.simulations_run += simulated
+        if self.store is not None:
+            self.store.misses += simulated
+            self.store.writes += simulated
+            self.store.hits += len(points) - simulated
+        return results
+
     def run_grid(
         self,
         benchmarks: Sequence[str | WorkloadSpec],
-        policies: Sequence[str],
+        policies: Sequence[str | PolicySpec],
         config: SimulatorConfig | None = None,
         jobs: int | None = None,
     ) -> list[tuple[str, str, SimulationResult]]:
         """Simulate every (benchmark, policy) grid point, optionally in
         parallel worker processes.
 
-        ``jobs=None`` (or 1) runs serially in this process; ``jobs=0`` uses
-        every available core; any other value caps the worker count.  Each
-        grid point is a fully deterministic, independent simulation, so the
-        returned list — ordered benchmark-major, exactly like the serial
-        nested loop — is identical regardless of ``jobs``.
+        The returned list is ordered benchmark-major, exactly like the
+        serial nested loop, for every ``jobs`` value (see
+        :meth:`run_points`); policies are reported in canonical string form.
         """
         specs = [self.resolve_spec(benchmark) for benchmark in benchmarks]
-        points = [(spec, policy) for spec in specs for policy in policies]
-        run_config = config or self.config
-        if jobs is None or jobs == 1 or len(points) <= 1:
-            results = [
-                self.run_resolved(spec, policy, config=run_config).result
-                for spec, policy in points
-            ]
-        else:
-            workers = jobs if jobs > 1 else (os.cpu_count() or 1)
-            workers = min(workers, len(points))
-            with multiprocessing.Pool(
-                processes=workers,
-                initializer=_init_grid_worker,
-                initargs=(run_config, self.pipeline_options, self.store),
-            ) as pool:
-                # Pool.map preserves input order, giving deterministic output
-                # ordering.  Points are benchmark-major, so chunks of
-                # len(policies) hand each worker whole benchmarks and its
-                # process-level runner cache pays workload preparation and
-                # trace generation once per benchmark instead of per point.
-                outcomes = pool.map(
-                    _run_grid_point, points, chunksize=max(len(policies), 1)
-                )
-            results = [result for result, _ in outcomes]
-            # Worker counters die with the pool; fold them back into this
-            # runner (and its store stats) so callers see accurate totals.
-            simulated = sum(count for _, count in outcomes)
-            self.simulations_run += simulated
-            if self.store is not None:
-                self.store.misses += simulated
-                self.store.writes += simulated
-                self.store.hits += len(points) - simulated
+        wanted = [PolicySpec.of(policy) for policy in policies]
+        points = [(spec, policy) for spec in specs for policy in wanted]
+        results = self.run_points(
+            points, config=config, jobs=jobs, chunksize=len(wanted)
+        )
         return [
-            (spec.name, policy, result)
+            (spec.name, policy.canonical(), result)
             for (spec, policy), result in zip(points, results)
         ]
 

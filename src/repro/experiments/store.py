@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.analysis.reuse import REUSE_BUCKETS, ReuseDistanceTracker
+from repro.cache.replacement.spec import PolicySpec
 from repro.common.hashing import canonical_payload, stable_hash
 from repro.core.pipeline import PipelineOptions
 from repro.sim.config import SimulatorConfig
@@ -55,16 +56,22 @@ def default_store_root() -> Path:
 
 def run_key(
     spec: WorkloadSpec,
-    policy: str,
+    policy: "str | PolicySpec",
     config: SimulatorConfig,
     options: PipelineOptions,
 ) -> str:
-    """Content hash identifying one simulation run."""
+    """Content hash identifying one simulation run.
+
+    ``policy`` is hashed in canonical string form (see
+    :meth:`~repro.cache.replacement.spec.PolicySpec.canonical`), so a
+    parameterless :class:`PolicySpec` and the bare policy name produce the
+    same key — entries written before specs existed keep matching.
+    """
     return stable_hash(
         {
             "schema": SCHEMA_VERSION,
             "spec": canonical_payload(spec),
-            "policy": policy,
+            "policy": PolicySpec.of(policy).canonical(),
             "config": canonical_payload(config),
             "options": canonical_payload(options),
         }
@@ -162,7 +169,7 @@ class ResultStore:
         key: str,
         run: StoredRun,
         spec: WorkloadSpec,
-        policy: str,
+        policy: "str | PolicySpec",
         config: SimulatorConfig,
         options: PipelineOptions,
     ) -> None:
@@ -171,7 +178,7 @@ class ResultStore:
             "schema": SCHEMA_VERSION,
             # The key inputs, echoed so entries are debuggable with jq/less.
             "benchmark": spec.name,
-            "policy": policy,
+            "policy": PolicySpec.of(policy).canonical(),
             "config_name": config.name,
             "config_hash": config.content_hash(),
             "options": canonical_payload(options),

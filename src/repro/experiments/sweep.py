@@ -13,13 +13,12 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.experiments.runner import BenchmarkRunner
-from repro.sim.config import BASELINE_POLICY, EVALUATED_POLICIES, SimulatorConfig
+from repro.sim.config import BASELINE_POLICY, SimulatorConfig
 from repro.sim.results import (
     SimulationResult,
     geomean_reduction,
     geomean_speedup,
 )
-from repro.workloads.spec import PROXY_BENCHMARK_NAMES
 
 
 @dataclass
@@ -74,8 +73,13 @@ def run_policy_sweep(
     config: SimulatorConfig | None = None,
     runner: BenchmarkRunner | None = None,
     jobs: int | None = None,
+    session=None,
 ) -> PolicySweepResult:
     """Simulate every (benchmark, policy) pair against the SRRIP baseline.
+
+    Thin wrapper over :meth:`repro.api.session.Session.sweep` keeping the
+    historical signature: ``session=`` is the preferred handle, ``runner=``
+    (an engine runner to adopt) and ``config=`` remain accepted.
 
     ``jobs`` fans the (benchmark × policy) grid out over worker processes
     (``0`` = all cores, ``None``/``1`` = serial).  Every grid point is an
@@ -83,18 +87,12 @@ def run_policy_sweep(
     — including iteration order of the nested result dicts — for any ``jobs``
     value.
     """
-    policies = tuple(policies or EVALUATED_POLICIES)
-    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
-    wanted_benchmarks = list(benchmarks or PROXY_BENCHMARK_NAMES)
-    sweep = PolicySweepResult(
-        benchmarks=tuple(
-            runner.resolve_spec(b).name for b in wanted_benchmarks
-        ),
+    from repro.api.session import Session
+
+    session = Session.ensure(session, runner=runner, config=config)
+    return session.sweep(
+        benchmarks=benchmarks,
         policies=policies,
-        baseline_policy=BASELINE_POLICY,
+        baseline=BASELINE_POLICY,
+        jobs=jobs,
     )
-    wanted = [BASELINE_POLICY] + [p for p in policies if p != BASELINE_POLICY]
-    grid = runner.run_grid(wanted_benchmarks, wanted, jobs=jobs)
-    for benchmark, policy, result in grid:
-        sweep.results.setdefault(benchmark, {})[policy] = result
-    return sweep

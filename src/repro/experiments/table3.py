@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.session import Session
 from repro.experiments.runner import BenchmarkRunner
 from repro.experiments.sweep import PolicySweepResult, run_policy_sweep
 from repro.sim.config import EVALUATED_POLICIES, SimulatorConfig
@@ -21,6 +22,7 @@ def run_table3(
     config: SimulatorConfig | None = None,
     runner: BenchmarkRunner | None = None,
     jobs: int | None = None,
+    session: Session | None = None,
 ) -> PolicySweepResult:
     """Same sweep as Figure 6; Table 3 reports the MPKI view of it."""
     return run_policy_sweep(
@@ -29,6 +31,7 @@ def run_table3(
         config=config,
         runner=runner,
         jobs=jobs,
+        session=session,
     )
 
 

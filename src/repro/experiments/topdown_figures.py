@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.api.session import Session
 from repro.core.pipeline import PipelineOptions
 from repro.cpu.topdown import TopDownBreakdown
 from repro.experiments.runner import BenchmarkRunner
@@ -38,13 +39,12 @@ class TopDownRow:
 
 
 def _topdown_row(
-    runner: BenchmarkRunner, benchmark, apply_pgo: bool, policy: str
+    session: Session, benchmark, apply_pgo: bool, policy: str
 ) -> TopDownRow:
-    spec = runner.resolve_spec(benchmark)
     options = PipelineOptions(apply_pgo=apply_pgo, propagate_temperature=False)
-    artifacts = runner.run_resolved(spec, policy, options=options)
+    artifacts = session.run_one(benchmark, policy, options=options)
     return TopDownRow(
-        benchmark=spec.name,
+        benchmark=artifacts.prepared.spec.name,
         pgo_applied=apply_pgo,
         fractions=artifacts.result.topdown.fractions(),
     )
@@ -54,11 +54,12 @@ def run_figure1(
     components: Sequence[str] | None = None,
     config: SimulatorConfig | None = None,
     runner: BenchmarkRunner | None = None,
+    session: Session | None = None,
 ) -> list[TopDownRow]:
     """Top-Down breakdown of the PGO'd mobile system components (Figure 1)."""
-    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
+    session = Session.ensure(session, runner=runner, config=config)
     return [
-        _topdown_row(runner, component, apply_pgo=True, policy=BASELINE_POLICY)
+        _topdown_row(session, component, apply_pgo=True, policy=BASELINE_POLICY)
         for component in (components or SYSTEM_COMPONENT_NAMES)
     ]
 
@@ -67,13 +68,14 @@ def run_figure2(
     benchmarks: Sequence[str] | None = None,
     config: SimulatorConfig | None = None,
     runner: BenchmarkRunner | None = None,
+    session: Session | None = None,
 ) -> list[TopDownRow]:
     """Top-Down breakdown of proxies, non-PGO and PGO (Figure 2)."""
-    runner = runner or BenchmarkRunner(config=config or SimulatorConfig.default())
+    session = Session.ensure(session, runner=runner, config=config)
     rows: list[TopDownRow] = []
     for benchmark in benchmarks or PROXY_BENCHMARK_NAMES:
-        rows.append(_topdown_row(runner, benchmark, apply_pgo=False, policy=BASELINE_POLICY))
-        rows.append(_topdown_row(runner, benchmark, apply_pgo=True, policy=BASELINE_POLICY))
+        rows.append(_topdown_row(session, benchmark, apply_pgo=False, policy=BASELINE_POLICY))
+        rows.append(_topdown_row(session, benchmark, apply_pgo=True, policy=BASELINE_POLICY))
     return rows
 
 

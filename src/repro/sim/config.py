@@ -14,6 +14,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.cache.hierarchy import CacheLevelConfig, HierarchyConfig
+from repro.cache.replacement.spec import PolicySpec
 from repro.common.errors import ConfigurationError
 from repro.common.hashing import canonical_payload, stable_hash
 from repro.cpu.core import CoreConfig
@@ -62,16 +63,34 @@ class SimulatorConfig:
     def l2_policy(self) -> str:
         return self.hierarchy.l2.policy
 
-    def with_l2_policy(self, policy: str, **policy_kwargs) -> "SimulatorConfig":
-        """Return a copy whose L2 uses a different replacement policy."""
+    @property
+    def l2_policy_spec(self) -> PolicySpec:
+        """The L2 replacement policy as a structured spec (name + params)."""
+        return PolicySpec(
+            self.hierarchy.l2.policy, tuple(self.hierarchy.l2.policy_kwargs.items())
+        )
+
+    def with_l2_policy(
+        self, policy: "str | PolicySpec", **policy_kwargs
+    ) -> "SimulatorConfig":
+        """Return a copy whose L2 uses a different replacement policy.
+
+        ``policy`` may be a plain name (``"srrip"``), a parameterised token
+        (``"ship:shct_bits=3"``) or a
+        :class:`~repro.cache.replacement.spec.PolicySpec`; it is validated
+        against the policy registry here, so an unknown name or parameter
+        raises :class:`~repro.common.errors.ConfigurationError` before any
+        workload preparation or simulation starts.
+        """
+        spec = PolicySpec.of(policy, **policy_kwargs)
         hierarchy = dataclasses.replace(
             self.hierarchy,
             l2=dataclasses.replace(
-                self.hierarchy.l2, policy=policy, policy_kwargs=dict(policy_kwargs)
+                self.hierarchy.l2, policy=spec.name, policy_kwargs=spec.kwargs
             ),
         )
         return dataclasses.replace(
-            self, name=f"{self.name}/{policy}", hierarchy=hierarchy
+            self, name=f"{self.name}/{spec.canonical()}", hierarchy=hierarchy
         )
 
     def with_l2_geometry(

@@ -1,0 +1,90 @@
+"""Shared helpers for the test suite and the benchmark harness.
+
+``tests/conftest.py`` and ``benchmarks/conftest.py`` used to duplicate the
+request constructors and store/config/session builders; both now import
+them from here.  Everything in this module is plain library code (no pytest
+dependency), so examples and ad-hoc scripts can reuse it too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.api.session import Session
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement.basic import LRUPolicy
+from repro.cache.replacement.rrip import SRRIPPolicy
+from repro.common.request import AccessType, MemoryRequest
+from repro.common.temperature import Temperature
+from repro.experiments.store import ResultStore
+from repro.sim.config import SimulatorConfig
+
+
+# ------------------------------------------------------------------ requests
+def make_request(
+    address: int,
+    access_type: AccessType = AccessType.INSTRUCTION_FETCH,
+    temperature: Temperature = Temperature.NONE,
+    pc: int = 0,
+    starvation_hint: bool = False,
+    is_prefetch: bool = False,
+) -> MemoryRequest:
+    """Convenience request constructor used across the suite."""
+    return MemoryRequest(
+        address=address,
+        access_type=access_type,
+        pc=pc or address,
+        temperature=temperature,
+        starvation_hint=starvation_hint,
+        is_prefetch=is_prefetch,
+    )
+
+
+def instruction(address: int, temperature: Temperature = Temperature.NONE, **kw):
+    return make_request(address, AccessType.INSTRUCTION_FETCH, temperature, **kw)
+
+
+def data_load(address: int, **kw):
+    return make_request(address, AccessType.DATA_LOAD, **kw)
+
+
+def data_store(address: int, **kw):
+    return make_request(address, AccessType.DATA_STORE, **kw)
+
+
+# -------------------------------------------------------------------- caches
+def small_lru_cache() -> SetAssociativeCache:
+    """A 4-set, 2-way LRU cache (512 B) for unit tests."""
+    policy = LRUPolicy(num_sets=4, num_ways=2)
+    return SetAssociativeCache("test-l1", 512, 2, policy)
+
+
+def small_srrip_cache() -> SetAssociativeCache:
+    """A 4-set, 4-way SRRIP cache (1 kB) for unit tests."""
+    policy = SRRIPPolicy(num_sets=4, num_ways=4)
+    return SetAssociativeCache("test-l2", 1024, 4, policy)
+
+
+# ----------------------------------------------------------- store / session
+def make_store(
+    root: Path | str | None, refresh: bool = False
+) -> Optional[ResultStore]:
+    """A :class:`ResultStore` rooted at ``root``, or ``None`` when no root
+    is given (callers treat that as "store disabled")."""
+    if not root:
+        return None
+    return ResultStore(root, refresh=refresh)
+
+
+def make_session(
+    config: Optional[SimulatorConfig] = None,
+    store_root: Path | str | None = None,
+    refresh: bool = False,
+) -> Session:
+    """A scaled-config :class:`~repro.api.session.Session`, optionally
+    store-backed — the standard execution context in tests/benchmarks."""
+    return Session(
+        config=config or SimulatorConfig.scaled(),
+        store=make_store(store_root, refresh=refresh),
+    )

@@ -487,6 +487,22 @@ def get_spec(name: str) -> WorkloadSpec:
     )
 
 
+def resolve_spec(
+    benchmark: "str | WorkloadSpec", workload_scale: float = 1.0
+) -> WorkloadSpec:
+    """Resolve a benchmark name/spec, applying ``workload_scale`` exactly once.
+
+    The single implementation of the scaling rule: both the engine
+    (``BenchmarkRunner.resolve_spec``) and the scenario layer
+    (``repro.api.scenario.resolve_benchmark``) delegate here, so a spec can
+    never be scaled twice on one path and once on another.
+    """
+    spec = benchmark if isinstance(benchmark, WorkloadSpec) else get_spec(benchmark)
+    if workload_scale != 1.0:
+        spec = spec.scaled(workload_scale)
+    return spec
+
+
 def tiny_spec(name: str = "tinybench", seed: int = 99) -> WorkloadSpec:
     """A miniature workload for smoke tests and CLI dry runs.
 

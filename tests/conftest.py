@@ -1,62 +1,40 @@
-"""Shared fixtures for the TRRIP reproduction test suite."""
+"""Shared fixtures for the TRRIP reproduction test suite.
+
+The request constructors and store/config/session builders live in
+:mod:`repro.testing` (shared with ``benchmarks/conftest.py``); this file
+only wraps them as pytest fixtures and re-exports the constructors under
+their historical names for the tests that import them from here.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.cache.cache import SetAssociativeCache
-from repro.cache.replacement.basic import LRUPolicy
-from repro.cache.replacement.rrip import SRRIPPolicy
-from repro.common.request import AccessType, MemoryRequest
-from repro.common.temperature import Temperature
 from repro.sim.config import SimulatorConfig
+from repro.testing import (  # noqa: F401  (re-exported for the suite)
+    data_load,
+    data_store,
+    instruction,
+    make_request,
+    make_session,
+)
+from repro.testing import small_lru_cache as make_small_lru_cache
+from repro.testing import small_srrip_cache as make_small_srrip_cache
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.spec import tiny_spec as make_tiny_spec
-
-
-def make_request(
-    address: int,
-    access_type: AccessType = AccessType.INSTRUCTION_FETCH,
-    temperature: Temperature = Temperature.NONE,
-    pc: int = 0,
-    starvation_hint: bool = False,
-    is_prefetch: bool = False,
-) -> MemoryRequest:
-    """Convenience request constructor used across the suite."""
-    return MemoryRequest(
-        address=address,
-        access_type=access_type,
-        pc=pc or address,
-        temperature=temperature,
-        starvation_hint=starvation_hint,
-        is_prefetch=is_prefetch,
-    )
-
-
-def instruction(address: int, temperature: Temperature = Temperature.NONE, **kw):
-    return make_request(address, AccessType.INSTRUCTION_FETCH, temperature, **kw)
-
-
-def data_load(address: int, **kw):
-    return make_request(address, AccessType.DATA_LOAD, **kw)
-
-
-def data_store(address: int, **kw):
-    return make_request(address, AccessType.DATA_STORE, **kw)
 
 
 @pytest.fixture
 def small_lru_cache() -> SetAssociativeCache:
     """A 4-set, 2-way LRU cache (512 B) for unit tests."""
-    policy = LRUPolicy(num_sets=4, num_ways=2)
-    return SetAssociativeCache("test-l1", 512, 2, policy)
+    return make_small_lru_cache()
 
 
 @pytest.fixture
 def small_srrip_cache() -> SetAssociativeCache:
     """A 4-set, 4-way SRRIP cache (1 kB) for unit tests."""
-    policy = SRRIPPolicy(num_sets=4, num_ways=4)
-    return SetAssociativeCache("test-l2", 1024, 4, policy)
+    return make_small_srrip_cache()
 
 
 @pytest.fixture
@@ -69,3 +47,9 @@ def tiny_spec() -> WorkloadSpec:
 def scaled_config() -> SimulatorConfig:
     """The default (scaled) simulator configuration."""
     return SimulatorConfig.scaled()
+
+
+@pytest.fixture
+def tiny_session():
+    """A session over the scaled config (no store) for API-level tests."""
+    return make_session()

@@ -16,9 +16,12 @@ class TestParser:
         for argv in (
             ["list"],
             ["list", "experiments"],
+            ["policies"],
             ["run", "figure3", "--tiny", "--no-cache"],
             ["run", "table3", "--benchmarks", "sqlite,gcc", "--jobs", "2"],
+            ["run", "figure6", "--tiny", "--policy", "ship:shct_bits=3"],
             ["sweep", "--policies", "lru,trrip-1", "--tiny"],
+            ["sweep", "--policy", "trrip-2", "--tiny"],
             ["report", "figure3", "--format", "csv"],
         ):
             args = parser.parse_args(argv)
@@ -50,6 +53,46 @@ class TestList:
         out = capsys.readouterr().out
         assert "replacement policies" in out
         assert "experiments:" not in out
+
+
+class TestPolicies:
+    def test_policies_subcommand_lists_catalog(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "trrip-1" in out
+        assert "aliases: trrip, trrip1" in out
+        assert "rrpv_bits:int=2" in out
+        assert "[baseline]" in out
+
+    def test_run_with_parameterised_policy(self, capsys):
+        argv = [
+            "run",
+            "table3",
+            "--tiny",
+            "--no-cache",
+            "--policy",
+            "ship:shct_bits=3",
+            "--policy",
+            "trrip-1",
+        ]
+        assert main(argv) == 0
+        assert "ship:shct_bits=3" in capsys.readouterr().out
+
+    def test_unknown_policy_fails_cleanly(self, capsys):
+        assert main(["sweep", "--tiny", "--no-cache", "--policy", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown replacement policy 'nope'" in err
+        assert "trrip-1" in err  # the message names the valid choices
+
+    def test_malformed_policy_parameter_fails_cleanly(self, capsys):
+        argv = ["sweep", "--tiny", "--no-cache", "--policy", "ship:bogus=1"]
+        assert main(argv) == 1
+        assert "no parameter 'bogus'" in capsys.readouterr().err
+
+    def test_policy_warning_for_fixed_policy_experiments(self, capsys):
+        argv = ["run", "figure3", "--tiny", "--no-cache", "--policy", "trrip-1"]
+        assert main(argv) == 0
+        assert "--policy ignored" in capsys.readouterr().err
 
 
 class TestRun:
@@ -86,7 +129,7 @@ class TestRun:
         assert not list(tmp_path.glob("runs/*/*.json"))
 
     def test_jobs_warning_for_serial_experiments(self, tmp_path, capsys):
-        argv = ["run", "figure7", "--tiny", "--jobs", "4", "--store", str(tmp_path)]
+        argv = ["run", "figure1", "--tiny", "--jobs", "4", "--store", str(tmp_path)]
         assert main(argv) == 0
         assert "--jobs ignored" in capsys.readouterr().err
 

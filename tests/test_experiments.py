@@ -4,9 +4,9 @@ import dataclasses
 
 import pytest
 
+from repro.api.session import Session
 from repro.common.temperature import Temperature
 from repro.experiments import (
-    BenchmarkRunner,
     format_figure3,
     format_figure6,
     format_figure7,
@@ -30,11 +30,11 @@ from repro.sim.config import SimulatorConfig
 
 
 @pytest.fixture(scope="module")
-def tiny_runner(request):
-    """A shared runner over the miniature workload (keeps module fast)."""
+def tiny_env(request):
+    """A shared (spec, session) over the miniature workload (keeps module fast)."""
     from repro.workloads.spec import tiny_spec
 
-    return tiny_spec(), BenchmarkRunner(config=SimulatorConfig.scaled())
+    return tiny_spec(), Session(config=SimulatorConfig.scaled())
 
 
 class TestStaticTables:
@@ -67,10 +67,10 @@ class TestStaticTables:
 
 
 class TestSimulationExperiments:
-    def test_policy_sweep_on_tiny_benchmark(self, tiny_runner):
-        spec, runner = tiny_runner
+    def test_policy_sweep_on_tiny_benchmark(self, tiny_env):
+        spec, session = tiny_env
         sweep = run_policy_sweep(
-            benchmarks=[spec], policies=["trrip-1"], runner=runner
+            benchmarks=[spec], policies=["trrip-1"], session=session
         )
         benchmark_name = sweep.benchmarks[0]
         assert sweep.result(benchmark_name, "trrip-1").policy == "trrip-1"
@@ -78,12 +78,12 @@ class TestSimulationExperiments:
         assert "geomean" in format_figure6(sweep)
         assert "L2 MPKI" in format_table3(sweep)
 
-    def test_figure1_and_2_topdown_rows(self, tiny_runner):
-        spec, runner = tiny_runner
-        fig1 = run_figure1(components=[spec], runner=runner)
+    def test_figure1_and_2_topdown_rows(self, tiny_env):
+        spec, session = tiny_env
+        fig1 = run_figure1(components=[spec], session=session)
         assert len(fig1) == 1
         assert fig1[0].pgo_applied
-        fig2 = run_figure2(benchmarks=[spec], runner=runner)
+        fig2 = run_figure2(benchmarks=[spec], session=session)
         assert len(fig2) == 2
         labels = [row.label for row in fig2]
         assert labels[0] + "*" == labels[1]
@@ -91,9 +91,9 @@ class TestSimulationExperiments:
             assert sum(row.fractions.values()) == pytest.approx(1.0)
         assert "retire" in format_topdown_rows(fig2)
 
-    def test_figure3_reuse_rows(self, tiny_runner):
-        spec, runner = tiny_runner
-        rows = run_figure3(benchmarks=[spec], runner=runner)
+    def test_figure3_reuse_rows(self, tiny_env):
+        spec, session = tiny_env
+        rows = run_figure3(benchmarks=[spec], session=session)
         assert len(rows) == 1
         row = rows[0]
         assert row.base_accesses >= row.hot_only_accesses >= 0
@@ -101,9 +101,9 @@ class TestSimulationExperiments:
             assert sum(row.base.values()) == pytest.approx(1.0)
         assert "~" in format_figure3(rows)
 
-    def test_figure7_coverage_rows(self, tiny_runner):
-        spec, runner = tiny_runner
-        rows = run_figure7(benchmarks=[spec], runner=runner)
+    def test_figure7_coverage_rows(self, tiny_env):
+        spec, session = tiny_env
+        rows = run_figure7(benchmarks=[spec], session=session)
         assert len(rows) == 1
         row = rows[0]
         for percentile, value in row.including_external.coverage_percent.items():
@@ -115,12 +115,12 @@ class TestSimulationExperiments:
             )
         assert "Figure 7a" in format_figure7(rows)
 
-    def test_figure8_threshold_points(self, tiny_runner):
-        spec, runner = tiny_runner
+    def test_figure8_threshold_points(self, tiny_env):
+        spec, session = tiny_env
         from repro.experiments.figure8 import run_figure8
 
         points = run_figure8(
-            benchmarks=[spec], thresholds=[0.10, 1.0], runner=runner
+            benchmarks=[spec], thresholds=[0.10, 1.0], session=session
         )
         assert len(points) == 2
         low, high = points
@@ -139,9 +139,9 @@ class TestWorkloadScaling:
     Figure modules used to resolve a spec (applying ``workload_scale``) and
     pass it back into ``runner.run``, which resolved — and scaled — it again.
     With ``workload_scale != 1`` every figure then simulated the wrong
-    footprints and trace lengths.  The modules now go through
-    ``run_resolved``, so the spec a figure prepares must be exactly the
-    directly-scaled one, with matching instruction counts.
+    footprints and trace lengths.  Resolution now happens exactly once, in
+    the scenario layer (``repro.api``), so the spec a figure prepares must
+    be exactly the directly-scaled one, with matching instruction counts.
     """
 
     def test_figure_module_scales_spec_exactly_once(self):
@@ -151,19 +151,23 @@ class TestWorkloadScaling:
         config = dataclasses.replace(
             SimulatorConfig.scaled(), name="halfscale", workload_scale=0.5
         )
-        runner = BenchmarkRunner(config=config)
+        session = Session(config=config)
         once_scaled = spec.scaled(0.5)
 
-        rows = run_figure1(components=[spec], runner=runner)
+        rows = run_figure1(components=[spec], session=session)
         assert len(rows) == 1
 
         # The figure prepared exactly the once-scaled spec — scaling a
         # second time would have shrunk eval_instructions to 3000 * 0.5.
-        prepared_specs = {key[0] for key in runner._prepared}
+        prepared_specs = {
+            key[0]
+            for runner in session._runners.values()
+            for key in runner._prepared
+        }
         assert prepared_specs == {once_scaled}
 
-        # And the simulated instruction count matches a direct resolve+run
-        # of the single-scaled spec.
-        artifacts = runner.run_resolved(once_scaled)
+        # And the simulated instruction count matches a direct run of the
+        # spec through the session (which resolves and scales exactly once).
+        artifacts = session.run_one(spec)
         assert artifacts.result.instructions == once_scaled.eval_instructions
         assert once_scaled.eval_instructions == spec.eval_instructions // 2

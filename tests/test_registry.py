@@ -4,15 +4,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api.session import Session
 from repro.experiments.registry import (
     REGISTRY,
     ExperimentContext,
     experiment_names,
     get_experiment,
 )
-from repro.experiments.runner import BenchmarkRunner
-from repro.experiments.store import ResultStore
 from repro.sim.config import SimulatorConfig
+from repro.testing import make_store
 from repro.workloads.spec import tiny_spec
 
 #: Every artifact of the paper the repository reproduces must be registered.
@@ -40,10 +40,10 @@ STATIC = sorted(name for name, e in REGISTRY.items() if not e.simulates)
 
 def make_context(store_root=None, refresh=False) -> ExperimentContext:
     config = SimulatorConfig.scaled()
-    store = ResultStore(store_root, refresh=refresh) if store_root else None
+    session = Session(config=config, store=make_store(store_root, refresh=refresh))
     return ExperimentContext(
         config=config,
-        runner=BenchmarkRunner(config=config, store=store),
+        session=session,
         benchmarks=[tiny_spec()],
     )
 
@@ -90,5 +90,5 @@ class TestSimulatedExperiments:
         second = make_context(tmp_path)
         text_second = experiment.format(experiment.run(second))
         assert second.store.misses == 0, f"{name} re-simulated on cached path"
-        assert second.runner.simulations_run == 0
+        assert second.session.simulations_run == 0
         assert text_second == text_first
