@@ -1,0 +1,68 @@
+"""Benchmark trace replay against regeneration.
+
+Trace capture exists to make the workload axis cheap: after the first run of
+a spec, every later session replays the packed columns from disk instead of
+re-walking the synthetic generator.  This benchmark times the two paths for
+one full-size proxy workload (same prepared binary, same pipeline options)
+and asserts replay actually wins — if a format change ever made replay
+slower than regeneration, the archive would be pure overhead and this fails.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.pipeline import CoDesignPipeline, PipelineOptions
+from repro.workloads.capture import TraceArchive
+from repro.workloads.spec import InputSet, get_spec
+
+ROUNDS = 3
+
+
+def _generate(prepared):
+    generator = prepared.trace_generator(InputSet.EVALUATION)
+    warmup = generator.take_packed(prepared.spec.warmup_instructions)
+    measured = generator.take_packed(prepared.spec.eval_instructions)
+    return warmup, measured
+
+
+def _best_of(rounds, fn):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_bench_trace_replay_vs_regeneration(benchmark, tmp_path):
+    spec = get_spec("sqlite")
+    prepared = CoDesignPipeline(PipelineOptions()).prepare(spec)
+    archive = TraceArchive(tmp_path)
+
+    generate_s, (warmup, measured) = _best_of(
+        ROUNDS, lambda: _generate(prepared)
+    )
+    archive.save(spec, PipelineOptions(), warmup, measured)
+
+    def replay():
+        pair = archive.load(spec, PipelineOptions())
+        assert pair is not None
+        return pair
+
+    replayed_warmup, replayed_measured = benchmark.pedantic(
+        replay, rounds=ROUNDS, iterations=1
+    )
+    replay_s, _ = _best_of(ROUNDS, replay)
+
+    instructions = len(warmup) + len(measured)
+    print(
+        f"\n[trace capture] {spec.name}: {instructions} instructions, "
+        f"generate {generate_s * 1e3:.1f} ms, replay {replay_s * 1e3:.1f} ms, "
+        f"speedup {generate_s / replay_s:.1f}x"
+    )
+
+    # Replay must be bit-identical and faster than regeneration.
+    assert replayed_measured.pc.tobytes() == measured.pc.tobytes()
+    assert replayed_warmup.flags.tobytes() == warmup.flags.tobytes()
+    assert replay_s < generate_s

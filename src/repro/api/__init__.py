@@ -42,6 +42,14 @@ from repro.cache.replacement.spec import (
     policy_names,
 )
 from repro.experiments.runner import RunArtifacts
+from repro.workloads.capture import TraceArchive
+from repro.workloads.families import (
+    WORKLOAD_FAMILIES,
+    WorkloadFamilySpec,
+    describe_families,
+    family_names,
+    get_family_info,
+)
 
 __all__ = [
     "Scenario",
@@ -56,4 +64,10 @@ __all__ = [
     "policy_names",
     "get_policy_info",
     "describe_policies",
+    "WorkloadFamilySpec",
+    "WORKLOAD_FAMILIES",
+    "family_names",
+    "get_family_info",
+    "describe_families",
+    "TraceArchive",
 ]

@@ -25,20 +25,24 @@ from repro.cache.replacement.spec import PolicySpec
 from repro.common.errors import ConfigurationError
 from repro.core.pipeline import PipelineOptions
 from repro.sim.config import BASELINE_POLICY, SimulatorConfig
+from repro.workloads.families import WorkloadFamilySpec, resolve_workload
 from repro.workloads.spec import WorkloadSpec, resolve_spec
 
-#: Anything accepted as a workload: a catalog name or a full spec.
-Benchmark = Union[str, WorkloadSpec]
+#: Anything accepted as a workload: a catalog name, a workload-family token
+#: (``"zipf:alpha=1.2"``), a family spec or a full workload spec.
+Benchmark = Union[str, WorkloadSpec, WorkloadFamilySpec]
 
 
 def resolve_benchmark(benchmark: Benchmark, config: SimulatorConfig) -> WorkloadSpec:
-    """Resolve a benchmark name/spec and apply the config's workload scale.
+    """Resolve a benchmark name/family/spec and apply the config's scale.
 
-    Delegates to :func:`repro.workloads.spec.resolve_spec` — the one
+    Family tokens and :class:`~repro.workloads.families.WorkloadFamilySpec`
+    objects synthesize first (:func:`~repro.workloads.families.resolve_workload`),
+    then delegate to :func:`repro.workloads.spec.resolve_spec` — the one
     implementation of the scale-exactly-once rule — so downstream execution
     always receives resolved specs.
     """
-    return resolve_spec(benchmark, config.workload_scale)
+    return resolve_spec(resolve_workload(benchmark), config.workload_scale)
 
 
 @dataclass(frozen=True, eq=False)
@@ -129,9 +133,14 @@ class Scenario:
     label: str = ""
 
     def __post_init__(self) -> None:
-        benchmarks = _as_tuple(self.benchmarks, (str, WorkloadSpec))
+        benchmarks = _as_tuple(
+            self.benchmarks, (str, WorkloadSpec, WorkloadFamilySpec)
+        )
         if not benchmarks:
-            raise ConfigurationError("a Scenario needs at least one benchmark")
+            raise ConfigurationError(
+                "a Scenario needs at least one benchmark (the workload axis "
+                "is empty)"
+            )
         policies = tuple(
             PolicySpec.of(p) for p in _as_tuple(self.policies, (str, PolicySpec))
         )
@@ -220,7 +229,18 @@ def build_plan(
     config: Optional[SimulatorConfig] = None,
     options: Optional[PipelineOptions] = None,
 ) -> RunPlan:
-    """Expand scenarios and fold identical points into one plan."""
+    """Expand scenarios and fold identical points into one plan.
+
+    Zero scenarios would silently produce a 0-run plan that every downstream
+    consumer (``Session.execute``, ``Session.stream``) happily executes as a
+    no-op; that is never what a caller meant, so it raises eagerly instead.
+    """
+    scenarios = tuple(scenarios)
+    if not scenarios:
+        raise ConfigurationError(
+            "cannot build a run plan from zero scenarios (the scenario axis "
+            "is empty)"
+        )
     plan = RunPlan()
     seen: dict[tuple, int] = {}
     for scenario in scenarios:

@@ -41,6 +41,7 @@ from repro.sim.config import (
     EVALUATED_POLICIES,
     SimulatorConfig,
 )
+from repro.workloads.capture import TraceArchive
 from repro.workloads.spec import PROXY_BENCHMARK_NAMES
 
 if TYPE_CHECKING:  # engine types; imported lazily at runtime (see below)
@@ -62,6 +63,7 @@ class Session:
         store: Optional[ResultStore] = None,
         options: Optional[PipelineOptions] = None,
         jobs: Optional[int] = None,
+        traces: "Optional[TraceArchive | str]" = None,
     ) -> None:
         self.config = config or SimulatorConfig.default()
         self.config.validate()
@@ -70,6 +72,11 @@ class Session:
         #: Default worker count for plan execution (``None``/1 = serial,
         #: 0 = all cores); per-call ``jobs`` arguments override it.
         self.jobs = jobs
+        #: Optional trace capture/replay archive shared by every engine this
+        #: session creates (a directory path is coerced to an archive).
+        if traces is not None and not isinstance(traces, TraceArchive):
+            traces = TraceArchive(traces)
+        self.traces = traces
         self._runners: dict[tuple, BenchmarkRunner] = {}
 
     @classmethod
@@ -97,6 +104,7 @@ class Session:
                 store=runner.store,
                 options=runner.pipeline_options,
                 jobs=jobs,
+                traces=runner.trace_archive,
             )
             session._runners[
                 session._runner_key(runner.config, runner.pipeline_options)
@@ -124,7 +132,10 @@ class Session:
         runner = self._runners.get(key)
         if runner is None:
             runner = BenchmarkRunner(
-                config=run_config, pipeline_options=run_options, store=self.store
+                config=run_config,
+                pipeline_options=run_options,
+                store=self.store,
+                trace_archive=self.traces,
             )
             self._runners[key] = runner
         return runner

@@ -37,41 +37,13 @@ from repro.cache.replacement.emissary import EmissaryPolicy
 from repro.cache.replacement.rrip import BRRIPPolicy, SRRIPPolicy
 from repro.cache.replacement.ship import SHiPPolicy
 from repro.common.errors import ConfigurationError
+from repro.common.params import TypedParam, parse_spec_token, render_param_value
 
-
-@dataclass(frozen=True)
-class PolicyParam:
-    """One typed parameter a policy builder accepts."""
-
-    name: str
-    type: type
-    default: Any
-    description: str = ""
-
-    def coerce(self, value: Any, policy: str) -> Any:
-        """Convert ``value`` (possibly a CLI string) to the parameter type."""
-        if isinstance(value, self.type) and not (
-            self.type is not bool and isinstance(value, bool)
-        ):
-            return value
-        if isinstance(value, str):
-            try:
-                if self.type is bool:
-                    lowered = value.strip().lower()
-                    if lowered in ("true", "1", "yes", "on"):
-                        return True
-                    if lowered in ("false", "0", "no", "off"):
-                        return False
-                    raise ValueError(value)
-                return self.type(value)
-            except ValueError:
-                pass
-        elif self.type is float and isinstance(value, int):
-            return float(value)
-        raise ConfigurationError(
-            f"policy {policy!r}: parameter {self.name!r} expects "
-            f"{self.type.__name__}, got {value!r}"
-        )
+#: One typed parameter a policy builder accepts.  The shared
+#: :class:`~repro.common.params.TypedParam` machinery (also used by workload
+#: families) defaults its ``kind`` to "policy", so the construction and
+#: error-message behaviour are unchanged.
+PolicyParam = TypedParam
 
 
 @dataclass(frozen=True)
@@ -294,24 +266,7 @@ class PolicySpec:
     @classmethod
     def parse(cls, text: str) -> "PolicySpec":
         """Parse the CLI syntax ``name`` or ``name:param=value,param=value``."""
-        if not isinstance(text, str) or not text.strip():
-            raise ConfigurationError(
-                f"empty replacement-policy token {text!r}"
-            )
-        name, _, rest = text.strip().partition(":")
-        params: dict[str, str] = {}
-        if rest:
-            for token in rest.split(","):
-                token = token.strip()
-                if not token:
-                    continue
-                key, sep, value = token.partition("=")
-                if not sep or not key.strip() or not value.strip():
-                    raise ConfigurationError(
-                        f"malformed policy parameter {token!r} in {text!r}; "
-                        "expected name:param=value[,param=value...]"
-                    )
-                params[key.strip()] = value.strip()
+        name, params = parse_spec_token(text, kind="policy")
         return cls(name, tuple(params.items()))
 
     # -------------------------------------------------------------- accessors
@@ -338,11 +293,9 @@ class PolicySpec:
         )
         return f"{self.name}:{rendered}"
 
-    @staticmethod
-    def _render(value: Any) -> str:
-        if isinstance(value, bool):
-            return "true" if value else "false"
-        return repr(value) if isinstance(value, float) else str(value)
+    #: Canonical value rendering, shared with the workload-family specs so
+    #: both registries' canonical strings (and store keys) stay consistent.
+    _render = staticmethod(render_param_value)
 
     def __str__(self) -> str:
         return self.canonical()

@@ -22,6 +22,8 @@ from repro.experiments.store import ResultStore
 from repro.experiments.table3 import format_table3
 from repro.experiments.figure6 import format_figure6
 from repro.sim.config import BASELINE_POLICY, EVALUATED_POLICIES, SimulatorConfig
+from repro.workloads.capture import TraceArchive
+from repro.workloads.families import describe_families, resolve_workload
 from repro.workloads.spec import (
     PROXY_BENCHMARKS,
     SYSTEM_COMPONENTS,
@@ -54,6 +56,13 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
         "--refresh",
         action="store_true",
         help="ignore cached results but write fresh ones",
+    )
+    group.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="capture generated traces into DIR and replay them on later "
+        "runs instead of regenerating (see `repro workloads`)",
     )
 
 
@@ -96,6 +105,16 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         "policies` for the catalog.  Experiments with a fixed policy list "
         "(figure6, table3, sweep) use these instead",
     )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="FAMILY[:P=V,...]",
+        dest="workload",
+        help="workload-family token to add to the benchmark list "
+        "(e.g. zipf:alpha=1.2 or streaming); repeatable, composes with "
+        "--tiny and --benchmarks.  See `repro workloads` for the catalog",
+    )
     _add_cache_options(parser)
 
 
@@ -121,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "policies",
         help="describe every replacement policy and its typed parameters",
+    )
+
+    sub.add_parser(
+        "workloads",
+        help="describe every workload family and its typed parameters",
     )
 
     run_parser = sub.add_parser(
@@ -172,14 +196,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 # ------------------------------------------------------------------- helpers
 def _parse_benchmarks(args) -> Optional[list]:
+    """Workloads from ``--tiny`` / ``--benchmarks`` / repeated ``--workload``.
+
+    ``--workload`` family tokens synthesize eagerly (an unknown family or
+    parameter fails here, before any simulation) and *append* to whatever the
+    other two flags selected, so e.g. ``--tiny --workload zipf:alpha=1.2``
+    runs both the smoke workload and the family point.
+    """
+    benchmarks: list = []
     if getattr(args, "tiny", False):
-        return [tiny_spec()]
-    if args.benchmarks is None:
-        return None
-    names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
-    for name in names:
-        get_spec(name)  # raises WorkloadError with the known-benchmark list
-    return names
+        benchmarks.append(tiny_spec())
+    elif args.benchmarks is not None:
+        names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+        if not names:
+            raise ConfigurationError(
+                "--benchmarks named no workloads (the benchmark axis is empty)"
+            )
+        for name in names:
+            get_spec(name)  # raises WorkloadError with the known-benchmark list
+        benchmarks.extend(names)
+    for token in getattr(args, "workload", None) or ():
+        benchmarks.append(resolve_workload(token))
+    return benchmarks or None
 
 
 def _parse_policies(args) -> Optional[list]:
@@ -205,9 +243,18 @@ def _make_store(args) -> Optional[ResultStore]:
     return ResultStore(root=args.store, refresh=args.refresh)
 
 
+def _make_traces(args) -> Optional[TraceArchive]:
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is None:
+        return None
+    return TraceArchive(trace_dir)
+
+
 def _make_context(args) -> ExperimentContext:
     config = CONFIGS[args.config]()
-    session = Session(config=config, store=_make_store(args))
+    session = Session(
+        config=config, store=_make_store(args), traces=_make_traces(args)
+    )
     return ExperimentContext(
         config=config,
         session=session,
@@ -222,11 +269,21 @@ def _cache_summary(ctx: ExperimentContext) -> str:
     if store is None:
         # Every simulation flows through the session, so the count is exact
         # even for experiments that sweep configurations (figure9).
-        return f"# {ctx.session.simulations_run} simulation(s) run, cache disabled"
-    return (
-        f"# {store.misses} simulation(s) run, {store.hits} served from cache "
-        f"({store.root})"
-    )
+        summary = (
+            f"# {ctx.session.simulations_run} simulation(s) run, cache disabled"
+        )
+    else:
+        summary = (
+            f"# {store.misses} simulation(s) run, {store.hits} served from "
+            f"cache ({store.root})"
+        )
+    traces = ctx.session.traces
+    if traces is not None:
+        summary += (
+            f"\n# traces: {traces.hits} replayed, {traces.writes} captured "
+            f"({traces.root})"
+        )
+    return summary
 
 
 def _save_report(ctx: ExperimentContext, name: str, text: str, data) -> None:
@@ -295,6 +352,26 @@ def _cmd_policies(args) -> int:
             print(f"  {'':10s} aliases: {', '.join(info.aliases)}")
         if params:
             print(f"  {'':10s} params:  {params}")
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    """Describe every workload family: description, aliases, parameters."""
+    print("workload families (workload syntax: family[:param=value,...]):")
+    for info, params in describe_families():
+        print(f"  {info.name:14s} {info.description}")
+        if info.aliases:
+            print(f"  {'':14s} aliases: {', '.join(info.aliases)}")
+        if params:
+            print(f"  {'':14s} params:  {params}")
+    print(
+        "\nuse with `repro run EXPERIMENT --workload FAMILY[:param=value,...]`"
+        " (repeatable),\nor programmatically via"
+        " repro.workloads.WorkloadFamilySpec.parse(...).synthesize().\n"
+        "add `--trace-dir DIR` to capture generated traces once and replay"
+        " them on every\nlater run (see EXPERIMENTS.md for the archive"
+        " layout)."
+    )
     return 0
 
 
@@ -398,6 +475,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_list(args)
         if args.command == "policies":
             return _cmd_policies(args)
+        if args.command == "workloads":
+            return _cmd_workloads(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "sweep":

@@ -1,0 +1,100 @@
+"""Generic typed-parameter machinery for registry-backed spec objects.
+
+Both structured spec layers of the harness — replacement policies
+(:mod:`repro.cache.replacement.spec`) and workload families
+(:mod:`repro.workloads.families`) — describe their entries the same way: a
+registry of named things, each accepting a handful of *typed* parameters
+with defaults, addressable from the CLI as ``name:param=value,param=value``.
+This module holds the shared pieces so the two registries validate, coerce
+and render identically:
+
+* :class:`TypedParam` — one declared parameter (name, type, default,
+  description) with CLI-string coercion that raises
+  :class:`~repro.common.errors.ConfigurationError` naming the owner and the
+  expected type;
+* :func:`parse_spec_token` — the ``name:param=value[,param=value...]``
+  parser, shared so both syntaxes stay byte-compatible;
+* :func:`render_param_value` — the canonical text form of a parameter value
+  (stable across processes; content hashes and store keys depend on it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TypedParam:
+    """One typed parameter a registry entry accepts.
+
+    ``kind`` names the registry the parameter belongs to ("policy",
+    "workload family", ...) purely for error messages.
+    """
+
+    name: str
+    type: type
+    default: Any
+    description: str = ""
+    kind: str = "policy"
+
+    def coerce(self, value: Any, owner: str) -> Any:
+        """Convert ``value`` (possibly a CLI string) to the parameter type."""
+        if isinstance(value, self.type) and not (
+            self.type is not bool and isinstance(value, bool)
+        ):
+            return value
+        if isinstance(value, str):
+            try:
+                if self.type is bool:
+                    lowered = value.strip().lower()
+                    if lowered in ("true", "1", "yes", "on"):
+                        return True
+                    if lowered in ("false", "0", "no", "off"):
+                        return False
+                    raise ValueError(value)
+                return self.type(value)
+            except ValueError:
+                pass
+        elif self.type is float and isinstance(value, int):
+            return float(value)
+        raise ConfigurationError(
+            f"{self.kind} {owner!r}: parameter {self.name!r} expects "
+            f"{self.type.__name__}, got {value!r}"
+        )
+
+
+def parse_spec_token(text: Any, kind: str) -> tuple[str, dict[str, str]]:
+    """Split a ``name`` / ``name:param=value,param=value`` token.
+
+    Returns ``(name, raw-parameter dict)``; values stay strings for the
+    registry's :class:`TypedParam` entries to coerce.  Malformed tokens raise
+    :class:`~repro.common.errors.ConfigurationError` naming ``kind``.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ConfigurationError(f"empty {kind} token {text!r}")
+    name, _, rest = text.strip().partition(":")
+    params: dict[str, str] = {}
+    if rest:
+        for token in rest.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, sep, value = token.partition("=")
+            if not sep or not key.strip() or not value.strip():
+                raise ConfigurationError(
+                    f"malformed {kind} parameter {token!r} in {text!r}; "
+                    "expected name:param=value[,param=value...]"
+                )
+            params[key.strip()] = value.strip()
+    return name, params
+
+
+def render_param_value(value: Any) -> str:
+    """Canonical text form of a parameter value (bools lowercase, floats
+    via ``repr`` so e.g. ``1.2`` round-trips exactly)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return repr(value) if isinstance(value, float) else str(value)

@@ -20,6 +20,11 @@ from repro.experiments import figure9, table3, tables, topdown_figures
 from repro.experiments.runner import BenchmarkRunner
 from repro.experiments.store import ResultStore
 from repro.sim.config import SimulatorConfig
+from repro.workloads.families import (
+    WorkloadFamilySpec,
+    is_family_token,
+    resolve_workload,
+)
 from repro.workloads.spec import WorkloadSpec
 
 
@@ -51,6 +56,17 @@ class ExperimentContext:
             self.runner = self.session.runner
         if self.policies is not None:
             self.policies = tuple(PolicySpec.of(p) for p in self.policies)
+        if self.benchmarks is not None:
+            # Family tokens/specs synthesize to concrete workload specs here,
+            # eagerly, so a bad family parameter fails before any simulation
+            # and every experiment module sees plain names/specs.
+            self.benchmarks = tuple(
+                resolve_workload(b)
+                if isinstance(b, WorkloadFamilySpec)
+                or (isinstance(b, str) and is_family_token(b))
+                else b
+                for b in self.benchmarks
+            )
 
     @property
     def store(self) -> Optional[ResultStore]:

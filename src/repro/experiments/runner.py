@@ -38,6 +38,7 @@ from repro.experiments.store import ResultStore, StoredRun, run_key
 from repro.sim.config import BASELINE_POLICY, SimulatorConfig
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import SystemSimulator
+from repro.workloads.capture import TraceArchive
 from repro.workloads.spec import InputSet, WorkloadSpec
 from repro.workloads.spec import resolve_spec as resolve_workload_spec
 
@@ -59,6 +60,9 @@ class BenchmarkRunner:
     pipeline_options: PipelineOptions = field(default_factory=PipelineOptions)
     #: Optional persistent cache; a hit skips the simulation entirely.
     store: Optional[ResultStore] = None
+    #: Optional persistent trace archive; a hit skips trace *generation*
+    #: (the simulation still runs unless the result store also hits).
+    trace_archive: Optional[TraceArchive] = None
 
     def __post_init__(self) -> None:
         self.config.validate()
@@ -118,13 +122,28 @@ class BenchmarkRunner:
         Emitted directly from the generator's column stream — the same
         deterministic instruction sequence :meth:`traces` yields, without
         allocating one ``TraceRecord`` per dynamic instruction.
+
+        When the runner has a :class:`~repro.workloads.capture.TraceArchive`,
+        the pair is replayed from disk on an archive hit — bit-identical to
+        regeneration (``tests/test_capture.py``) — and captured on a miss so
+        every later runner (including pool workers and other processes)
+        replays instead of regenerating.
         """
         key = (prepared.spec, prepared.options.cache_key())
         if key not in self._packed:
-            generator = prepared.trace_generator(InputSet.EVALUATION)
-            warmup = generator.take_packed(prepared.spec.warmup_instructions)
-            measured = generator.take_packed(prepared.spec.eval_instructions)
-            self._packed[key] = (warmup, measured)
+            pair = None
+            if self.trace_archive is not None:
+                pair = self.trace_archive.load(prepared.spec, prepared.options)
+            if pair is None:
+                generator = prepared.trace_generator(InputSet.EVALUATION)
+                warmup = generator.take_packed(prepared.spec.warmup_instructions)
+                measured = generator.take_packed(prepared.spec.eval_instructions)
+                pair = (warmup, measured)
+                if self.trace_archive is not None:
+                    self.trace_archive.save(
+                        prepared.spec, prepared.options, warmup, measured
+                    )
+            self._packed[key] = pair
         return self._packed[key]
 
     # ------------------------------------------------------------------ runs
@@ -275,7 +294,12 @@ class BenchmarkRunner:
         with multiprocessing.Pool(
             processes=workers,
             initializer=_init_grid_worker,
-            initargs=(run_config, self.pipeline_options, self.store),
+            initargs=(
+                run_config,
+                self.pipeline_options,
+                self.store,
+                self.trace_archive,
+            ),
         ) as pool:
             # Pool.map preserves input order, giving deterministic output
             # ordering.  Callers that know the grid shape pass a chunksize
@@ -285,15 +309,20 @@ class BenchmarkRunner:
             outcomes = pool.map(
                 _run_grid_point, points, chunksize=max(chunksize or 1, 1)
             )
-        results = [result for result, _ in outcomes]
+        results = [result for result, _, _ in outcomes]
         # Worker counters die with the pool; fold them back into this
-        # runner (and its store stats) so callers see accurate totals.
-        simulated = sum(count for _, count in outcomes)
+        # runner (and its store/archive stats) so callers see accurate totals.
+        simulated = sum(count for _, count, _ in outcomes)
         self.simulations_run += simulated
         if self.store is not None:
             self.store.misses += simulated
             self.store.writes += simulated
             self.store.hits += len(points) - simulated
+        if self.trace_archive is not None:
+            for _, _, (hits, misses, writes) in outcomes:
+                self.trace_archive.hits += hits
+                self.trace_archive.misses += misses
+                self.trace_archive.writes += writes
         return results
 
     def run_grid(
@@ -332,17 +361,35 @@ def _init_grid_worker(
     config: SimulatorConfig,
     pipeline_options: PipelineOptions,
     store: Optional[ResultStore] = None,
+    trace_archive: Optional[TraceArchive] = None,
 ) -> None:
     global _GRID_RUNNER
     _GRID_RUNNER = BenchmarkRunner(
-        config=config, pipeline_options=pipeline_options, store=store
+        config=config,
+        pipeline_options=pipeline_options,
+        store=store,
+        trace_archive=trace_archive,
     )
 
 
-def _run_grid_point(point: tuple[WorkloadSpec, str]) -> tuple[SimulationResult, int]:
-    """(result, simulations actually executed) for one grid point."""
+def _run_grid_point(
+    point: tuple[WorkloadSpec, str],
+) -> tuple[SimulationResult, int, tuple[int, int, int]]:
+    """(result, simulations executed, trace-archive counter deltas) for one
+    grid point."""
     spec, policy = point
     assert _GRID_RUNNER is not None, "worker initializer did not run"
+    archive = _GRID_RUNNER.trace_archive
     before = _GRID_RUNNER.simulations_run
+    trace_before = (
+        (archive.hits, archive.misses, archive.writes) if archive else (0, 0, 0)
+    )
     result = _GRID_RUNNER.run_resolved(spec, policy).result
-    return result, _GRID_RUNNER.simulations_run - before
+    trace_after = (
+        (archive.hits, archive.misses, archive.writes) if archive else (0, 0, 0)
+    )
+    return (
+        result,
+        _GRID_RUNNER.simulations_run - before,
+        tuple(after - b for after, b in zip(trace_after, trace_before)),
+    )

@@ -81,10 +81,13 @@ def make_session(
     config: Optional[SimulatorConfig] = None,
     store_root: Path | str | None = None,
     refresh: bool = False,
+    trace_root: Path | str | None = None,
 ) -> Session:
     """A scaled-config :class:`~repro.api.session.Session`, optionally
-    store-backed — the standard execution context in tests/benchmarks."""
+    store-backed and/or trace-archived — the standard execution context in
+    tests/benchmarks."""
     return Session(
         config=config or SimulatorConfig.scaled(),
         store=make_store(store_root, refresh=refresh),
+        traces=str(trace_root) if trace_root else None,
     )

@@ -1,6 +1,17 @@
-"""Synthetic workload substrate: specs, program builder, profiler, traces."""
+"""Synthetic workload substrate: specs, families, builder, capture, traces."""
 
 from repro.workloads.behavior import ControlFlowModel, FunctionCall
+from repro.workloads.capture import TraceArchive, trace_key
+from repro.workloads.families import (
+    WORKLOAD_FAMILIES,
+    FamilyInfo,
+    WorkloadFamilySpec,
+    describe_families,
+    family_names,
+    get_family_info,
+    is_family_token,
+    resolve_workload,
+)
 from repro.workloads.builder import (
     DATA_REUSE_BASE,
     DATA_STREAM_BASE,
@@ -24,6 +35,16 @@ from repro.workloads.tracegen import TraceGenerator
 __all__ = [
     "WorkloadSpec",
     "InputSet",
+    "WORKLOAD_FAMILIES",
+    "FamilyInfo",
+    "WorkloadFamilySpec",
+    "describe_families",
+    "family_names",
+    "get_family_info",
+    "is_family_token",
+    "resolve_workload",
+    "TraceArchive",
+    "trace_key",
     "PROXY_BENCHMARKS",
     "PROXY_BENCHMARK_NAMES",
     "SYSTEM_COMPONENTS",

@@ -99,10 +99,19 @@ class TestScenarioExpansion:
         assert scenario.policies[0].name == "trrip-1"
 
     def test_empty_scenario_rejected(self):
-        with pytest.raises(ConfigurationError, match="at least one benchmark"):
+        with pytest.raises(ConfigurationError, match="workload axis"):
             Scenario(benchmarks=(), policies="srrip")
         with pytest.raises(ConfigurationError, match="at least one policy"):
             Scenario(benchmarks="sqlite", policies=())
+
+    def test_zero_scenarios_cannot_build_a_plan(self):
+        """A 0-run plan is never what a caller meant: raise, don't no-op."""
+        with pytest.raises(ConfigurationError, match="scenario axis is empty"):
+            build_plan([])
+        with pytest.raises(ConfigurationError, match="scenario axis is empty"):
+            make_session().plan()
+        with pytest.raises(ConfigurationError, match="scenario axis is empty"):
+            make_session().run()
 
     def test_phase_overrides_rescale_the_resolved_spec(self):
         scenario = Scenario(

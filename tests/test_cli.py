@@ -17,11 +17,15 @@ class TestParser:
             ["list"],
             ["list", "experiments"],
             ["policies"],
+            ["workloads"],
             ["run", "figure3", "--tiny", "--no-cache"],
             ["run", "table3", "--benchmarks", "sqlite,gcc", "--jobs", "2"],
             ["run", "figure6", "--tiny", "--policy", "ship:shct_bits=3"],
+            ["run", "table3", "--tiny", "--workload", "zipf:alpha=1.2"],
+            ["run", "figure6", "--tiny", "--trace-dir", "traces"],
             ["sweep", "--policies", "lru,trrip-1", "--tiny"],
             ["sweep", "--policy", "trrip-2", "--tiny"],
+            ["sweep", "--workload", "streaming", "--workload", "zipf"],
             ["report", "figure3", "--format", "csv"],
         ):
             args = parser.parse_args(argv)
@@ -93,6 +97,65 @@ class TestPolicies:
         argv = ["run", "figure3", "--tiny", "--no-cache", "--policy", "trrip-1"]
         assert main(argv) == 0
         assert "--policy ignored" in capsys.readouterr().err
+
+
+class TestWorkloads:
+    def test_workloads_subcommand_lists_families(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "zipf" in out
+        assert "alpha:float=1.2" in out
+        assert "aliases: stream" in out
+        assert "--workload" in out
+
+    def test_run_with_family_workload(self, capsys):
+        argv = [
+            "run",
+            "table3",
+            "--tiny",
+            "--no-cache",
+            "--workload",
+            "zipf:alpha=1.2,instructions=4000,warmup=1000",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "tinybenc" in out
+        assert "zipf:alp" in out  # family column next to the tiny one
+
+    def test_unknown_family_fails_cleanly(self, capsys):
+        argv = ["run", "table3", "--tiny", "--no-cache", "--workload", "nope"]
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+
+    def test_bad_family_parameter_fails_cleanly(self, capsys):
+        argv = ["sweep", "--no-cache", "--workload", "zipf:bogus=1"]
+        assert main(argv) == 1
+        assert "no parameter 'bogus'" in capsys.readouterr().err
+
+    def test_empty_benchmarks_fails_instead_of_running_defaults(self, capsys):
+        argv = ["run", "table3", "--benchmarks", ",", "--no-cache"]
+        assert main(argv) == 1
+        assert "benchmark axis is empty" in capsys.readouterr().err
+
+    def test_trace_dir_captures_then_replays(self, tmp_path, capsys):
+        traces = str(tmp_path / "traces")
+        argv = [
+            "run",
+            "figure7",
+            "--tiny",
+            "--no-cache",
+            "--trace-dir",
+            traces,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 replayed, 1 captured" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "1 replayed, 0 captured" in second
+        assert list((tmp_path / "traces").glob("*/*.trace"))
 
 
 class TestRun:

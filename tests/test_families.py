@@ -1,0 +1,202 @@
+"""Tests for the parametric workload-family registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario, Session
+from repro.common.errors import ConfigurationError, WorkloadError
+from repro.sim.config import SimulatorConfig
+from repro.workloads.families import (
+    WORKLOAD_FAMILIES,
+    WorkloadFamilySpec,
+    describe_families,
+    family_names,
+    get_family_info,
+    is_family_token,
+    resolve_workload,
+)
+from repro.workloads.spec import PROXY_BENCHMARKS, WorkloadSpec, get_spec
+
+#: A cheap parameterisation usable by every family in simulation tests.
+FAST = "instructions=4000,warmup=1000"
+
+
+# -------------------------------------------------------------------- registry
+class TestFamilyRegistry:
+    def test_catalog_contents(self):
+        assert family_names() == (
+            "streaming",
+            "pointer-chase",
+            "zipf",
+            "phased",
+            "interleave",
+        )
+
+    def test_aliases_normalise_to_canonical_names(self):
+        assert get_family_info("stream").name == "streaming"
+        assert get_family_info("pointer_chase").name == "pointer-chase"
+        assert WorkloadFamilySpec.of("multiprogram").name == "interleave"
+
+    def test_family_tokens_are_recognised(self):
+        assert is_family_token("zipf")
+        assert is_family_token("zipf:alpha=1.4")
+        assert is_family_token("CHASE")
+        assert not is_family_token("sqlite")
+        assert not is_family_token("")
+        assert not is_family_token("nosuch:alpha=1")
+
+    def test_family_names_do_not_shadow_the_catalog(self):
+        # A family token must never be ambiguous with a paper benchmark.
+        for name in family_names():
+            assert name not in PROXY_BENCHMARKS
+
+    def test_describe_families_renders_typed_defaults(self):
+        rows = dict((info.name, summary) for info, summary in describe_families())
+        assert "alpha:float=1.2" in rows["zipf"]
+        assert "programs:int=2" in rows["interleave"]
+
+    def test_unknown_family_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="belady-chase"):
+            WorkloadFamilySpec.of("belady-chase")
+        with pytest.raises(ConfigurationError, match="pointer-chase"):
+            WorkloadFamilySpec.of("belady-chase")
+
+
+# ------------------------------------------------------------ WorkloadFamilySpec
+class TestWorkloadFamilySpec:
+    def test_parse_round_trips_through_canonical(self):
+        spec = WorkloadFamilySpec.parse("zipf:alpha=1.4,footprint_kb=48")
+        assert spec.name == "zipf"
+        assert spec.kwargs == {"alpha": 1.4, "footprint_kb": 48}
+        assert WorkloadFamilySpec.parse(spec.canonical()) == spec
+
+    def test_params_are_order_insensitive_and_hashable(self):
+        a = WorkloadFamilySpec.parse("streaming:footprint_kb=64,reuse_kb=4")
+        b = WorkloadFamilySpec.parse("streaming:reuse_kb=4,footprint_kb=64")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_unknown_parameter_raises_with_valid_parameters(self):
+        with pytest.raises(ConfigurationError, match="no parameter 'bogus'"):
+            WorkloadFamilySpec.parse("zipf:bogus=1")
+        with pytest.raises(ConfigurationError, match="footprint_kb"):
+            WorkloadFamilySpec.parse("zipf:bogus=1")
+
+    def test_badly_typed_parameter_raises(self):
+        with pytest.raises(ConfigurationError, match="expects int"):
+            WorkloadFamilySpec.parse("interleave:programs=two")
+
+    def test_malformed_token_raises(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            WorkloadFamilySpec.parse("zipf:alpha")
+
+    def test_of_accepts_overrides(self):
+        spec = WorkloadFamilySpec.of("zipf", alpha=2.0)
+        assert spec.kwargs == {"alpha": 2.0}
+
+
+# ------------------------------------------------------------------- synthesis
+class TestSynthesis:
+    @pytest.mark.parametrize("family", family_names())
+    def test_every_family_synthesizes_a_valid_spec(self, family):
+        spec = WorkloadFamilySpec.of(family).synthesize()
+        assert isinstance(spec, WorkloadSpec)  # __post_init__ validated it
+        assert spec.category == "family"
+        assert spec.name == family
+
+    def test_synthesis_is_deterministic(self):
+        token = f"phased:phases=4,{FAST}"
+        a = WorkloadFamilySpec.parse(token).synthesize()
+        b = WorkloadFamilySpec.parse(token).synthesize()
+        assert a == b
+
+    def test_spec_name_is_the_canonical_token(self):
+        spec = WorkloadFamilySpec.parse("zipf:footprint_kb=48,alpha=1.4")
+        assert spec.synthesize().name == "zipf:alpha=1.4,footprint_kb=48"
+
+    def test_zipf_alpha_shapes_the_hot_set(self):
+        skewed = WorkloadFamilySpec.of("zipf", alpha=2.0).synthesize()
+        uniform = WorkloadFamilySpec.of("zipf", alpha=0.1).synthesize()
+        assert skewed.data_reuse_kb < uniform.data_reuse_kb
+        # Footprint conserved: the 64 kB default splits into head + tail.
+        assert skewed.data_reuse_kb + skewed.data_stream_kb == 64
+
+    def test_pointer_chase_depth_maps_to_backend_stalls(self):
+        shallow = WorkloadFamilySpec.of("pointer-chase", depth=1).synthesize()
+        deep = WorkloadFamilySpec.of("pointer-chase", depth=8).synthesize()
+        assert deep.depend_stall_rate > shallow.depend_stall_rate
+        assert deep.depend_stall_cycles > shallow.depend_stall_cycles
+
+    def test_interleave_footprints_add_up(self):
+        base = get_spec("sqlite")
+        doubled = WorkloadFamilySpec.of("interleave", programs=2).synthesize()
+        assert doubled.hot_functions == base.hot_functions * 2
+        assert doubled.data_stream_kb == base.data_stream_kb * 2
+        assert doubled.segments_per_iteration == base.segments_per_iteration * 2
+        assert (
+            doubled.occasional_visit_probability
+            == base.occasional_visit_probability / 2
+        )
+
+    def test_interleave_unknown_base_raises(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            WorkloadFamilySpec.of("interleave", base="nosuch").synthesize()
+
+    def test_invalid_family_parameters_raise(self):
+        for token in (
+            "zipf:alpha=-1",
+            "zipf:footprint_kb=1",
+            "pointer-chase:depth=0",
+            "phased:phases=0",
+            "interleave:programs=0",
+        ):
+            with pytest.raises(ConfigurationError):
+                WorkloadFamilySpec.parse(token).synthesize()
+
+
+# ------------------------------------------------------------------ resolution
+class TestResolution:
+    def test_resolve_workload_handles_every_token_kind(self):
+        assert resolve_workload("sqlite") is get_spec("sqlite")
+        spec = get_spec("gcc")
+        assert resolve_workload(spec) is spec
+        by_token = resolve_workload("zipf:alpha=1.4")
+        by_spec = resolve_workload(WorkloadFamilySpec.of("zipf", alpha=1.4))
+        assert by_token == by_spec
+
+    def test_resolve_workload_unknown_name_raises(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            resolve_workload("nosuchbench")
+
+    def test_scenario_accepts_family_tokens(self):
+        scenario = Scenario(benchmarks=f"zipf:alpha=1.4,{FAST}")
+        [request] = scenario.expand()
+        assert request.spec.name.startswith("zipf:alpha=1.4")
+        assert request.spec.eval_instructions == 4000
+
+    def test_family_specs_scale_with_the_config(self):
+        import dataclasses
+
+        config = dataclasses.replace(
+            SimulatorConfig.scaled(), name="halfscale", workload_scale=0.5
+        )
+        token = f"streaming:{FAST}"
+        [request] = Scenario(benchmarks=token, config=config).expand()
+        expected = WorkloadFamilySpec.parse(token).synthesize().scaled(0.5)
+        assert request.spec == expected
+
+    def test_session_runs_a_family_point(self):
+        session = Session(config=SimulatorConfig.scaled())
+        artifacts = session.run_one(f"zipf:alpha=1.4,{FAST}", "trrip-1")
+        assert artifacts.result.benchmark.startswith("zipf:")
+        assert artifacts.result.instructions == 4000
+
+    def test_registry_context_normalises_family_tokens(self):
+        from repro.experiments.registry import ExperimentContext
+
+        ctx = ExperimentContext(benchmarks=[f"zipf:{FAST}", "sqlite"])
+        first, second = ctx.benchmarks
+        assert isinstance(first, WorkloadSpec)
+        assert first.category == "family"
+        assert second == "sqlite"  # catalog names pass through untouched
