@@ -1,171 +1,56 @@
 """Engine throughput benchmark: fast packed-trace engine vs the seed loop.
 
-Measures simulated instructions per second for the production engine
-(column-oriented :class:`PackedTrace` replayed through ``CoreModel.run_packed``
-with O(1) tag-index caches) against the *seed-equivalent baseline loop*
-vendored in :mod:`seed_engine` (record-at-a-time replay over linear-probe
-caches, result objects at every level — the engine this repository started
-with).
+The measurement logic lives in :mod:`repro.experiments.bench` (shared with
+the ``repro bench`` CLI subcommand); this harness runs the full-size shapes,
+prints the table, writes the ``BENCH_engine.json`` artifact (never committed
+— see ``BENCH_baseline.json`` for the pinned floors) and asserts the floors.
 
 Four trace shapes are measured:
 
 * ``hot_loop``   — an L1-resident dispatch-bound inner loop; memory system
   mostly quiet, so the measurement isolates the *engine* overhead per
-  instruction (the thing the fast engine rebuilds).  This is the headline
-  number and carries the ≥5× assertion.
+  instruction.
 * ``resident``   — L1-resident code and data with a realistic memory-operand
   mix.
 * ``mixed``      — working set straddling the L2.
 * ``streaming``  — data streaming through the whole hierarchy (model-bound;
   both engines spend their time in fills and replacement policies).
 
-Both engines are driven interleaved, best-of-N, in this one process, so the
-reported ratios are robust against machine noise.  Results are written to
-``BENCH_engine.json`` at the repository root so future PRs can track the
-performance trajectory.
+Plus the lockstep figure-sweep shape: one catalog workload replayed under
+four L2 policies, lockstep vs N independent runs.
 
-As a sanity check the two engines must also produce bit-identical simulation
-results for every shape — the baseline replica models exactly the same
-hardware.
+Both engines are driven interleaved, best-of-N, in this one process, so the
+reported ratios are robust against machine noise; as a sanity check the two
+engines must produce bit-identical simulation results for every shape (the
+baseline replica models exactly the same hardware), which the shared
+measurement code asserts.
 """
 
 from __future__ import annotations
 
 import json
-import random
-import time
 from pathlib import Path
 
-from repro.common.trace import (
-    FLAG_BRANCH,
-    FLAG_MEM,
-    FLAG_STORE,
-    FLAG_TAKEN,
-    PackedTrace,
-    TraceRecord,
+from repro.experiments.bench import (
+    check_floors,
+    format_report,
+    load_floors,
+    run_engine_bench,
 )
-from repro.sim.config import SimulatorConfig
-from repro.sim.simulator import SystemSimulator
-
-from seed_engine import build_seed_core
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 ARTIFACT = REPO_ROOT / "BENCH_engine.json"
 
-INSTRUCTIONS = 120_000
-ROUNDS = 3
-REQUIRED_SPEEDUP = 5.0
-
-#: (code lines, memory-operand rate, branch every N instructions)
-SHAPES = {
-    "hot_loop": (32, 0.0, 32),
-    "resident": (64, 0.2, 16),
-    "mixed": (512, 0.3, 16),
-    "streaming": (4096, 0.35, 16),
-}
-
-
-def build_traces(shape: str) -> tuple[list[TraceRecord], PackedTrace]:
-    """A synthetic trace in both representations (identical instructions)."""
-    code_lines, mem_rate, branch_every = SHAPES[shape]
-    rng = random.Random(42)
-    records: list[TraceRecord] = []
-    packed = PackedTrace()
-    code_base, data_base = 0x10000, 0x800000
-    total_slots = code_lines * 16
-    data_lines = 48 if shape in ("hot_loop", "resident") else code_lines * 4
-    for i in range(INSTRUCTIONS):
-        slot = i % total_slots
-        pc = code_base + slot * 4
-        is_branch = (slot % branch_every) == branch_every - 1
-        taken = is_branch and (slot == total_slots - 1 or rng.random() < 0.1)
-        target = code_base if slot == total_slots - 1 else pc + 8
-        has_mem = mem_rate > 0 and rng.random() < mem_rate
-        if shape == "streaming":
-            mem = data_base + ((i * 64) % (data_lines * 64)) if has_mem else 0
-        else:
-            mem = data_base + rng.randrange(data_lines) * 64 if has_mem else 0
-        store = has_mem and rng.random() < 0.3
-        flags = (
-            (FLAG_BRANCH if is_branch else 0)
-            | (FLAG_TAKEN if taken else 0)
-            | (FLAG_MEM if has_mem else 0)
-            | (FLAG_STORE if store else 0)
-        )
-        packed.append_raw(pc, 4, flags, target if is_branch else 0, mem, 0, 0)
-        records.append(
-            TraceRecord(
-                pc=pc,
-                is_branch=is_branch,
-                branch_taken=taken,
-                branch_target=target if is_branch else 0,
-                mem_address=mem if has_mem else None,
-                is_store=store,
-            )
-        )
-    return records, packed
-
-
-def measure_shape(shape: str) -> dict:
-    """Interleaved best-of-N measurement of both engines on one shape."""
-    records, packed = build_traces(shape)
-    config = SimulatorConfig.scaled()
-    best_seed = best_fast = float("inf")
-    seed_result = fast_result = None
-    for _ in range(ROUNDS):
-        core = build_seed_core(config)
-        core.run(records)  # warm-up window
-        core.hierarchy.reset_stats()
-        start = time.perf_counter()
-        seed_result = core.run(records)
-        best_seed = min(best_seed, time.perf_counter() - start)
-
-        simulator = SystemSimulator(config, benchmark=shape)
-        simulator.warm_up(packed)
-        start = time.perf_counter()
-        fast_result = simulator.run(packed)
-        best_fast = min(best_fast, time.perf_counter() - start)
-
-    # The baseline replica models the same hardware: identical results.
-    assert seed_result.cycles == fast_result.cycles
-    assert seed_result.topdown == fast_result.topdown
-
-    seed_ips = INSTRUCTIONS / best_seed
-    fast_ips = INSTRUCTIONS / best_fast
-    return {
-        "instructions": INSTRUCTIONS,
-        "seed_ips": round(seed_ips),
-        "fast_ips": round(fast_ips),
-        "speedup": round(best_seed / best_fast, 2),
-    }
-
 
 def test_bench_engine_speed(benchmark):
-    results = benchmark.pedantic(
-        lambda: {shape: measure_shape(shape) for shape in SHAPES},
-        rounds=1,
-        iterations=1,
-    )
+    results = benchmark.pedantic(run_engine_bench, rounds=1, iterations=1)
 
-    print("\n[Engine speed] simulated instructions per second, seed vs fast\n")
-    print(f"{'shape':<12} {'seed ips':>12} {'fast ips':>12} {'speedup':>9}")
-    for shape, row in results.items():
-        print(
-            f"{shape:<12} {row['seed_ips']:>12,} {row['fast_ips']:>12,} "
-            f"{row['speedup']:>8.2f}x"
-        )
+    print()
+    print(format_report(results))
+    ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
 
-    artifact = {
-        "unit": "simulated instructions per second",
-        "baseline": "seed-equivalent record loop (benchmarks/seed_engine.py)",
-        "engine": "PackedTrace + CoreModel.run_packed",
-        "shapes": results,
-        "peak_speedup": max(row["speedup"] for row in results.values()),
-    }
-    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
-
-    peak = artifact["peak_speedup"]
-    assert peak >= REQUIRED_SPEEDUP, (
-        f"engine-bound peak speedup {peak:.2f}x fell below the required "
-        f"{REQUIRED_SPEEDUP:.1f}x (see BENCH_engine.json for the full table)"
+    violations = check_floors(results, load_floors())
+    assert not violations, "; ".join(violations) + (
+        " (see BENCH_engine.json for the full table, BENCH_baseline.json "
+        "for the pinned floors)"
     )

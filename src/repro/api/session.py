@@ -64,6 +64,7 @@ class Session:
         options: Optional[PipelineOptions] = None,
         jobs: Optional[int] = None,
         traces: "Optional[TraceArchive | str]" = None,
+        lockstep: bool = True,
     ) -> None:
         self.config = config or SimulatorConfig.default()
         self.config.validate()
@@ -77,6 +78,12 @@ class Session:
         if traces is not None and not isinstance(traces, TraceArchive):
             traces = TraceArchive(traces)
         self.traces = traces
+        #: When executing a plan serially, runs that share (workload, config,
+        #: pipeline options) and differ only in their L2 policy advance
+        #: through one lockstep replay instead of N independent ones
+        #: (bit-identical results; see
+        #: :meth:`~repro.experiments.runner.BenchmarkRunner.run_lockstep_resolved`).
+        self.lockstep = lockstep
         self._runners: dict[tuple, BenchmarkRunner] = {}
 
     @classmethod
@@ -239,7 +246,49 @@ class Session:
                     )
                     for request, result in zip(unique, results)
                 ]
-        return [self._run_request(request) for request in unique]
+        return self._execute_serial(unique)
+
+    def _execute_serial(self, unique: list[RunRequest]) -> list[RunArtifacts]:
+        """Serial plan execution with lockstep multi-policy grouping.
+
+        Unique requests that share (workload, config, pipeline options) and
+        differ only in their L2 policy — the shape of every figure sweep —
+        are replayed in lockstep: the trace is decoded once and the N
+        hierarchies advance together.  Reuse-tracking points always run
+        solo (the L2 observer hooks one hierarchy at a time).  Results are
+        bit-identical to point-by-point execution for any grouping.
+        """
+        if not self.lockstep:
+            return [self._run_request(request) for request in unique]
+        groups: dict[tuple, list[int]] = {}
+        for index, request in enumerate(unique):
+            if request.track_reuse:
+                group_key = ("solo", index)
+            else:
+                group_key = (
+                    "lockstep",
+                    request.spec,
+                    request.config.content_hash(),
+                    request.options.cache_key(),
+                )
+            groups.setdefault(group_key, []).append(index)
+        results: list[Optional[RunArtifacts]] = [None] * len(unique)
+        for group_key, indices in groups.items():
+            if group_key[0] == "solo" or len(indices) == 1:
+                for index in indices:
+                    results[index] = self._run_request(unique[index])
+                continue
+            first = unique[indices[0]]
+            runner = self.runner_for(first.config, first.options)
+            artifacts = runner.run_lockstep_resolved(
+                first.spec,
+                [unique[index].policy for index in indices],
+                options=first.options,
+                config=first.config,
+            )
+            for index, artifact in zip(indices, artifacts):
+                results[index] = artifact
+        return results
 
     # ---------------------------------------------------------- conveniences
     def run_one(

@@ -9,12 +9,20 @@ from repro.common.temperature import Temperature
 
 @dataclass(slots=True)
 class CacheBlock:
-    """State of one cache line resident in a set-associative cache.
+    """View of one cache line resident in a set-associative cache.
+
+    The production cache stores no block objects — per-line state lives in
+    the flat columns of :class:`repro.cache.cache.SetAssociativeCache` — so
+    this class is a materialised *snapshot*: ``blocks_in_set`` and ``fill``
+    build instances from the columns for tests, analysis code and the seed
+    baseline engine (which still stores real block objects per line).
 
     Only the fields a real tag array would hold (tag/valid/dirty) influence
-    behaviour; the rest (``is_instruction``, ``temperature``, ``pc``,
-    timestamps) are simulation metadata used by statistics, the analysis
-    modules and back-invalidation.  Replacement policies keep their own state
+    behaviour; the rest (``is_instruction``, ``temperature``, ``pc``) are
+    simulation metadata used by victim fills and back-invalidation.  The
+    timestamp fields (``insertion_time``, ``last_access_time``,
+    ``access_count``) are maintained only by the seed baseline; the flat
+    cache reports them as zero.  Replacement policies keep their own state
     and never read these fields, mirroring the paper's claim that TRRIP needs
     no extra per-line storage.
     """

@@ -1,15 +1,28 @@
-"""Set-associative cache model with pluggable replacement policies."""
+"""Set-associative cache model with pluggable replacement policies.
+
+The cache stores no per-line objects: every tag-array field lives in a flat
+column (one entry per ``(set, way)`` slot), mirroring the structure-of-arrays
+tag stores of C++ simulators (gem5's tag arrays, ChampSim's per-set integer
+state).  See :class:`SetAssociativeCache` for the layout.
+"""
 
 from __future__ import annotations
 
 from typing import Optional
 
 from repro.cache.block import CacheBlock
-from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.base import (
+    ReplacementPolicy,
+    inherited_feature_is_exact,
+    is_request_free_hit,
+    is_request_free_insert,
+    is_request_free_victim,
+)
 from repro.cache.stats import CacheStats
 from repro.common.addressing import CACHE_LINE_SIZE, is_power_of_two
 from repro.common.errors import ConfigurationError
 from repro.common.request import AccessType, MemoryRequest
+from repro.common.temperature import Temperature
 
 _IFETCH = AccessType.INSTRUCTION_FETCH
 _STORE = AccessType.DATA_STORE
@@ -28,12 +41,74 @@ class SetAssociativeCache:
     line, returning the evicted block if any), ``invalidate`` and ``probe``
     (side-effect free lookup).
 
-    Lookups are O(1): each set maintains a ``tag -> way`` dict alongside the
-    block array, kept consistent by ``fill``/``invalidate``/``reset``.  The
-    dict is authoritative for residency; the block array remains the source of
-    per-line metadata (dirty bits, timestamps) that statistics and the
-    analysis modules read.
+    Data layout
+    -----------
+
+    All per-line state lives in flat parallel columns indexed by
+    ``slot = set_index * associativity + way``:
+
+    * ``_lines`` — the resident line's global *line number*
+      (``address >> _line_shift``), which encodes both tag and set index
+      (``tag = line >> _set_bits``, ``set = line & _set_mask``,
+      ``address = line << _line_shift``);
+    * ``_valid`` / ``_dirty`` / ``_instr`` — bit-vectors (``bytearray``);
+    * ``_temps`` / ``_pcs`` — temperature and fill-PC metadata consumed by
+      victim fills and the TRRIP analysis.
+
+    Residency is answered by one dict per cache, ``_line_map``, mapping the
+    resident line number to its way — a single hash probe per lookup with no
+    per-level shift/mask work, kept consistent by ``fill`` / ``invalidate`` /
+    ``reset``.  Address geometry is precomputed shift/mask state, and the
+    ``*_line`` entry points accept an already-computed line number so one
+    shift per request is shared by every level of the hierarchy walk.
+
+    The historical object-per-line view remains available through
+    :meth:`blocks_in_set`, which materialises :class:`CacheBlock` snapshots
+    from the columns for tests and analysis code.  The flat cache does not
+    maintain the seed engine's per-line timestamps (``insertion_time``,
+    ``last_access_time``, ``access_count``) — nothing behavioural ever read
+    them, and dropping the bookkeeping removes three column writes from the
+    hottest paths; snapshots report them as zero.
     """
+
+    __slots__ = (
+        "name",
+        "size_bytes",
+        "associativity",
+        "line_size",
+        "num_sets",
+        "policy",
+        "stats",
+        "_lines",
+        "_valid",
+        "_dirty",
+        "_instr",
+        "_pcs",
+        "_temps",
+        "_columns",
+        "_line_map",
+        "_valid_counts",
+        "_line_shift",
+        "_set_mask",
+        "_set_bits",
+        "_tag_divisor",
+        "_time",
+        "_policy_touch",
+        "_policy_victim",
+        "_policy_insert",
+        "_policy_replace",
+        "_touch_kind",
+        "_touch_rows",
+        "_touch_arg",
+        "_replace_kind",
+        "_replace_rows",
+        "_replace_a",
+        "_replace_b",
+        "_evict_rows",
+        "_evict_arg",
+        "_fill",
+        "_fill_scalars",
+    )
 
     def __init__(
         self,
@@ -46,6 +121,10 @@ class SetAssociativeCache:
         if size_bytes <= 0 or associativity <= 0 or line_size <= 0:
             raise ConfigurationError(
                 f"{name}: size, associativity and line size must be positive"
+            )
+        if not is_power_of_two(line_size):
+            raise ConfigurationError(
+                f"{name}: line size must be a power of two, got {line_size}"
             )
         if size_bytes % (associativity * line_size) != 0:
             raise ConfigurationError(
@@ -69,77 +148,254 @@ class SetAssociativeCache:
         self.num_sets = num_sets
         self.policy = policy
         self.stats = CacheStats()
-        self._sets: list[list[CacheBlock]] = [
-            [CacheBlock() for _ in range(associativity)] for _ in range(num_sets)
-        ]
-        #: Per-set ``tag -> way`` index over the *valid* blocks of the set.
-        self._tag_maps: list[dict[int, int]] = [{} for _ in range(num_sets)]
-        #: Number of valid blocks per set (skips the invalid-way scan once a
+        slots = num_sets * associativity
+        self._lines: list[int] = [0] * slots
+        self._valid = bytearray(slots)
+        self._dirty = bytearray(slots)
+        self._instr = bytearray(slots)
+        self._pcs: list[int] = [0] * slots
+        self._temps: list[Temperature] = [Temperature.NONE] * slots
+        #: The metadata columns bundled for one-attribute-load unpacking on
+        #: the fill hot path (identity-stable: reset() clears in place).
+        self._columns = (
+            self._lines,
+            self._dirty,
+            self._instr,
+            self._temps,
+            self._pcs,
+        )
+        #: ``resident line number -> way`` over the whole cache: the single
+        #: authoritative residency index.
+        self._line_map: dict[int, int] = {}
+        #: Number of valid slots per set (skips the invalid-way scan once a
         #: set is full, which is the steady state after warm-up).
         self._valid_counts: list[int] = [0] * num_sets
-        #: Divisor that turns a byte address into a tag.
+        #: Precomputed address geometry (shift/mask; both powers of two).
+        self._line_shift = line_size.bit_length() - 1
+        self._set_mask = num_sets - 1
+        self._set_bits = num_sets.bit_length() - 1
+        #: Divisor that turns a byte address into a tag (kept for analysis
+        #: code and the seed baseline, which still use the divide form).
         self._tag_divisor = line_size * num_sets
         self._time = 0
+        self._bind_policy_hooks()
+
+    def _bind_policy_hooks(self) -> None:
+        """Pre-bind the array-state protocol where the policy allows it.
+
+        Request-free policies (see :mod:`repro.cache.replacement.base`) are
+        entered through ``touch``/``victim``/``replace`` directly — or, when
+        the policy declares its hit update as data, with no call at all;
+        ``None`` means the request-aware hook must be used.
+        """
+        policy = self.policy
+        request_free_hit = is_request_free_hit(policy)
+        self._policy_touch = policy.touch if request_free_hit else None
+        self._policy_victim = (
+            policy.victim if is_request_free_victim(policy) else None
+        )
+        self._policy_insert = (
+            policy.touch if is_request_free_insert(policy) else None
+        )
+        #: Fused victim+evict+insert, when the policy offers one (see
+        #: ``ReplacementPolicy.replace``); one hook call per eviction-fill
+        #: instead of three.  Every fused/declarative feature is trusted only
+        #: when the concrete policy class leaves the hooks it summarises
+        #: untouched (``inherited_feature_is_exact``) — a subclass overriding
+        #: e.g. ``select_victim`` falls back to the plain hook sequence.
+        self._policy_replace = (
+            policy.replace
+            if policy.replace is not None
+            and inherited_feature_is_exact(policy, "replace")
+            else None
+        )
+        #: Declarative hit update (see ``ReplacementPolicy.hit_update_spec``):
+        #: kind 0 = call ``touch``/``on_hit``, 1 = ``rows[set][way] = arg``,
+        #: 2 = ``arg[0] += 1; rows[set][way] = arg[0]``, 3 = no-op.  Kinds
+        #: 1-3 let every hit site write the policy array inline, with zero
+        #: Python calls.
+        spec = (
+            policy.hit_update_spec()
+            if request_free_hit
+            and inherited_feature_is_exact(policy, "hit_update_spec")
+            else None
+        )
+        if spec is None:
+            self._touch_kind = 0
+            self._touch_rows = None
+            self._touch_arg = None
+        elif spec[0] == "const":
+            self._touch_kind = 1
+            self._touch_rows = spec[1]
+            self._touch_arg = spec[2]
+        elif spec[0] == "clock":
+            self._touch_kind = 2
+            self._touch_rows = spec[1]
+            self._touch_arg = spec[2]
+        elif spec[0] == "noop":
+            self._touch_kind = 3
+            self._touch_rows = None
+            self._touch_arg = None
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(
+                f"{self.name}: unknown hit_update_spec {spec!r}"
+            )
+        #: Declarative fused replacement (see
+        #: ``ReplacementPolicy.replace_spec``): kind 0 = call ``replace``/
+        #: ``victim``/``select_victim``, 1 = LRU clock restamp, 2 = static
+        #: RRIP aging.  Kinds 1-2 run the whole eviction+insertion policy
+        #: update inline in the fill closure, with zero Python calls.
+        rspec = (
+            policy.replace_spec()
+            if inherited_feature_is_exact(policy, "replace_spec")
+            else None
+        )
+        if rspec is None:
+            self._replace_kind = 0
+            self._replace_rows = None
+            self._replace_a = None
+            self._replace_b = None
+        elif rspec[0] == "lru":
+            self._replace_kind = 1
+            self._replace_rows = rspec[1]
+            self._replace_a = rspec[2]
+            self._replace_b = None
+        elif rspec[0] == "rrip":
+            self._replace_kind = 2
+            self._replace_rows = rspec[1]
+            self._replace_a = rspec[2]
+            self._replace_b = rspec[3]
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(
+                f"{self.name}: unknown replace_spec {rspec!r}"
+            )
+        #: Declarative eviction update (``rows[set][way] = value``), or None.
+        espec = (
+            policy.evict_update_spec()
+            if inherited_feature_is_exact(policy, "evict_update_spec")
+            else None
+        )
+        if espec is None:
+            self._evict_rows = None
+            self._evict_arg = None
+        elif espec[0] == "const":
+            self._evict_rows = espec[1]
+            self._evict_arg = espec[2]
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(
+                f"{self.name}: unknown evict_update_spec {espec!r}"
+            )
+        #: The fill hot path as closures over the cache's stable state (all
+        #: captured objects keep their identity across reset(), which clears
+        #: them in place).  Closure-variable loads replace the ~15 attribute
+        #: loads a method body would pay per fill; ``_fill_scalars`` is the
+        #: core taking pre-extracted request fields (the walk's form), and
+        #: ``_fill`` the request-object wrapper.
+        self._fill, self._fill_scalars = self._make_fill()
 
     # -------------------------------------------------------------- indexing
     def set_index_of(self, address: int) -> int:
         """Set index for a byte address."""
-        return (address // self.line_size) % self.num_sets
+        return (address >> self._line_shift) & self._set_mask
 
     def tag_of(self, address: int) -> int:
         """Tag for a byte address."""
-        return address // self._tag_divisor
+        return address >> (self._line_shift + self._set_bits)
 
     def blocks_in_set(self, set_index: int) -> list[CacheBlock]:
-        """The blocks of one set (exposed for analysis and tests)."""
-        return self._sets[set_index]
+        """Snapshot of one set as :class:`CacheBlock` views.
+
+        The blocks are materialised from the flat columns on demand (for
+        analysis and tests); mutating them does not write back to the cache.
+        """
+        base = set_index * self.associativity
+        set_bits = self._set_bits
+        line_shift = self._line_shift
+        blocks = []
+        for slot in range(base, base + self.associativity):
+            if self._valid[slot]:
+                line = self._lines[slot]
+                blocks.append(
+                    CacheBlock(
+                        tag=line >> set_bits,
+                        address=line << line_shift,
+                        valid=True,
+                        dirty=bool(self._dirty[slot]),
+                        is_instruction=bool(self._instr[slot]),
+                        temperature=self._temps[slot],
+                        pc=self._pcs[slot],
+                    )
+                )
+            else:
+                blocks.append(CacheBlock())
+        return blocks
 
     def tag_map_of(self, set_index: int) -> dict[int, int]:
-        """The ``tag -> way`` index of one set (exposed for invariant tests)."""
-        return dict(self._tag_maps[set_index])
+        """The ``tag -> way`` view of one set (exposed for invariant tests)."""
+        set_bits = self._set_bits
+        mask = self._set_mask
+        return {
+            line >> set_bits: way
+            for line, way in self._line_map.items()
+            if line & mask == set_index
+        }
 
     # -------------------------------------------------------------- lookups
     def probe(self, address: int) -> Optional[int]:
         """Return the way holding ``address`` without touching any state."""
-        set_index = (address // self.line_size) % self.num_sets
-        return self._tag_maps[set_index].get(address // self._tag_divisor)
+        return self._line_map.get(address >> self._line_shift)
 
     def contains(self, address: int) -> bool:
         """Whether the line containing ``address`` is resident."""
-        return self.probe(address) is not None
+        return (address >> self._line_shift) in self._line_map
 
     # -------------------------------------------------------------- accesses
     def access(self, request: MemoryRequest) -> bool:
         """Look up a request; update stats and replacement state on a hit.
 
         Returns ``True`` on a hit.  Misses do **not** allocate — the hierarchy
-        decides where fills go.  (The statistics updates of
-        ``_record_access`` are inlined here: this method runs several times
-        per simulated instruction.)
+        decides where fills go.
         """
-        time = self._time + 1
-        self._time = time
-        address = request.address
-        set_index = (address // self.line_size) % self.num_sets
-        way = self._tag_maps[set_index].get(address // self._tag_divisor)
+        return self.access_line(request, request.address >> self._line_shift)
+
+    def access_line(self, request: MemoryRequest, line_no: int) -> bool:
+        """Like :meth:`access` with the request's line number precomputed.
+
+        The hierarchy walk computes ``address >> _line_shift`` once per
+        request and shares it with every level (all levels have the same line
+        size by construction).
+        """
+        way = self._line_map.get(line_no)
         stats = self.stats
+        access_type = request.access_type
         if way is not None:
             if request.is_prefetch:
                 stats.prefetch_hits += 1
-            elif request.access_type is _IFETCH:
+            elif access_type is _IFETCH:
                 stats.inst_hits += 1
             else:
                 stats.data_hits += 1
-            block = self._sets[set_index][way]
-            block.last_access_time = time
-            block.access_count += 1
-            if request.access_type is _STORE:
-                block.dirty = True
-            self.policy.on_hit(set_index, way, request)
+            set_index = line_no & self._set_mask
+            if access_type is _STORE:
+                self._dirty[set_index * self.associativity + way] = 1
+            kind = self._touch_kind
+            if kind == 2:
+                cell = self._touch_arg
+                clock = cell[0] + 1
+                cell[0] = clock
+                self._touch_rows[set_index][way] = clock
+            elif kind == 1:
+                self._touch_rows[set_index][way] = self._touch_arg
+            elif kind == 0:
+                touch = self._policy_touch
+                if touch is not None:
+                    touch(set_index, way)
+                else:
+                    self.policy.on_hit(set_index, way, request)
             return True
         if request.is_prefetch:
             stats.prefetch_misses += 1
-        elif request.access_type is _IFETCH:
+        elif access_type is _IFETCH:
             stats.inst_misses += 1
         else:
             stats.data_misses += 1
@@ -153,126 +409,251 @@ class SetAssociativeCache:
         refresh keeps the line's dirty bit: a clean refill must not discard a
         pending writeback.
         """
-        return self._fill_impl(request, copy_victim=True)
+        return self._fill(request, request.address >> self._line_shift, 2)
 
-    def fill_raw(self, request: MemoryRequest) -> Optional[tuple[int, bool, int]]:
+    def fill_raw(self, request: MemoryRequest) -> Optional[tuple[int, int, int]]:
         """Like :meth:`fill`, but the victim is ``(address, is_instruction,
         pc)`` instead of a copied :class:`CacheBlock`.
 
         The hierarchy only needs those three victim fields (back-invalidation
-        and SLC victim fills); skipping the ten-field block copy matters on
+        and SLC victim fills); skipping the block-view construction matters on
         eviction-heavy workloads.
         """
-        return self._fill_impl(request, copy_victim=False)
-
-    def _fill_impl(self, request: MemoryRequest, copy_victim: bool):
-        self._time += 1
-        address = request.address
-        set_index = (address // self.line_size) % self.num_sets
-        tag = address // self._tag_divisor
-        blocks = self._sets[set_index]
-        tag_map = self._tag_maps[set_index]
-
-        existing = tag_map.get(tag)
-        if existing is not None:
-            block = blocks[existing]
-            was_dirty = block.dirty
-            self._install(block, request, tag)
-            if was_dirty:
-                block.dirty = True
+        victim = self._fill(request, request.address >> self._line_shift, 1)
+        if victim is None:
             return None
+        return (victim[0] << self._line_shift, victim[1], victim[2])
 
-        victim = None
-        way: Optional[int] = None
-        if self._valid_counts[set_index] < self.associativity:
-            way = self._find_invalid_way(set_index)
-        if way is None:
-            way = self.policy.select_victim(set_index, request)
-            block = blocks[way]
-            if block.valid:
-                victim = (
-                    self._copy_block(block)
-                    if copy_victim
-                    else (block.address, block.is_instruction, block.pc)
-                )
-                del tag_map[block.tag]
-                self._valid_counts[set_index] -= 1
-                self.stats.evictions += 1
-                if block.dirty:
-                    self.stats.writebacks += 1
-                self.policy.on_evict(set_index, way, request)
+    def fill_line(
+        self, request: MemoryRequest, line_no: int
+    ) -> Optional[tuple[int, int, int]]:
+        """Raw fill with the request's line number precomputed.
 
-        self._install(blocks[way], request, tag)
-        tag_map[tag] = way
-        self._valid_counts[set_index] += 1
-        self.stats.fills += 1
-        if request.is_prefetch:
-            self.stats.prefetch_fills += 1
-        self.policy.on_insert(set_index, way, request)
-        return victim
+        The victim triple is ``(line number, is_instruction, pc)`` — the
+        line-number form every internal consumer wants (back-invalidation and
+        victim fills key on line numbers; an address is one shift away).
+        """
+        return self._fill(request, line_no, 1)
+
+    def _make_fill(self):
+        """Build the fill hot path as a closure over stable cache state.
+
+        The fill is the single hottest function on memory-bound replays
+        (every miss fills 2-4 levels), so it runs as one flat body whose
+        state — columns, residency map, stats, pre-bound policy hooks — is
+        captured in closure cells instead of being re-fetched through
+        ``self`` on every call.  Signature of the returned callable:
+        ``fill(request, line_no, victim_mode, check_existing=True)``.
+
+        * ``victim_mode``: 0 = caller discards the victim, 1 = victim as a
+          ``(line number, is_instruction, pc)`` triple, 2 = victim as a
+          :class:`CacheBlock`.
+        * ``check_existing=False`` is the hierarchy walk's contract: a walk
+          only ever fills the line it just *missed* on at every level, so
+          the resident-refresh probe is provably a miss and is skipped.
+          Every public entry point keeps the probe (overlapping prefetch
+          refreshes arrive through ``fill``/``fill_raw``).
+        """
+        line_map = self._line_map
+        set_mask = self._set_mask
+        set_bits = self._set_bits
+        line_shift = self._line_shift
+        ways = self.associativity
+        lines, dirty, instr, temps, pcs = self._columns
+        valid = self._valid
+        valid_counts = self._valid_counts
+        stats = self.stats
+        policy = self.policy
+        policy_replace = self._policy_replace
+        policy_victim = self._policy_victim
+        policy_insert = self._policy_insert
+        policy_select = policy.select_victim
+        policy_evict = policy.on_evict
+        policy_on_insert = policy.on_insert
+        replace_kind = self._replace_kind
+        replace_rows = self._replace_rows
+        replace_a = self._replace_a
+        replace_b = self._replace_b
+        evict_rows = self._evict_rows
+        evict_arg = self._evict_arg
+        way_range = range(ways)
+
+        def fill_scalars(
+            line_no: int,
+            victim_mode: int,
+            check_existing: bool,
+            dirty_new: int,
+            instr_new: int,
+            temperature,
+            pc: int,
+            is_prefetch: bool,
+            request,
+        ):
+            # Core fill body over scalar request fields: the hierarchy walk
+            # extracts them once per miss and reuses them for every level's
+            # fill.  ``request`` is only consulted by non-declarative policy
+            # hooks.
+            set_index = line_no & set_mask
+            base = set_index * ways
+
+            if check_existing:
+                existing = line_map.get(line_no)
+                if existing is not None:
+                    # Refresh in place; the slot keeps a pending writeback.
+                    slot = base + existing
+                    if not dirty[slot]:
+                        dirty[slot] = dirty_new
+                    instr[slot] = instr_new
+                    temps[slot] = temperature
+                    pcs[slot] = pc
+                    return None
+
+            victim = None
+            hooked = False
+            if valid_counts[set_index] < ways:
+                # An invalid slot exists; bytearray.find scans at C speed.
+                way = valid.find(0, base, base + ways) - base
+                slot = base + way
+                valid[slot] = 1
+                valid_counts[set_index] += 1
+            else:
+                if replace_kind == 1:
+                    # Declarative fused LRU replace: evict min stamp, restamp
+                    # MRU from the policy clock — no Python call at all.
+                    stamps = replace_rows[set_index]
+                    way = stamps.index(min(stamps))
+                    clock = replace_a[0] + 1
+                    replace_a[0] = clock
+                    stamps[way] = clock
+                    hooked = True
+                elif replace_kind == 2:
+                    # Declarative fused static-RRIP replace: collapse the
+                    # aging loop, evict the first Distant way, insert at the
+                    # static prediction (see RRIPBase.victim for why the
+                    # delta step is exact).
+                    rrpvs = replace_rows[set_index]
+                    oldest = max(rrpvs)
+                    if oldest < replace_a:
+                        delta = replace_a - oldest
+                        for w in way_range:
+                            rrpvs[w] += delta
+                    way = rrpvs.index(replace_a)
+                    rrpvs[way] = replace_b
+                    hooked = True
+                elif policy_replace is not None:
+                    # Fused victim+evict+insert hook: the policy state is
+                    # fully updated in one call (ReplacementPolicy.replace).
+                    way = policy_replace(set_index)
+                    hooked = True
+                elif policy_victim is not None:
+                    way = policy_victim(set_index)
+                else:
+                    way = policy_select(set_index, request)
+                slot = base + way
+                # The set is full: the chosen slot is always a valid line.
+                if victim_mode:
+                    if victim_mode == 1:
+                        victim = (lines[slot], instr[slot], pcs[slot])
+                    else:
+                        line = lines[slot]
+                        victim = CacheBlock(
+                            tag=line >> set_bits,
+                            address=line << line_shift,
+                            valid=True,
+                            dirty=bool(dirty[slot]),
+                            is_instruction=bool(instr[slot]),
+                            temperature=temps[slot],
+                            pc=pcs[slot],
+                        )
+                del line_map[lines[slot]]
+                stats.evictions += 1
+                if dirty[slot]:
+                    stats.writebacks += 1
+                if not hooked:
+                    if evict_rows is not None:
+                        evict_rows[set_index][way] = evict_arg
+                    else:
+                        policy_evict(set_index, way, request)
+
+            lines[slot] = line_no
+            dirty[slot] = dirty_new
+            instr[slot] = instr_new
+            temps[slot] = temperature
+            pcs[slot] = pc
+            line_map[line_no] = way
+            stats.fills += 1
+            if is_prefetch:
+                stats.prefetch_fills += 1
+            if not hooked:
+                if policy_insert is not None:
+                    policy_insert(set_index, way)
+                else:
+                    policy_on_insert(set_index, way, request)
+            return victim
+
+        def fill(
+            request: MemoryRequest,
+            line_no: int,
+            victim_mode: int,
+            check_existing: bool = True,
+        ):
+            access_type = request.access_type
+            return fill_scalars(
+                line_no,
+                victim_mode,
+                check_existing,
+                1 if access_type is _STORE else 0,
+                1 if access_type is _IFETCH else 0,
+                request.temperature,
+                request.pc,
+                request.is_prefetch,
+                request,
+            )
+
+        return fill, fill_scalars
 
     def invalidate(self, address: int) -> bool:
         """Remove the line containing ``address`` (back-invalidation)."""
-        set_index = (address // self.line_size) % self.num_sets
-        tag = address // self._tag_divisor
-        tag_map = self._tag_maps[set_index]
-        way = tag_map.get(tag)
+        return self.invalidate_line(address >> self._line_shift)
+
+    def invalidate_line(self, line_no: int) -> bool:
+        """Like :meth:`invalidate` with the line number precomputed."""
+        way = self._line_map.pop(line_no, None)
         if way is None:
             return False
-        self.policy.on_evict(set_index, way, None)
-        del tag_map[tag]
+        set_index = line_no & self._set_mask
+        evict_rows = self._evict_rows
+        if evict_rows is not None:
+            evict_rows[set_index][way] = self._evict_arg
+        else:
+            self.policy.on_evict(set_index, way, None)
         self._valid_counts[set_index] -= 1
-        self._sets[set_index][way].invalidate()
+        # Only the valid bit needs clearing: every other column is dead while
+        # the slot is invalid (victim reads and block views guard on valid,
+        # and a refill overwrites all of them).
+        self._valid[set_index * self.associativity + way] = 0
         self.stats.invalidations += 1
         return True
 
     def reset(self) -> None:
-        """Clear contents, statistics and replacement state."""
-        for blocks in self._sets:
-            for block in blocks:
-                block.invalidate()
-        for tag_map in self._tag_maps:
-            tag_map.clear()
+        """Clear contents, statistics and replacement state.
+
+        Columns are cleared in place: their identity is stable for the whole
+        cache lifetime (the fill hot path and the hierarchy rely on that).
+        """
+        slots = self.num_sets * self.associativity
+        self._lines[:] = [0] * slots
+        self._valid[:] = bytes(slots)
+        self._dirty[:] = bytes(slots)
+        self._instr[:] = bytes(slots)
+        self._pcs[:] = [0] * slots
+        self._temps[:] = [Temperature.NONE] * slots
+        self._line_map.clear()
         for set_index in range(self.num_sets):
             self._valid_counts[set_index] = 0
         self.stats.reset()
         self.policy.reset()
         self._time = 0
-
-    # -------------------------------------------------------------- helpers
-    def _find_invalid_way(self, set_index: int) -> Optional[int]:
-        for way, block in enumerate(self._sets[set_index]):
-            if not block.valid:
-                return way
-        return None
-
-    def _install(self, block: CacheBlock, request: MemoryRequest, tag: int) -> None:
-        address = request.address
-        block.tag = tag
-        block.address = address - address % self.line_size
-        block.valid = True
-        block.dirty = request.access_type is _STORE
-        block.is_instruction = request.access_type is _IFETCH
-        block.temperature = request.temperature
-        block.pc = request.pc
-        block.insertion_time = self._time
-        block.last_access_time = self._time
-        block.access_count = 0
-
-    @staticmethod
-    def _copy_block(block: CacheBlock) -> CacheBlock:
-        return CacheBlock(
-            tag=block.tag,
-            address=block.address,
-            valid=True,
-            dirty=block.dirty,
-            is_instruction=block.is_instruction,
-            temperature=block.temperature,
-            pc=block.pc,
-            insertion_time=block.insertion_time,
-            last_access_time=block.last_access_time,
-            access_count=block.access_count,
-        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

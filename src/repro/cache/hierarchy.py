@@ -5,6 +5,15 @@ caches, a shared unified L2 (inclusive of the L1s) where the evaluated
 replacement policies are applied, a shared unified SLC (exclusive,
 victim-filled from L2 evictions) and a fixed-latency DRAM backend.  Each level
 can host a stride/next-line prefetcher.
+
+The miss-path walk operates directly on the flat columns of
+:class:`~repro.cache.cache.SetAssociativeCache`: the request's line number is
+computed once and shared by every level (set index and tag are shift/mask
+derivations per level), L2/SLC lookups are inlined rather than dispatched,
+and SLC victim fills travel as one reused scratch request.  All statistics
+updates and replacement-policy hook invocations happen in exactly the order
+of the historical per-level ``access``/``fill`` calls, which is what keeps
+results bit-identical (``tests/test_determinism.py``).
 """
 
 from __future__ import annotations
@@ -13,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cache.cache import SetAssociativeCache
-from repro.cache.prefetch import Prefetcher, make_prefetcher
+from repro.cache.prefetch import NullPrefetcher, Prefetcher, make_prefetcher
 from repro.cache.replacement.factory import create_policy
 from repro.cache.stats import HierarchyStats
 from repro.common.addressing import CACHE_LINE_SIZE
@@ -25,6 +34,10 @@ from repro.common.request import (
     MemoryRequest,
     ScratchRequest,
 )
+
+_IFETCH = AccessType.INSTRUCTION_FETCH
+_LOAD = AccessType.DATA_LOAD
+_STORE = AccessType.DATA_STORE
 
 
 @dataclass
@@ -111,6 +124,40 @@ class CacheHierarchy:
         self.l2_access_observer = None
         self._prefetch_scratch = ScratchRequest()
         self._prefetch_scratch.is_prefetch = True
+        #: Reused request for SLC victim fills (temperature NONE, no
+        #: starvation hint, prefetch-flagged — the values a fresh
+        #: ``MemoryRequest`` would carry); every consumer on the fill path
+        #: only reads field values.
+        self._slc_scratch = ScratchRequest()
+        self._slc_scratch.is_prefetch = True
+        # ---- precomputed geometry and latencies for the walk hot path ----
+        self._line_shift = self.l1i._line_shift
+        self._lat_l1i = config.l1i.latency
+        self._lat_l1d = config.l1d.latency
+        self._lat_l2 = config.l2.latency
+        self._lat_slc = config.slc.latency
+        self._lat_dram = config.dram_latency
+        self._l2_inclusive = config.l2_inclusive
+        self._slc_exclusive = config.slc_exclusive
+        # Null prefetchers are skipped entirely on the demand paths.
+        self._l1i_observe = self._active_observe(self.l1i_prefetcher)
+        self._l1d_observe = self._active_observe(self.l1d_prefetcher)
+        self._l2_observe = self._active_observe(self.l2_prefetcher)
+        #: The hot paths as closures over the (identity-stable) caches built
+        #: above; see _make_walk/_make_instruction_fast/_make_data_fast.  The
+        #: seed baseline replaces the caches after construction but never
+        #: uses these paths — it overrides the whole access path.
+        self._walk_below_l1 = self._make_walk()
+        self._issue_targets = self._make_issue_targets()
+        self.access_instruction_fast = self._make_instruction_fast()
+        self.access_data_fast = self._make_data_fast()
+
+    @staticmethod
+    def _active_observe(prefetcher: Prefetcher):
+        """``prefetcher.observe`` pre-bound, or ``None`` for the null engine."""
+        if isinstance(prefetcher, NullPrefetcher):
+            return None
+        return prefetcher.observe
 
     # ----------------------------------------------------------- public API
     def access_instruction(self, request: MemoryRequest) -> AccessResult:
@@ -149,83 +196,166 @@ class CacheHierarchy:
         self.stats.reset()
 
     # ------------------------------------------------------------ fast paths
-    def access_instruction_fast(self, request: MemoryRequest) -> tuple[int, bool]:
-        """Demand instruction fetch without result-object construction.
+    def _make_instruction_fast(self):
+        """Build the demand instruction-fetch fast path as a closure.
 
-        Returns ``(latency, l2_miss)``.  L1-I hits — the overwhelmingly common
-        case on repeat fetches of a resident line — skip the full hierarchy
-        walk and the :class:`AccessResult` allocation while performing exactly
-        the same state updates (cache stats, replacement hooks, prefetcher
-        observations) as :meth:`access_instruction`.
+        Returns ``(latency, l2_miss)``.  L1-I hits — the overwhelmingly
+        common case on repeat fetches of a resident line — skip the full
+        hierarchy walk and the :class:`AccessResult` allocation while
+        performing exactly the same state updates (cache stats, replacement
+        hooks, prefetcher observations) as :meth:`access_instruction`.
+        ``line_no`` is the request's precomputed line number when the caller
+        already knows it.
         """
         stats = self.stats
-        stats.instruction_fetches += 1
         l1 = self.l1i
-        # Inlined L1-I demand hit (the code below mirrors
-        # SetAssociativeCache.access for a demand instruction fetch).
-        time = l1._time + 1
-        l1._time = time
-        address = request.address
-        set_index = (address // l1.line_size) % l1.num_sets
-        way = l1._tag_maps[set_index].get(address // l1._tag_divisor)
-        if way is not None:
-            l1.stats.inst_hits += 1
-            block = l1._sets[set_index][way]
-            block.last_access_time = time
-            block.access_count += 1
-            l1.policy.on_hit(set_index, way, request)
-            latency = self.config.l1i.latency
-            stats.total_latency += latency
-            targets = self.l1i_prefetcher.observe(request, True)
-            if targets:
-                self._issue_targets(request, l1, targets)
-            targets = self.l2_prefetcher.observe(request, False)
-            if targets:
-                self._issue_targets(request, l1, targets)
-            return latency, False
-        l1.stats.inst_misses += 1
-        latency, level = self._walk_below_l1(request, l1, None)
-        self._account(request, latency, level, False, True)
-        self._run_prefetchers(request, l1, self.l1i_prefetcher, False, level == 2)
-        return latency, level >= 3
+        l1_stats = l1.stats
+        l1_map = l1._line_map
+        l1_set_mask = l1._set_mask
+        touch_kind = l1._touch_kind
+        touch_rows = l1._touch_rows
+        touch_arg = l1._touch_arg
+        policy_touch = l1._policy_touch
+        on_hit = l1.policy.on_hit
+        lat_l1i = self._lat_l1i
+        line_shift = self._line_shift
+        walk = self._walk_below_l1
+        l1i_observe = self._l1i_observe
+        l2_observe = self._l2_observe
+        issue_targets = self._issue_targets
 
-    def access_data_fast(self, request: MemoryRequest) -> int:
-        """Demand data access without result-object construction.
+        def access_instruction_fast(
+            request: MemoryRequest, line_no: int = -1
+        ) -> tuple[int, bool]:
+            stats.instruction_fetches += 1
+            if line_no < 0:
+                line_no = request.address >> line_shift
+            # Inlined L1-I demand hit (mirrors access_line for an ifetch).
+            way = l1_map.get(line_no)
+            if way is not None:
+                l1_stats.inst_hits += 1
+                set_index = line_no & l1_set_mask
+                if touch_kind == 2:
+                    clock = touch_arg[0] + 1
+                    touch_arg[0] = clock
+                    touch_rows[set_index][way] = clock
+                elif touch_kind == 1:
+                    touch_rows[set_index][way] = touch_arg
+                elif touch_kind == 0:
+                    if policy_touch is not None:
+                        policy_touch(set_index, way)
+                    else:
+                        on_hit(set_index, way, request)
+                stats.total_latency += lat_l1i
+                if l1i_observe is not None:
+                    targets = l1i_observe(request, True)
+                    if targets:
+                        issue_targets(request, l1, targets)
+                if l2_observe is not None:
+                    targets = l2_observe(request, False)
+                    if targets:
+                        issue_targets(request, l1, targets)
+                return lat_l1i, False
+            l1_stats.inst_misses += 1
+            latency, level = walk(request, l1, None, line_no)
+            # Inlined _account for a demand instruction L1 miss.
+            l2_miss = level >= 3
+            if l2_miss:
+                stats.l2_inst_misses += 1
+            stats.total_latency += latency
+            stats.l1i_misses += 1
+            if level == 4:
+                stats.slc_misses += 1
+                stats.dram_accesses += 1
+            if l1i_observe is not None:
+                targets = l1i_observe(request, False)
+                if targets:
+                    issue_targets(request, l1, targets)
+            if l2_observe is not None:
+                targets = l2_observe(request, level == 2)
+                if targets:
+                    issue_targets(request, l1, targets)
+            return latency, l2_miss
+
+        return access_instruction_fast
+
+    def _make_data_fast(self):
+        """Build the demand data-access fast path as a closure.
 
         Returns the access latency; state updates match :meth:`access_data`.
         """
         stats = self.stats
-        stats.data_accesses += 1
         l1 = self.l1d
-        # Inlined L1-D demand hit (mirrors SetAssociativeCache.access for a
-        # demand data access).
-        time = l1._time + 1
-        l1._time = time
-        address = request.address
-        set_index = (address // l1.line_size) % l1.num_sets
-        way = l1._tag_maps[set_index].get(address // l1._tag_divisor)
-        if way is not None:
-            l1.stats.data_hits += 1
-            block = l1._sets[set_index][way]
-            block.last_access_time = time
-            block.access_count += 1
-            if request.access_type is AccessType.DATA_STORE:
-                block.dirty = True
-            l1.policy.on_hit(set_index, way, request)
-            latency = self.config.l1d.latency
+        l1_stats = l1.stats
+        l1_map = l1._line_map
+        l1_set_mask = l1._set_mask
+        l1_ways = l1.associativity
+        l1_dirty = l1._dirty
+        touch_kind = l1._touch_kind
+        touch_rows = l1._touch_rows
+        touch_arg = l1._touch_arg
+        policy_touch = l1._policy_touch
+        on_hit = l1.policy.on_hit
+        lat_l1d = self._lat_l1d
+        line_shift = self._line_shift
+        walk = self._walk_below_l1
+        l1d_observe = self._l1d_observe
+        l2_observe = self._l2_observe
+        issue_targets = self._issue_targets
+
+        def access_data_fast(request: MemoryRequest, line_no: int = -1) -> int:
+            stats.data_accesses += 1
+            if line_no < 0:
+                line_no = request.address >> line_shift
+            # Inlined L1-D demand hit (mirrors access_line for a data access).
+            way = l1_map.get(line_no)
+            if way is not None:
+                l1_stats.data_hits += 1
+                set_index = line_no & l1_set_mask
+                if request.access_type is _STORE:
+                    l1_dirty[set_index * l1_ways + way] = 1
+                if touch_kind == 2:
+                    clock = touch_arg[0] + 1
+                    touch_arg[0] = clock
+                    touch_rows[set_index][way] = clock
+                elif touch_kind == 1:
+                    touch_rows[set_index][way] = touch_arg
+                elif touch_kind == 0:
+                    if policy_touch is not None:
+                        policy_touch(set_index, way)
+                    else:
+                        on_hit(set_index, way, request)
+                stats.total_latency += lat_l1d
+                if l1d_observe is not None:
+                    targets = l1d_observe(request, True)
+                    if targets:
+                        issue_targets(request, l1, targets)
+                if l2_observe is not None:
+                    targets = l2_observe(request, False)
+                    if targets:
+                        issue_targets(request, l1, targets)
+                return lat_l1d
+            l1_stats.data_misses += 1
+            latency, level = walk(request, l1, None, line_no)
+            # Inlined _account for a demand data L1 miss.
             stats.total_latency += latency
-            targets = self.l1d_prefetcher.observe(request, True)
-            if targets:
-                self._issue_targets(request, l1, targets)
-            targets = self.l2_prefetcher.observe(request, False)
-            if targets:
-                self._issue_targets(request, l1, targets)
+            stats.l1d_misses += 1
+            if level >= 3:
+                stats.l2_data_misses += 1
+                if level == 4:
+                    stats.slc_misses += 1
+                    stats.dram_accesses += 1
+            if l1d_observe is not None:
+                targets = l1d_observe(request, False)
+                if targets:
+                    issue_targets(request, l1, targets)
+            if l2_observe is not None:
+                targets = l2_observe(request, level == 2)
+                if targets:
+                    issue_targets(request, l1, targets)
             return latency
-        l1.stats.data_misses += 1
-        latency, level = self._walk_below_l1(request, l1, None)
-        self._account(request, latency, level, False, True)
-        self._run_prefetchers(request, l1, self.l1d_prefetcher, False, level == 2)
-        return latency
+
+        return access_data_fast
 
     # -------------------------------------------------------------- internals
     def _access(
@@ -237,12 +367,13 @@ class CacheHierarchy:
     ) -> AccessResult:
         demand = not request.is_prefetch
         if demand:
-            if request.access_type is AccessType.INSTRUCTION_FETCH:
+            if request.access_type is _IFETCH:
                 self.stats.instruction_fetches += 1
             else:
                 self.stats.data_accesses += 1
 
-        if l1.access(request):
+        line_no = request.address >> self._line_shift
+        if l1.access_line(request, line_no):
             latency = self._l1_latency(request)
             result = AccessResult(
                 request=request,
@@ -253,7 +384,7 @@ class CacheHierarchy:
             self._account(request, latency, 1, True, demand)
         else:
             evicted: list[int] = []
-            latency, level = self._walk_below_l1(request, l1, evicted)
+            latency, level = self._walk_below_l1(request, l1, evicted, line_no)
             result = AccessResult(
                 request=request,
                 hit_level=HitLevel(level),
@@ -284,7 +415,7 @@ class CacheHierarchy:
         (1=L1 … 4=DRAM); an L2 miss therefore is ``level >= 3``.
         """
         stats = self.stats
-        is_instruction = request.access_type is AccessType.INSTRUCTION_FETCH
+        is_instruction = request.access_type is _IFETCH
         l2_miss = level >= 3
         # Instruction-side L2 misses are counted for demand fetches *and* for
         # FDIP instruction prefetches: with a decoupled frontend the run-ahead
@@ -308,89 +439,252 @@ class CacheHierarchy:
                 stats.slc_misses += 1
                 stats.dram_accesses += 1
 
-    def _walk_below_l1(
-        self,
-        request: MemoryRequest,
-        l1: SetAssociativeCache,
-        evicted: Optional[list[int]],
-    ) -> tuple[int, int]:
-        """Continue the walk after an L1 miss has already been recorded.
+    def _make_walk(self):
+        """Build the below-L1 walk as a closure over stable hierarchy state.
 
-        Returns ``(latency, level)`` with ``level`` the integer
-        :class:`HitLevel` that serviced the access.  ``evicted`` collects the
-        addresses of lines evicted by the fills when a list is supplied (the
-        compat path exposes them through ``AccessResult.evicted_lines``; the
-        fast paths pass ``None``).
+        The walk continues after an L1 miss has already been recorded and
+        returns ``(latency, level)`` with ``level`` the integer
+        :class:`~repro.common.request.HitLevel` that serviced the access.
+        ``evicted`` collects the addresses of lines evicted by the fills when
+        a list is supplied (the compat path exposes them through
+        ``AccessResult.evicted_lines``; the fast paths pass ``None``).
+
+        The L2 and SLC lookups are inlined copies of
+        :meth:`SetAssociativeCache.access_line`, and the L2 victim handling
+        (back-invalidation, exclusive-SLC victim fill) is inlined as well —
+        statistics, dirty-bit and replacement-hook updates happen in exactly
+        the order of the historical per-level ``access``/``fill`` calls.
+        Every captured object is identity-stable for the hierarchy lifetime
+        (caches reset in place); the one dynamic attribute,
+        ``l2_access_observer``, is read through ``self`` per call.
         """
-        cfg = self.config
-        latency = self._l1_latency(request)
+        hier = self
+        l1i_map = self.l1i._line_map
+        l1d_map = self.l1d._line_map
+        l1i_invalidate = self.l1i.invalidate_line
+        l1d_invalidate = self.l1d.invalidate_line
+        l2 = self.l2
+        slc = self.slc
+        l2_map = l2._line_map
+        slc_map = slc._line_map
+        l2_stats = l2.stats
+        slc_stats = slc.stats
+        l2_dirty = l2._dirty
+        slc_dirty = slc._dirty
+        l2_ways = l2.associativity
+        slc_ways = slc.associativity
+        l2_set_mask = l2._set_mask
+        slc_set_mask = slc._set_mask
+        l2_touch_kind = l2._touch_kind
+        l2_touch_rows = l2._touch_rows
+        l2_touch_arg = l2._touch_arg
+        l2_policy_touch = l2._policy_touch
+        l2_on_hit = l2.policy.on_hit
+        slc_touch_kind = slc._touch_kind
+        slc_touch_rows = slc._touch_rows
+        slc_touch_arg = slc._touch_arg
+        slc_policy_touch = slc._policy_touch
+        slc_on_hit = slc.policy.on_hit
+        l2_fill = l2._fill_scalars
+        slc_fill = slc._fill_scalars
+        slc_invalidate = slc.invalidate_line
+        temp_none = self._slc_scratch.temperature
+        lat_l1i = self._lat_l1i
+        lat_l1d = self._lat_l1d
+        lat_l2 = self._lat_l2
+        lat_slc = self._lat_slc
+        lat_slc_dram = self._lat_slc + self._lat_dram
+        l2_inclusive = self._l2_inclusive
+        slc_exclusive = self._slc_exclusive
+        line_shift = self._line_shift
+        scratch = self._slc_scratch
 
-        # L2 lookup (the level whose replacement policy is under evaluation).
-        l2_hit = self.l2.access(request)
-        if self.l2_access_observer is not None and not request.is_prefetch:
-            self.l2_access_observer(request, l2_hit)
-        latency += cfg.l2.latency
-        if l2_hit:
-            self._fill(l1, request, evicted)
-            return latency, 2
+        def walk(
+            request: MemoryRequest,
+            l1: SetAssociativeCache,
+            evicted: Optional[list[int]],
+            line_no: int = -1,
+        ) -> tuple[int, int]:
+            if line_no < 0:
+                line_no = request.address >> line_shift
+            access_type = request.access_type
+            is_ifetch = access_type is _IFETCH
+            is_prefetch = request.is_prefetch
+            latency = (lat_l1i if is_ifetch else lat_l1d) + lat_l2
+            observer = hier.l2_access_observer
+            # Scalar request fields, extracted once and shared by every
+            # level's fill (see SetAssociativeCache._fill_scalars).
+            l1_fill = l1._fill_scalars
+            dirty_new = 1 if access_type is _STORE else 0
+            instr_new = 1 if is_ifetch else 0
+            temperature = request.temperature
+            pc = request.pc
 
-        # SLC lookup.
-        if self.slc.access(request):
-            latency += cfg.slc.latency
-            if cfg.slc_exclusive:
-                self.slc.invalidate(request.address)
-            self._fill_l2(request, evicted)
-            self._fill(l1, request, evicted)
-            return latency, 3
+            # L2 lookup (the level whose policy is under evaluation).
+            way = l2_map.get(line_no)
+            if way is not None:
+                if is_prefetch:
+                    l2_stats.prefetch_hits += 1
+                elif is_ifetch:
+                    l2_stats.inst_hits += 1
+                else:
+                    l2_stats.data_hits += 1
+                set_index = line_no & l2_set_mask
+                if access_type is _STORE:
+                    l2_dirty[set_index * l2_ways + way] = 1
+                if l2_touch_kind == 1:
+                    l2_touch_rows[set_index][way] = l2_touch_arg
+                elif l2_touch_kind == 2:
+                    clock = l2_touch_arg[0] + 1
+                    l2_touch_arg[0] = clock
+                    l2_touch_rows[set_index][way] = clock
+                elif l2_touch_kind == 0:
+                    if l2_policy_touch is not None:
+                        l2_policy_touch(set_index, way)
+                    else:
+                        l2_on_hit(set_index, way, request)
+                if observer is not None and not is_prefetch:
+                    observer(request, True)
+                if evicted is None:
+                    l1_fill(
+                        line_no, 0, False, dirty_new, instr_new,
+                        temperature, pc, is_prefetch, request,
+                    )
+                else:
+                    victim = l1_fill(
+                        line_no, 1, False, dirty_new, instr_new,
+                        temperature, pc, is_prefetch, request,
+                    )
+                    if victim is not None:
+                        evicted.append(victim[0] << line_shift)
+                return latency, 2
+            if is_prefetch:
+                l2_stats.prefetch_misses += 1
+            elif is_ifetch:
+                l2_stats.inst_misses += 1
+            else:
+                l2_stats.data_misses += 1
+            if observer is not None and not is_prefetch:
+                observer(request, False)
 
-        # DRAM.
-        latency += cfg.slc.latency + cfg.dram_latency
-        self._fill_l2(request, evicted)
-        if not cfg.slc_exclusive:
-            self.slc.fill_raw(request)
-        self._fill(l1, request, evicted)
-        return latency, 4
+            # SLC lookup.
+            way = slc_map.get(line_no)
+            if way is not None:
+                if is_prefetch:
+                    slc_stats.prefetch_hits += 1
+                elif is_ifetch:
+                    slc_stats.inst_hits += 1
+                else:
+                    slc_stats.data_hits += 1
+                set_index = line_no & slc_set_mask
+                if access_type is _STORE:
+                    slc_dirty[set_index * slc_ways + way] = 1
+                if slc_touch_kind == 2:
+                    clock = slc_touch_arg[0] + 1
+                    slc_touch_arg[0] = clock
+                    slc_touch_rows[set_index][way] = clock
+                elif slc_touch_kind == 1:
+                    slc_touch_rows[set_index][way] = slc_touch_arg
+                elif slc_touch_kind == 0:
+                    if slc_policy_touch is not None:
+                        slc_policy_touch(set_index, way)
+                    else:
+                        slc_on_hit(set_index, way, request)
+                latency += lat_slc
+                if slc_exclusive:
+                    slc_invalidate(line_no)
+                # L2 fill + victim handling (back-inval, SLC victim fill).
+                victim = l2_fill(
+                    line_no, 1, False, dirty_new, instr_new,
+                    temperature, pc, is_prefetch, request,
+                )
+                if victim is not None:
+                    victim_line, victim_instr, victim_pc = victim
+                    if evicted is not None:
+                        evicted.append(victim_line << line_shift)
+                    if l2_inclusive:
+                        if victim_line in l1i_map:
+                            l1i_invalidate(victim_line)
+                        if victim_line in l1d_map:
+                            l1d_invalidate(victim_line)
+                    if slc_exclusive:
+                        scratch.address = victim_line << line_shift
+                        scratch.access_type = _IFETCH if victim_instr else _LOAD
+                        scratch.pc = victim_pc
+                        slc_fill(
+                            victim_line, 0, False, 0,
+                            1 if victim_instr else 0,
+                            temp_none, victim_pc, True, scratch,
+                        )
+                if evicted is None:
+                    l1_fill(
+                        line_no, 0, False, dirty_new, instr_new,
+                        temperature, pc, is_prefetch, request,
+                    )
+                else:
+                    victim = l1_fill(
+                        line_no, 1, False, dirty_new, instr_new,
+                        temperature, pc, is_prefetch, request,
+                    )
+                    if victim is not None:
+                        evicted.append(victim[0] << line_shift)
+                return latency, 3
+            if is_prefetch:
+                slc_stats.prefetch_misses += 1
+            elif is_ifetch:
+                slc_stats.inst_misses += 1
+            else:
+                slc_stats.data_misses += 1
+
+            # DRAM.
+            latency += lat_slc_dram
+            victim = l2_fill(
+                line_no, 1, False, dirty_new, instr_new,
+                temperature, pc, is_prefetch, request,
+            )
+            if victim is not None:
+                victim_line, victim_instr, victim_pc = victim
+                if evicted is not None:
+                    evicted.append(victim_line << line_shift)
+                if l2_inclusive:
+                    if victim_line in l1i_map:
+                        l1i_invalidate(victim_line)
+                    if victim_line in l1d_map:
+                        l1d_invalidate(victim_line)
+                if slc_exclusive:
+                    scratch.address = victim_line << line_shift
+                    scratch.access_type = _IFETCH if victim_instr else _LOAD
+                    scratch.pc = victim_pc
+                    slc_fill(
+                        victim_line, 0, False, 0,
+                        1 if victim_instr else 0,
+                        temp_none, victim_pc, True, scratch,
+                    )
+            if not slc_exclusive:
+                slc_fill(
+                    line_no, 0, False, dirty_new, instr_new,
+                    temperature, pc, is_prefetch, request,
+                )
+            if evicted is None:
+                l1_fill(
+                    line_no, 0, False, dirty_new, instr_new,
+                    temperature, pc, is_prefetch, request,
+                )
+            else:
+                victim = l1_fill(
+                    line_no, 1, False, dirty_new, instr_new,
+                    temperature, pc, is_prefetch, request,
+                )
+                if victim is not None:
+                    evicted.append(victim[0] << line_shift)
+            return latency, 4
+
+        return walk
 
     def _l1_latency(self, request: MemoryRequest) -> int:
-        if request.access_type is AccessType.INSTRUCTION_FETCH:
-            return self.config.l1i.latency
-        return self.config.l1d.latency
-
-    def _fill(
-        self,
-        cache: SetAssociativeCache,
-        request: MemoryRequest,
-        evicted: Optional[list[int]],
-    ) -> None:
-        victim = cache.fill_raw(request)
-        if victim is not None and evicted is not None:
-            evicted.append(victim[0])
-
-    def _fill_l2(self, request: MemoryRequest, evicted: Optional[list[int]]) -> None:
-        victim = self.l2.fill_raw(request)
-        if victim is None:
-            return
-        address, is_instruction, pc = victim
-        if evicted is not None:
-            evicted.append(address)
-        if self.config.l2_inclusive:
-            # Back-invalidate the victim from the private L1s.
-            self.l1i.invalidate(address)
-            self.l1d.invalidate(address)
-        if self.config.slc_exclusive:
-            # Exclusive SLC acts as a victim cache for L2 evictions.
-            self.slc.fill_raw(
-                MemoryRequest(
-                    address=address,
-                    access_type=(
-                        AccessType.INSTRUCTION_FETCH
-                        if is_instruction
-                        else AccessType.DATA_LOAD
-                    ),
-                    pc=pc,
-                    is_prefetch=True,
-                )
-            )
+        if request.access_type is _IFETCH:
+            return self._lat_l1i
+        return self._lat_l1d
 
     def _run_prefetchers(
         self,
@@ -400,46 +694,79 @@ class CacheHierarchy:
         l1_hit: bool,
         l2_hit: bool,
     ) -> None:
-        targets = l1_prefetcher.observe(request, l1_hit)
-        if targets:
-            self._issue_targets(request, l1, targets)
-        targets = self.l2_prefetcher.observe(request, l2_hit)
-        if targets:
-            self._issue_targets(request, l1, targets)
+        if l1_prefetcher is self.l1i_prefetcher:
+            observe = self._l1i_observe
+        elif l1_prefetcher is self.l1d_prefetcher:
+            observe = self._l1d_observe
+        else:
+            observe = self._active_observe(l1_prefetcher)
+        if observe is not None:
+            targets = observe(request, l1_hit)
+            if targets:
+                self._issue_targets(request, l1, targets)
+        observe = self._l2_observe
+        if observe is not None:
+            targets = observe(request, l2_hit)
+            if targets:
+                self._issue_targets(request, l1, targets)
 
-    def _issue_targets(self, request, l1: SetAssociativeCache, targets) -> None:
-        """Issue prefetches for ``targets`` derived from a demand ``request``.
+    def _make_issue_targets(self):
+        """Build the prefetch-issue path as a closure.
 
-        The prefetch requests travel as one reused
+        Issues prefetches for the targets derived from a demand request.  The
+        prefetch requests travel as one reused
         :class:`~repro.common.request.ScratchRequest` — every consumer on the
         prefetch walk (cache stats, fills, replacement hooks) only reads field
         values, so a mutable request carrying the same values is
-        indistinguishable from a fresh frozen one.
+        indistinguishable from a fresh frozen one.  Each target is equivalent
+        to ``_access(target, ..., allow_prefetch=False)``: no demand
+        counters, no nested prefetching, only the instruction-prefetch
+        L2-miss accounting; the L1 probe is inlined.
         """
         scratch = self._prefetch_scratch
-        scratch.access_type = request.access_type
-        scratch.pc = request.pc
-        scratch.temperature = request.temperature
-        scratch.starvation_hint = request.starvation_hint
         stats = self.stats
-        for address in targets:
-            stats.prefetches_issued += 1
-            scratch.address = address
-            self._issue_prefetch(scratch, l1)
+        walk = self._walk_below_l1
+        line_shift = self._line_shift
 
-    def _issue_prefetch(self, request: MemoryRequest, l1: SetAssociativeCache) -> None:
-        """Walk a prefetch through the hierarchy without building a result.
+        def issue_targets(request, l1: SetAssociativeCache, targets) -> None:
+            scratch.access_type = access_type = request.access_type
+            scratch.pc = request.pc
+            scratch.temperature = request.temperature
+            scratch.starvation_hint = request.starvation_hint
+            l1_map = l1._line_map
+            for address in targets:
+                stats.prefetches_issued += 1
+                scratch.address = address
+                line_no = address >> line_shift
+                way = l1_map.get(line_no)
+                if way is not None:
+                    # A prefetch L1 hit updates no hierarchy counters
+                    # (inlined access_line for a prefetch hit).
+                    l1.stats.prefetch_hits += 1
+                    set_index = line_no & l1._set_mask
+                    if access_type is _STORE:
+                        l1._dirty[set_index * l1.associativity + way] = 1
+                    kind = l1._touch_kind
+                    if kind == 2:
+                        cell = l1._touch_arg
+                        clock = cell[0] + 1
+                        cell[0] = clock
+                        l1._touch_rows[set_index][way] = clock
+                    elif kind == 1:
+                        l1._touch_rows[set_index][way] = l1._touch_arg
+                    elif kind == 0:
+                        touch = l1._policy_touch
+                        if touch is not None:
+                            touch(set_index, way)
+                        else:
+                            l1.policy.on_hit(set_index, way, scratch)
+                    continue
+                l1.stats.prefetch_misses += 1
+                latency, level = walk(scratch, l1, None, line_no)
+                if level >= 3 and access_type is _IFETCH:
+                    stats.l2_inst_misses += 1
 
-        Equivalent to ``_access(request, ..., allow_prefetch=False)`` for a
-        prefetch request: no demand counters, no nested prefetching, only the
-        instruction-prefetch L2-miss accounting.
-        """
-        if l1.access(request):
-            # A prefetch L1 hit updates no hierarchy counters.
-            return
-        latency, level = self._walk_below_l1(request, l1, None)
-        if level >= 3 and request.access_type is AccessType.INSTRUCTION_FETCH:
-            self.stats.l2_inst_misses += 1
+        return issue_targets
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -65,6 +65,10 @@ class NextLinePrefetcher(Prefetcher):
 
 @dataclass(slots=True)
 class _StrideEntry:
+    """Object form of a stride-table entry (used by the seed baseline; the
+    production table stores ``[last_address, stride, confidence]`` lists,
+    which the hot observe path reads and writes by index at C speed)."""
+
     last_address: int = 0
     stride: int = 0
     confidence: int = 0
@@ -93,47 +97,66 @@ class StridePrefetcher(Prefetcher):
         self.degree = degree
         self.threshold = threshold
         self.line_size = line_size
-        self._table: dict[int, _StrideEntry] = {}
+        #: ``key -> [last_address, stride, confidence]``.
+        self._table: dict[int, list[int]] = {}
+        # The production observe runs as a closure over the (stable) table
+        # and parameters — it is called twice per demand access in the replay
+        # hot loop.  Subclasses that override observe (the seed baseline)
+        # keep their method: an instance attribute would shadow it, so the
+        # closure is only bound when the class-level observe is the base one.
+        self._observe_impl = self._make_observe()
+        if type(self).observe is StridePrefetcher.observe:
+            self.observe = self._observe_impl
 
-    def observe(self, request: MemoryRequest, hit: bool) -> "Sequence[int]":
-        address = request.address
+    def _make_observe(self):
         table = self._table
         entries = self.table_entries
-        pc = request.pc
-        key = pc % entries if pc else (address // 4096) % entries
-        entry = table.get(key)
-        if entry is None:
-            if len(table) >= entries:
-                # Capacity eviction: drop an arbitrary (oldest-inserted) entry.
-                table.pop(next(iter(table)))
-            table[key] = _StrideEntry(last_address=address)
-            return _NO_PREFETCHES
-
         threshold = self.threshold
-        stride = address - entry.last_address
-        if stride != 0 and stride == entry.stride:
-            confidence = entry.confidence + 1
-            if confidence > threshold + 2:
-                confidence = threshold + 2
-            entry.confidence = confidence
-        else:
-            confidence = entry.confidence - 1
-            if confidence < 0:
-                confidence = 0
-            entry.confidence = confidence
-            entry.stride = stride
-        entry.last_address = address
-
-        if confidence < threshold or stride == 0:
-            return _NO_PREFETCHES
+        confidence_cap = threshold + 2
+        degree_range = range(1, self.degree + 1)
         line_size = self.line_size
-        stride = entry.stride
-        prefetches = []
-        for i in range(1, self.degree + 1):
-            target = address + i * stride
-            if target >= 0:
-                prefetches.append(target - target % line_size)
-        return prefetches
+
+        def observe(request: MemoryRequest, hit: bool) -> "Sequence[int]":
+            address = request.address
+            pc = request.pc
+            key = pc % entries if pc else (address // 4096) % entries
+            entry = table.get(key)
+            if entry is None:
+                if len(table) >= entries:
+                    # Capacity eviction: drop the oldest-inserted entry.
+                    table.pop(next(iter(table)))
+                table[key] = [address, 0, 0]
+                return _NO_PREFETCHES
+
+            stride = address - entry[0]
+            if stride != 0 and stride == entry[1]:
+                confidence = entry[2] + 1
+                if confidence > confidence_cap:
+                    confidence = confidence_cap
+                entry[2] = confidence
+            else:
+                confidence = entry[2] - 1
+                if confidence < 0:
+                    confidence = 0
+                entry[2] = confidence
+                entry[1] = stride
+            entry[0] = address
+
+            if confidence < threshold or stride == 0:
+                return _NO_PREFETCHES
+            prefetches = []
+            for i in degree_range:
+                target = address + i * stride
+                if target >= 0:
+                    prefetches.append(target - target % line_size)
+            return prefetches
+
+        return observe
+
+    def observe(self, request: MemoryRequest, hit: bool) -> "Sequence[int]":
+        """Method form of the observe closure (overridden by subclasses;
+        production instances shadow this with the pre-built closure)."""
+        return self._observe_impl(request, hit)
 
     def reset(self) -> None:
         self._table.clear()

@@ -19,40 +19,71 @@ class LRUPolicy(ReplacementPolicy):
     Recency is tracked with a monotonically increasing per-policy counter; the
     victim is the valid way with the smallest stamp.  New lines are inserted
     as most-recently-used.
+
+    LRU is fully request-free: its whole interface is the array-state protocol
+    (``touch``/``victim``), which the cache calls directly on the hot path.
     """
 
     name = "lru"
 
     def __init__(self, num_sets: int, num_ways: int) -> None:
         super().__init__(num_sets, num_ways)
-        self._clock = 0
+        #: The monotonic clock lives in a one-element list so the cache can
+        #: advance it inline through :meth:`hit_update_spec`.
+        self._clock_cell = [0]
         self._stamps = [[0] * num_ways for _ in range(num_sets)]
 
-    def _touch(self, set_index: int, way: int) -> None:
-        self._clock += 1
-        self._stamps[set_index][way] = self._clock
+    @property
+    def _clock(self) -> int:
+        """Object view of the clock cell (used by cold paths and subclasses)."""
+        return self._clock_cell[0]
 
-    # The hit/insert hooks run on every single cache access in the simulation
-    # hot loop; list indexing raises IndexError for out-of-range ways on its
-    # own, so the explicit range checks are left to the cold entry points.
-    def on_hit(self, set_index: int, way: int, request: MemoryRequest) -> None:
-        self._clock += 1
-        self._stamps[set_index][way] = self._clock
+    @_clock.setter
+    def _clock(self, value: int) -> None:
+        self._clock_cell[0] = value
 
-    def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
-        self._clock += 1
-        self._stamps[set_index][way] = self._clock
+    # The touch hook runs on every single cache access in the simulation hot
+    # loop; list indexing raises IndexError for out-of-range ways on its own,
+    # so the explicit range checks are left to the cold entry points.
+    def touch(self, set_index: int, way: int) -> None:
+        cell = self._clock_cell
+        clock = cell[0] + 1
+        cell[0] = clock
+        self._stamps[set_index][way] = clock
 
-    def select_victim(self, set_index: int, request: MemoryRequest) -> int:
+    # Backwards-compatible private alias (the seed baseline subclasses it).
+    _touch = touch
+
+    def hit_update_spec(self):
+        return ("clock", self._stamps, self._clock_cell)
+
+    def replace_spec(self):
+        return ("lru", self._stamps, self._clock_cell)
+
+    def evict_update_spec(self):
+        if type(self).on_evict is not LRUPolicy.on_evict:
+            return None
+        return ("const", self._stamps, 0)
+
+    def victim(self, set_index: int) -> int:
+        # min()/index() run at C speed over the per-set stamp array, which is
+        # measurably faster than a Python loop for the 8/16-way paper caches.
         stamps = self._stamps[set_index]
-        victim = 0
-        best = stamps[0]
-        for way in range(1, self.num_ways):
-            stamp = stamps[way]
-            if stamp < best:
-                best = stamp
-                victim = way
-        return victim
+        return stamps.index(min(stamps))
+
+    def replace(self, set_index: int) -> int:
+        """Fused victim + evict + insert: evict the LRU way and stamp it MRU.
+
+        Exactly ``victim`` (pick min stamp) followed by ``on_evict`` (zero the
+        stamp — dead, the insert overwrites it) and the insert ``touch``.
+        """
+        stamps = self._stamps[set_index]
+        way = stamps.index(min(stamps))
+        cell = self._clock_cell
+        clock = cell[0] + 1
+        cell[0] = clock
+        stamps[way] = clock
+        return way
 
     def on_evict(
         self, set_index: int, way: int, request: Optional[MemoryRequest] = None
@@ -76,17 +107,27 @@ class FIFOPolicy(ReplacementPolicy):
         self._clock = 0
         self._stamps = [[0] * num_ways for _ in range(num_sets)]
 
-    def on_hit(self, set_index: int, way: int, request: MemoryRequest) -> None:
-        pass
+    # touch stays the base no-op: FIFO hits do not refresh recency.
+    def hit_update_spec(self):
+        return ("noop",)
 
     def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
         self._clock += 1
         self._stamps[set_index][way] = self._clock
 
-    def select_victim(self, set_index: int, request: MemoryRequest) -> int:
+    def victim(self, set_index: int) -> int:
         self._check_set(set_index)
         stamps = self._stamps[set_index]
-        return min(range(self.num_ways), key=lambda way: stamps[way])
+        return stamps.index(min(stamps))
+
+    def replace(self, set_index: int) -> int:
+        """Fused victim + evict + insert: evict oldest, stamp insertion order."""
+        self._check_set(set_index)
+        stamps = self._stamps[set_index]
+        way = stamps.index(min(stamps))
+        self._clock += 1
+        stamps[way] = self._clock
+        return way
 
     def reset(self) -> None:
         self._clock = 0
@@ -105,15 +146,11 @@ class RandomPolicy(ReplacementPolicy):
         self._seed = seed
         self._rng = random.Random(seed)
 
-    def on_hit(self, set_index: int, way: int, request: MemoryRequest) -> None:
+    def touch(self, set_index: int, way: int) -> None:
         self._check_set(set_index)
         self._check_way(way)
 
-    def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
-        self._check_set(set_index)
-        self._check_way(way)
-
-    def select_victim(self, set_index: int, request: MemoryRequest) -> int:
+    def victim(self, set_index: int) -> int:
         self._check_set(set_index)
         return self._rng.randrange(self.num_ways)
 

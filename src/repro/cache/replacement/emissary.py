@@ -69,9 +69,13 @@ class EmissaryPolicy(ReplacementPolicy):
         self._check_way(way)
         return self._priority[set_index][way]
 
-    def _touch(self, set_index: int, way: int) -> None:
+    def touch(self, set_index: int, way: int) -> None:
+        """LRU-style recency bump (array-state protocol)."""
         self._clock += 1
         self._stamps[set_index][way] = self._clock
+
+    # Backwards-compatible private alias.
+    _touch = touch
 
     def _priority_count(self, set_index: int) -> int:
         return sum(1 for flag in self._priority[set_index] if flag)
@@ -107,7 +111,9 @@ class EmissaryPolicy(ReplacementPolicy):
         self._touch(set_index, way)
         self._priority[set_index][way] = self._grant_priority(set_index, request)
 
-    def select_victim(self, set_index: int, request: MemoryRequest) -> int:
+    def victim(self, set_index: int) -> int:
+        """Priority-way LRU selection (request-free: hints only matter on
+        hit/insert, never during victim selection)."""
         self._check_set(set_index)
         stamps = self._stamps[set_index]
         priority = self._priority[set_index]
@@ -116,7 +122,7 @@ class EmissaryPolicy(ReplacementPolicy):
             return min(unprotected, key=lambda way: stamps[way])
         # Every way is protected (can only happen when priority_ways == num_ways
         # or through saturation): fall back to plain LRU across the whole set.
-        return min(range(self.num_ways), key=lambda way: stamps[way])
+        return stamps.index(min(stamps))
 
     def on_evict(
         self, set_index: int, way: int, request: Optional[MemoryRequest] = None

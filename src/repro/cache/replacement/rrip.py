@@ -77,9 +77,12 @@ class RRIPBase(ReplacementPolicy):
     # ``insertion_rrpv`` implementations return in-range predictions by
     # construction.  ``set_rrpv`` (with its range validation) remains the
     # entry point for tests and analysis code.
-    def on_hit(self, set_index: int, way: int, request: MemoryRequest) -> None:
+    def touch(self, set_index: int, way: int) -> None:
         """Default RRIP hit promotion: predict immediate re-reference."""
         self._rrpv[set_index][way] = self.rrpv_immediate
+
+    def hit_update_spec(self):
+        return ("const", self._rrpv, self.rrpv_immediate)
 
     def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
         """Default (SRRIP-style) insertion at intermediate re-reference."""
@@ -89,27 +92,68 @@ class RRIPBase(ReplacementPolicy):
         """RRPV assigned to a newly inserted line (overridden by subclasses)."""
         return self.rrpv_intermediate
 
-    def select_victim(self, set_index: int, request: MemoryRequest) -> int:
-        """RRIP eviction: age the set until some way reaches *Distant*."""
-        self._check_set(set_index)
+    def victim(self, set_index: int) -> int:
+        """RRIP eviction: age the set until some way reaches *Distant*.
+
+        Equivalent to the textbook scan-and-increment loop, but the aging is
+        collapsed into one arithmetic step: no RRPV can exceed
+        ``rrpv_distant`` (``set_rrpv`` enforces the range and the insertion
+        hooks produce in-range predictions), so ``rrpv_distant - max(rrpvs)``
+        rounds of +1 aging move the current maximum exactly to *Distant*
+        without saturating any other way.  The victim is then the first way
+        at *Distant*, found at C speed with ``list.index``.
+        """
         rrpvs = self._rrpv[set_index]
-        while True:
+        distant = self.rrpv_distant
+        oldest = max(rrpvs)
+        if oldest < distant:
+            delta = distant - oldest
             for way in range(self.num_ways):
-                if rrpvs[way] >= self.rrpv_distant:
-                    return way
-            for way in range(self.num_ways):
-                rrpvs[way] = min(rrpvs[way] + 1, self.rrpv_max)
+                rrpvs[way] += delta
+        return rrpvs.index(distant)
 
     def on_evict(
         self, set_index: int, way: int, request: Optional[MemoryRequest] = None
     ) -> None:
         self._rrpv[set_index][way] = self.rrpv_max
 
+    def evict_update_spec(self):
+        if type(self).on_evict is not RRIPBase.on_evict:
+            return None
+        return ("const", self._rrpv, self.rrpv_max)
+
 
 class SRRIPPolicy(RRIPBase):
     """Static RRIP: scan-resistant insertion at intermediate re-reference."""
 
     name = "srrip"
+
+    def replace(self, set_index: int) -> int:
+        """Fused victim + evict + insert for static RRIP.
+
+        Exactly ``victim`` (age to *Distant*, pick first), ``on_evict`` (write
+        *Distant* — dead, the way already holds it) and ``on_insert`` at the
+        static intermediate prediction.  Only exact for SRRIP itself: the
+        dynamic-insertion policies subclass :class:`RRIPBase` directly and
+        never see this method, and a hypothetical subclass of SRRIP that
+        overrode ``insertion_rrpv`` (or any other summarised hook) is
+        rejected by the cache's structural guard
+        (:func:`~repro.cache.replacement.base.inherited_feature_is_exact`),
+        falling back to the plain hook sequence.
+        """
+        rrpvs = self._rrpv[set_index]
+        distant = self.rrpv_distant
+        oldest = max(rrpvs)
+        if oldest < distant:
+            delta = distant - oldest
+            for way in range(self.num_ways):
+                rrpvs[way] += delta
+        way = rrpvs.index(distant)
+        rrpvs[way] = self.rrpv_intermediate
+        return way
+
+    def replace_spec(self):
+        return ("rrip", self._rrpv, self.rrpv_distant, self.rrpv_intermediate)
 
 
 class BRRIPPolicy(RRIPBase):

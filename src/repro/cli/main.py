@@ -169,6 +169,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_options(sweep_parser)
 
+    bench_parser = sub.add_parser(
+        "bench",
+        help="measure engine speed (seed vs flat-array) and the lockstep "
+        "multi-policy sweep, asserting the pinned BENCH_baseline.json floors",
+    )
+    bench_parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="short shapes (seconds; used by the CI bench job)",
+    )
+    bench_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="best-of-N interleaved measurement rounds (default: 3)",
+    )
+    bench_parser.add_argument(
+        "--no-sweep",
+        action="store_true",
+        help="skip the lockstep multi-policy sweep measurement",
+    )
+    bench_parser.add_argument(
+        "--no-floors",
+        action="store_true",
+        help="report only; do not assert the pinned speedup floors",
+    )
+    bench_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON report to FILE",
+    )
+
     report_parser = sub.add_parser(
         "report", help="render the cached output of a previous run"
     )
@@ -433,6 +467,38 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Run the engine-speed shapes and the lockstep sweep; assert floors."""
+    from repro.experiments.bench import (
+        ROUNDS,
+        check_floors,
+        format_report,
+        load_floors,
+        run_engine_bench,
+    )
+
+    report = run_engine_bench(
+        rounds=args.rounds or ROUNDS,
+        tiny=args.tiny,
+        sweep=not args.no_sweep,
+    )
+    print(format_report(report))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"# report written to {args.output}")
+    if args.no_floors:
+        return 0
+    violations = check_floors(report, load_floors())
+    if violations:
+        for violation in violations:
+            print(f"repro bench: FAIL: {violation}", file=sys.stderr)
+        return 1
+    print("# all pinned speedup floors hold (see BENCH_baseline.json)")
+    return 0
+
+
 def _cmd_report(args) -> int:
     store = ResultStore(root=args.store)
     payload = store.load_report(args.experiment)
@@ -481,6 +547,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "report":
             return _cmd_report(args)
     except (ConfigurationError, WorkloadError) as error:

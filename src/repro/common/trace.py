@@ -113,6 +113,7 @@ class PackedTrace:
         "depend_stall",
         "issue_stall",
         "_events_cache",
+        "_mem_lines_cache",
     )
 
     def __init__(self) -> None:
@@ -123,8 +124,10 @@ class PackedTrace:
         self.mem_address = array("Q")
         self.depend_stall = array("I")
         self.issue_stall = array("I")
-        #: ``line_size -> (trace length at build time, event index array)``.
-        self._events_cache: dict[int, tuple[int, array]] = {}
+        #: ``line_size -> (trace length at build time, event column tuple)``.
+        self._events_cache: dict[int, tuple[int, tuple]] = {}
+        #: ``line_size -> (trace length at build time, mem line numbers)``.
+        self._mem_lines_cache: dict[int, tuple[int, array]] = {}
 
     # ------------------------------------------------------------ construction
     def append_raw(
@@ -212,9 +215,9 @@ class PackedTrace:
         return list(self)
 
     # ------------------------------------------------------------------ replay
-    def fetch_events(self, line_size: int) -> tuple[array, array, array]:
-        """Replay events: ``(indices, pcs, flag_words)`` of state-touching
-        instructions.
+    def fetch_events(self, line_size: int) -> tuple[array, array, array, array]:
+        """Replay events: ``(indices, pcs, flag_words, fetch_lines)`` of
+        state-touching instructions.
 
         An instruction is an *event* when it carries any flag (branch, memory
         operand, stall annotation), or when its fetch crosses into a new cache
@@ -222,11 +225,14 @@ class PackedTrace:
         because the previous instruction was a taken branch (which redirects
         fetch).  Every other instruction only retires, so the replay loop can
         skip it entirely and account its retire bandwidth in bulk.  The pc and
-        flag columns are duplicated per event so the loop can zip them instead
-        of performing two indexed loads per event.
+        flag columns are duplicated per event — and the line-aligned fetch
+        address is precomputed per event — so the loop zips plain machine
+        integers instead of performing indexed loads and shift/mask work.
 
         The result depends only on the stored columns and ``line_size``; it is
         computed lazily and cached (and recomputed if the trace grew since).
+        Captured trace archives persist these columns, so replayed traces
+        skip the whole pass (see :mod:`repro.workloads.capture`).
         """
         cached = self._events_cache.get(line_size)
         if cached is not None and cached[0] == len(self.pc):
@@ -234,6 +240,7 @@ class PackedTrace:
         indices = array("I")
         event_pcs = array("Q")
         event_flags = array("H")
+        event_lines = array("Q")
         redirect_mask = FLAG_BRANCH | FLAG_TAKEN
         prev_line = -1
         redirected = True
@@ -244,12 +251,49 @@ class PackedTrace:
                 indices.append(index)
                 event_pcs.append(pc)
                 event_flags.append(flags)
+                event_lines.append(line)
             prev_line = line
             redirected = flags & redirect_mask == redirect_mask
             index += 1
-        events = (indices, event_pcs, event_flags)
+        events = (indices, event_pcs, event_flags, event_lines)
         self._events_cache[line_size] = (len(self.pc), events)
         return events
+
+    def mem_lines(self, line_size: int) -> array:
+        """Per-instruction *virtual line numbers* of the memory operands.
+
+        ``mem_lines(L)[i] == mem_address[i] // L`` for instructions carrying
+        :data:`FLAG_MEM` (0 otherwise).  The replay loop hands these to the
+        backend so that, under identity translation, the whole shift/mask
+        address-geometry work of a data access is a precomputed column read.
+        Computed once per ``line_size`` and cached; captured trace archives
+        persist the column.
+        """
+        cached = self._mem_lines_cache.get(line_size)
+        if cached is not None and cached[0] == len(self.pc):
+            return cached[1]
+        shift = line_size.bit_length() - 1
+        if line_size == (1 << shift):
+            lines = array("Q", (address >> shift for address in self.mem_address))
+        else:
+            lines = array("Q", (address // line_size for address in self.mem_address))
+        self._mem_lines_cache[line_size] = (len(self.pc), lines)
+        return lines
+
+    def adopt_geometry(
+        self,
+        line_size: int,
+        events: tuple[array, array, array, array],
+        mem_lines: array,
+    ) -> None:
+        """Seed the geometry caches with columns restored from an archive.
+
+        The columns must describe exactly this trace at its current length —
+        the caller (the trace archive) guarantees that by keying the file on
+        the content hash of the generating spec.
+        """
+        self._events_cache[line_size] = (len(self.pc), tuple(events))
+        self._mem_lines_cache[line_size] = (len(self.pc), mem_lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PackedTrace({len(self)} instructions)"

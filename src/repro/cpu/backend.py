@@ -80,11 +80,22 @@ class BackendModel:
         self.stats = BackendStats()
         #: Reusable request object for the packed-trace data fast path.
         self._scratch = ScratchRequest()
+        #: Identity translation (no OS model): physical == virtual, so the
+        #: fast path skips the per-access translator call entirely.
+        self._identity = type(self.translator) is IdentityTranslator
         #: Address-only data translation, when the translator offers it
         #: (avoids one tuple allocation per data access on the fast path).
         self._translate_data_addr = getattr(
             self.translator, "translate_data_addr", None
         )
+        # Config scalars hoisted for the fast path (the config object is
+        # treated as frozen once the model is built, like the hierarchy's
+        # precomputed latencies).
+        self._hide_latency = self.config.hide_latency
+        self._stall_scale = 1.0 - self.config.overlap_fraction
+        #: The data fast path as a closure over stable model state (stats is
+        #: reset in place, so every captured object keeps its identity).
+        self.access_data_fast = self._make_data_fast()
 
     def access_data(self, vaddr: int, pc: int, is_store: bool) -> DataAccessOutcome:
         """Issue a data load/store and return the exposed stall cycles."""
@@ -105,37 +116,61 @@ class BackendModel:
         self.stats.mem_stall_cycles += stall
         return DataAccessOutcome(stall_cycles=stall, result=result)
 
-    def access_data_fast(self, vaddr: int, pc: int, is_store: bool) -> float:
-        """Issue a data access and return only the exposed stall cycles.
+    def _make_data_fast(self):
+        """Build the data fast path (twin of :meth:`access_data`) as a closure.
 
-        Fast-path twin of :meth:`access_data` used by the packed-trace replay
-        loop: repeat L1-D hits skip the full hierarchy walk, and the request
-        travels as a reused :class:`ScratchRequest` so no outcome or request
-        object is allocated.  All state updates are identical to the slow
-        path; custom ``l2_access_observer`` hooks must not retain the request.
+        Used by the packed-trace replay loop: repeat L1-D hits skip the full
+        hierarchy walk, and the request travels as a reused
+        :class:`ScratchRequest` so no outcome or request object is allocated.
+        All state updates are identical to the slow path; custom
+        ``l2_access_observer`` hooks must not retain the request.
+
+        The returned callable has signature
+        ``access_data_fast(vaddr, pc, is_store, line_no=-1)`` where
+        ``line_no`` is the *virtual* line number precomputed by the trace's
+        geometry columns; it equals the physical line number exactly when no
+        OS model remaps pages, so it is forwarded to the hierarchy only under
+        identity translation.
         """
-        translate = self._translate_data_addr
-        if translate is not None:
-            paddr = translate(vaddr)
-        else:
-            paddr, _temperature = self.translator.translate_data(vaddr)
-        request = self._scratch
-        request.address = paddr
-        request.access_type = (
-            AccessType.DATA_STORE if is_store else AccessType.DATA_LOAD
-        )
-        request.pc = pc
-        latency = self.hierarchy.access_data_fast(request)
+        scratch = self._scratch
+        hierarchy_fast = self.hierarchy.access_data_fast
         stats = self.stats
-        stats.data_accesses += 1
+        identity = self._identity
+        translate = self._translate_data_addr
+        translate_full = self.translator.translate_data
+        hide_latency = self._hide_latency
+        stall_scale = self._stall_scale
+        store_type = AccessType.DATA_STORE
+        load_type = AccessType.DATA_LOAD
 
-        exposed = max(0.0, float(latency - self.config.hide_latency))
-        stall = exposed * (1.0 - self.config.overlap_fraction)
-        # Stores retire through the store buffer; expose only half their cost.
-        if is_store:
-            stall *= 0.5
-        stats.mem_stall_cycles += stall
-        return stall
+        def access_data_fast(
+            vaddr: int, pc: int, is_store: bool, line_no: int = -1
+        ) -> float:
+            if identity:
+                paddr = vaddr
+            else:
+                if translate is not None:
+                    paddr = translate(vaddr)
+                else:
+                    paddr, _temperature = translate_full(vaddr)
+                line_no = -1
+            scratch.address = paddr
+            scratch.access_type = store_type if is_store else load_type
+            scratch.pc = pc
+            latency = hierarchy_fast(scratch, line_no)
+            stats.data_accesses += 1
+
+            exposed = latency - hide_latency
+            if exposed <= 0:
+                return 0.0
+            stall = float(exposed) * stall_scale
+            # Stores retire through the store buffer; expose half their cost.
+            if is_store:
+                stall *= 0.5
+            stats.mem_stall_cycles += stall
+            return stall
+
+        return access_data_fast
 
     def charge_depend_stall(self, cycles: float) -> float:
         """Account synthetic dependency-chain stalls from the trace."""
@@ -152,4 +187,9 @@ class BackendModel:
         return cycles
 
     def reset(self) -> None:
-        self.stats = BackendStats()
+        # In place: the fast-path closure captures the stats object.
+        stats = self.stats
+        stats.data_accesses = 0
+        stats.mem_stall_cycles = 0.0
+        stats.depend_stall_cycles = 0.0
+        stats.issue_stall_cycles = 0.0

@@ -90,7 +90,9 @@ class BranchPredictionUnit:
         self.config = config or BranchPredictorConfig()
         self.config.validate()
         cfg = self.config
-        self._history = 0
+        #: Global history register, in a one-element list so the fast-path
+        #: closure can update it in place (``_history`` is a property view).
+        self._history_cell = [0]
         self._history_mask = (1 << cfg.history_bits) - 1
         # 2-bit saturating counters, initialised weakly taken.
         self._counters = [2] * cfg.global_predictor_entries
@@ -99,6 +101,18 @@ class BranchPredictionUnit:
         self._loop: dict[int, _LoopEntry] = {}
         self._return_stack: list[int] = []
         self.stats = BranchStats()
+        #: The per-branch predict+update step as a closure over the (stable,
+        #: reset-in-place) prediction structures.
+        self.predict_and_update_raw = self._make_predict_raw()
+
+    @property
+    def _history(self) -> int:
+        """Object view of the history register (cold paths and tests)."""
+        return self._history_cell[0]
+
+    @_history.setter
+    def _history(self, value: int) -> None:
+        self._history_cell[0] = value
 
     # ------------------------------------------------------------------ steps
     def predict_and_update(self, record: TraceRecord) -> PredictionOutcome:
@@ -123,55 +137,148 @@ class BranchPredictionUnit:
             target_wrong=target_wrong,
         )
 
-    def predict_and_update_raw(
-        self,
-        pc: int,
-        size: int,
-        taken: bool,
-        target: int,
-        is_indirect: bool,
-        is_call: bool,
-        is_return: bool,
-    ) -> tuple[bool, int, bool, bool, bool]:
-        """Scalar-argument twin of :meth:`predict_and_update`.
+    def _make_predict_raw(self):
+        """Build the scalar predict+update step as a closure.
 
-        Used by the packed-trace replay loop, which has no record object to
-        hand over.  Returns ``(predicted_taken, predicted_target,
-        mispredicted, direction_wrong, target_wrong)``.
+        The returned callable is the twin of :meth:`predict_and_update` used
+        by the packed-trace replay loop, which has no record object to hand
+        over; it inlines the direction (gshare + loop), target
+        (BTB/indirect/return-stack) and update steps of the method-based
+        helpers below with identical state transitions.  Returns
+        ``(predicted_taken, predicted_target, mispredicted, direction_wrong,
+        target_wrong)``.
         """
+        cfg = self.config
         stats = self.stats
-        stats.branches += 1
+        counters = self._counters
+        btb = self._btb
+        indirect_btb = self._indirect_btb
+        loop = self._loop
+        return_stack = self._return_stack
+        history_cell = self._history_cell
+        history_mask = self._history_mask
+        gshare_entries = cfg.global_predictor_entries
+        loop_entries = cfg.loop_predictor_entries
+        indirect_entries = cfg.indirect_btb_entries
+        btb_entries = cfg.btb_entries
+        ras_entries = cfg.return_stack_entries
 
-        predicted_taken = self._predict_direction(pc)
-        predicted_target = self._predict_target_raw(pc, is_indirect, is_return)
+        def predict_and_update_raw(
+            pc: int,
+            size: int,
+            taken: bool,
+            target: int,
+            is_indirect: bool,
+            is_call: bool,
+            is_return: bool,
+        ) -> tuple[bool, int, bool, bool, bool]:
+            stats.branches += 1
+            history = history_cell[0]
 
-        direction_wrong = predicted_taken != taken
-        target_wrong = (
-            taken and not direction_wrong and predicted_target != target
-        )
-        mispredicted = direction_wrong or target_wrong
+            # Direction prediction (loop predictor, else gshare).
+            loop_entry = loop.get(pc)
+            if loop_entry is not None and loop_entry.confident:
+                predicted_taken = loop_entry.current < loop_entry.trip_count
+            else:
+                predicted_taken = (
+                    counters[((pc >> 2) ^ history) % gshare_entries] >= 2
+                )
 
-        if mispredicted:
-            stats.mispredictions += 1
-        if direction_wrong:
-            stats.direction_mispredictions += 1
-        if target_wrong:
-            stats.target_mispredictions += 1
+            # Target prediction (return stack, indirect BTB, BTB).
+            if is_return and return_stack:
+                predicted_target = return_stack[-1]
+            elif is_indirect:
+                predicted_target = indirect_btb.get(pc, 0)
+            else:
+                predicted_target = btb.get(pc)
+                if predicted_target is None:
+                    stats.btb_misses += 1
+                    predicted_target = 0
 
-        self._update_direction(pc, taken)
-        self._update_target_raw(pc, size, taken, target, is_indirect, is_call, is_return)
-        self._history = ((self._history << 1) | int(taken)) & self._history_mask
-        return predicted_taken, predicted_target, mispredicted, direction_wrong, target_wrong
+            direction_wrong = predicted_taken != taken
+            target_wrong = (
+                taken and not direction_wrong and predicted_target != target
+            )
+            mispredicted = direction_wrong or target_wrong
+
+            if mispredicted:
+                stats.mispredictions += 1
+            if direction_wrong:
+                stats.direction_mispredictions += 1
+            if target_wrong:
+                stats.target_mispredictions += 1
+
+            # Direction update (gshare counter + loop predictor).
+            index = ((pc >> 2) ^ history) % gshare_entries
+            value = counters[index]
+            if taken:
+                if value < 3:
+                    counters[index] = value + 1
+            elif value > 0:
+                counters[index] = value - 1
+            if loop_entry is None:
+                if len(loop) >= loop_entries:
+                    loop.pop(next(iter(loop)))
+                loop_entry = _LoopEntry()
+                loop[pc] = loop_entry
+            if taken:
+                loop_entry.current += 1
+            else:
+                current = loop_entry.current
+                if current > 0:
+                    if loop_entry.trip_count == current:
+                        loop_entry.confident = True
+                    else:
+                        loop_entry.trip_count = current
+                        loop_entry.confident = False
+                loop_entry.current = 0
+
+            # Target update (return stack push/pop, BTB fills).
+            if is_call:
+                return_stack.append(pc + size)
+                if len(return_stack) > ras_entries:
+                    return_stack.pop(0)
+            if is_return and return_stack:
+                return_stack.pop()
+            if taken:
+                if is_indirect:
+                    if (
+                        pc not in indirect_btb
+                        and len(indirect_btb) >= indirect_entries
+                    ):
+                        indirect_btb.pop(next(iter(indirect_btb)))
+                    indirect_btb[pc] = target
+                else:
+                    if pc not in btb and len(btb) >= btb_entries:
+                        btb.pop(next(iter(btb)))
+                    btb[pc] = target
+
+            history_cell[0] = ((history << 1) | (1 if taken else 0)) & history_mask
+            return (
+                predicted_taken,
+                predicted_target,
+                mispredicted,
+                direction_wrong,
+                target_wrong,
+            )
+
+        return predict_and_update_raw
 
     def reset(self) -> None:
+        # In place: the fast-path closure captures every structure.
         cfg = self.config
-        self._history = 0
-        self._counters = [2] * cfg.global_predictor_entries
+        self._history_cell[0] = 0
+        self._counters[:] = [2] * cfg.global_predictor_entries
         self._btb.clear()
         self._indirect_btb.clear()
         self._loop.clear()
         self._return_stack.clear()
-        self.stats = BranchStats()
+        stats = self.stats
+        stats.branches = 0
+        stats.mispredictions = 0
+        stats.direction_mispredictions = 0
+        stats.target_mispredictions = 0
+        stats.btb_misses = 0
 
     # ------------------------------------------------------------- direction
     def _direction_index(self, pc: int) -> int:

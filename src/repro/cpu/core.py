@@ -18,7 +18,7 @@ model in the spirit of Sniper's interval simulation (the paper's simulator):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.addressing import CACHE_LINE_SIZE, line_address
@@ -253,9 +253,13 @@ class CoreModel:
         issue = 0.0
         mem = 0.0
         current_line = -1
-        event_indices, event_pcs, event_flags = trace.fetch_events(line_size)
-        for index, pc, flags in zip(event_indices, event_pcs, event_flags):
-            fetch_line = pc - pc % line_size
+        event_indices, event_pcs, event_flags, event_lines = trace.fetch_events(
+            line_size
+        )
+        mem_lines = trace.mem_lines(line_size)
+        for index, pc, flags, fetch_line in zip(
+            event_indices, event_pcs, event_flags, event_lines
+        ):
             if fetch_line != current_line:
                 current_line = fetch_line
                 stall = fetch_fast(fetch_line)
@@ -279,7 +283,12 @@ class CoreModel:
                         # Fetch redirects to the branch target.
                         current_line = -1
                 if flags & FLAG_MEM:
-                    stall = data_fast(mems[index], pc, flags & FLAG_STORE != 0)
+                    stall = data_fast(
+                        mems[index],
+                        pc,
+                        flags & FLAG_STORE != 0,
+                        mem_lines[index],
+                    )
                     if stall > 0.0:
                         mem += stall
                 if flags & FLAG_DEPEND:
@@ -317,3 +326,150 @@ class CoreModel:
         self.frontend.reset()
         self.backend.reset()
         self.branch_unit.reset()
+
+
+def run_packed_lockstep(
+    cores: Sequence["CoreModel"], trace: PackedTrace
+) -> list[CoreResult]:
+    """Replay one packed trace through several cores in lockstep.
+
+    All cores must share the same core/branch configuration and line size;
+    they are expected to differ only in their memory systems (the
+    multi-policy sweep case: one hierarchy per L2 replacement policy).  The
+    trace is decoded once, the fetch-boundary decisions are made once (the
+    current-fetch-line automaton depends only on the trace), and the branch
+    outcomes are computed once on the *first* core's branch unit — branch
+    predictor state evolves identically on every core because it never
+    observes the memory system, so the shared unit produces exactly the
+    outcome sequence each solo run would.  Only the per-hierarchy work
+    (instruction fetches, data accesses and their stall accumulation) runs
+    per core, which is what makes an N-policy sweep cheaper than N
+    independent replays.
+
+    Returns one :class:`CoreResult` per core, bit-identical to what
+    ``core.run_packed(trace)`` would produce in its own process (pinned by
+    ``tests/test_lockstep.py``).  The other cores' own branch units are left
+    untouched; their results report the shared unit's deltas.
+    """
+    if not cores:
+        return []
+    if len(cores) == 1:
+        return [cores[0].run_packed(trace)]
+    lead = cores[0]
+    line_size = lead.line_size
+    lead_core_cfg = lead.config
+    for core in cores[1:]:
+        # Full config equality (dataclass ==, covering frontend, backend and
+        # every branch-predictor sizing field): the branch outcomes are
+        # computed once on the lead core's unit, so any difference in
+        # predictor geometry would silently change the other cores' results.
+        if core.line_size != line_size or core.config != lead_core_cfg:
+            raise ValueError(
+                "lockstep replay requires cores with identical core/branch "
+                "configuration and line size"
+            )
+
+    branch_unit = lead.branch_unit
+    branches_before = branch_unit.stats.branches
+    mispredictions_before = branch_unit.stats.mispredictions
+    predict_raw = branch_unit.predict_and_update_raw
+
+    width = lead_core_cfg.dispatch_width
+    retire_inc = 1.0 / width
+    penalty = float(lead_core_cfg.branch.mispredict_penalty)
+
+    frontends = [core.frontend for core in cores]
+    for frontend in frontends:
+        frontend.line_stall_cycles.clear()
+        frontend.line_miss_counts.clear()
+    fetch_fns = [frontend.fetch_line_fast for frontend in frontends]
+    data_fns = [core.backend.access_data_fast for core in cores]
+    backend_stats = [core.backend.stats for core in cores]
+    count = len(cores)
+    ifetch_acc = [0.0] * count
+    mem_acc = [0.0] * count
+    mispred = 0.0
+    depend = 0.0
+    issue = 0.0
+
+    sizes = trace.size
+    targets = trace.branch_target
+    mems = trace.mem_address
+    depends = trace.depend_stall
+    issues = trace.issue_stall
+    instructions = len(trace.pc)
+    current_line = -1
+    event_indices, event_pcs, event_flags, event_lines = trace.fetch_events(
+        line_size
+    )
+    mem_lines = trace.mem_lines(line_size)
+    for index, pc, flags, fetch_line in zip(
+        event_indices, event_pcs, event_flags, event_lines
+    ):
+        if fetch_line != current_line:
+            current_line = fetch_line
+            for i, fetch_fast in enumerate(fetch_fns):
+                stall = fetch_fast(fetch_line)
+                if stall > 0.0:
+                    ifetch_acc[i] += stall
+
+        if flags:
+            if flags & FLAG_BRANCH:
+                outcome = predict_raw(
+                    pc,
+                    sizes[index],
+                    flags & FLAG_TAKEN != 0,
+                    targets[index],
+                    flags & FLAG_INDIRECT != 0,
+                    flags & FLAG_CALL != 0,
+                    flags & FLAG_RETURN != 0,
+                )
+                if outcome[2]:
+                    mispred += penalty
+                if flags & FLAG_TAKEN:
+                    # Fetch redirects to the branch target.
+                    current_line = -1
+            if flags & FLAG_MEM:
+                address = mems[index]
+                mem_line = mem_lines[index]
+                is_store = flags & FLAG_STORE != 0
+                for i, data_fast in enumerate(data_fns):
+                    stall = data_fast(address, pc, is_store, mem_line)
+                    if stall > 0.0:
+                        mem_acc[i] += stall
+            if flags & FLAG_DEPEND:
+                cycles = depends[index]
+                for stats in backend_stats:
+                    stats.depend_stall_cycles += cycles
+                depend += cycles
+            if flags & FLAG_ISSUE:
+                cycles = issues[index]
+                for stats in backend_stats:
+                    stats.issue_stall_cycles += cycles
+                issue += cycles
+
+    retire = _retire_total(retire_inc, instructions)
+    branches = branch_unit.stats.branches - branches_before
+    mispredictions = branch_unit.stats.mispredictions - mispredictions_before
+    results = []
+    for i, core in enumerate(cores):
+        topdown = TopDownBreakdown(
+            retire=retire,
+            ifetch=ifetch_acc[i],
+            mispred=mispred,
+            depend=depend,
+            issue=issue,
+            mem=mem_acc[i],
+        )
+        results.append(
+            CoreResult(
+                instructions=instructions,
+                cycles=topdown.total_cycles,
+                topdown=topdown,
+                branches=branches,
+                branch_mispredictions=mispredictions,
+                line_stall_cycles=dict(core.frontend.line_stall_cycles),
+                line_miss_counts=dict(core.frontend.line_miss_counts),
+            )
+        )
+    return results

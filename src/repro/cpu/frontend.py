@@ -89,16 +89,27 @@ class FetchEngine:
         #: Virtual line addresses whose demand miss starved decode; requests
         #: to these lines carry Emissary's starvation hint when refetched.
         self._starved_lines: dict[int, bool] = {}
-        #: Per-virtual-line cache of translated fetch requests used by the
-        #: fast path.  ``MemoryRequest`` is immutable and the translation of a
-        #: line never changes once the page is mapped, so a cached request is
-        #: value-identical to a freshly built one; entries are dropped whenever
-        #: the line's starvation hint changes.
-        self._request_cache: dict[int, MemoryRequest] = {}
+        #: Per-virtual-line cache of ``(translated request, physical line
+        #: number)`` pairs used by the fast path.  ``MemoryRequest`` is
+        #: immutable and the translation of a line never changes once the page
+        #: is mapped, so a cached request is value-identical to a freshly
+        #: built one; entries are dropped whenever the line's starvation hint
+        #: changes.
+        self._request_cache: dict[int, tuple[MemoryRequest, int]] = {}
+        #: Fetch latency hidden from decode (buffer slack + FDIP run-ahead),
+        #: hoisted for the fast path; the config is treated as frozen once
+        #: the engine is built.
+        self._hidden_latency = float(self.config.fetch_buffer_slack)
+        if self.config.fdip_enabled:
+            self._hidden_latency += self.config.fdip_lead_cycles
+        self._line_shift = line_size.bit_length() - 1
         #: Per-virtual-line accumulated demand ifetch stall cycles and miss
         #: counts, used by the costly-miss coverage analysis (Figure 7).
         self.line_stall_cycles: dict[int, float] = {}
         self.line_miss_counts: dict[int, int] = {}
+        #: The fetch fast path as a closure over stable engine state (stats
+        #: and the per-line maps are reset in place).
+        self.fetch_line_fast = self._make_fetch_fast()
 
     # ----------------------------------------------------------------- fetch
     def fetch_line(self, vaddr: int) -> FetchOutcome:
@@ -131,49 +142,62 @@ class FetchEngine:
             stall_cycles=stall, result=result, caused_starvation=caused_starvation
         )
 
-    def fetch_line_fast(self, vline: int) -> float:
-        """Demand-fetch an (already line-aligned) virtual line; return stall.
+    def _make_fetch_fast(self):
+        """Build the resident-line fetch fast path as a closure.
 
-        This is the resident-line fast path used by the packed-trace replay
-        loop: the translated :class:`MemoryRequest` is cached per line and the
-        hierarchy is entered through its L1-hit fast path, so a repeat fetch
-        of a resident line costs two dict lookups instead of three object
-        allocations and a full hierarchy walk.  All simulation state
-        transitions (cache statistics, replacement/prefetcher state,
+        Used by the packed-trace replay loop: the translated
+        :class:`MemoryRequest` is cached per line (with its physical line
+        number) and the hierarchy is entered through its L1-hit fast path, so
+        a repeat fetch of a resident line costs two dict lookups instead of
+        three object allocations and a full hierarchy walk.  All simulation
+        state transitions (cache statistics, replacement/prefetcher state,
         starvation tracking, per-line stall maps) are identical to
         :meth:`fetch_line`; the one observable difference is that the
         translator is consulted once per line instead of once per fetch, so
         MMU *translation counters* (never simulation results) read lower than
-        on the record path.
+        on the record path.  Signature: ``fetch_line_fast(vline) -> stall``
+        for an already line-aligned virtual address.
         """
-        request = self._request_cache.get(vline)
-        if request is None:
-            paddr, temperature = self.translator.translate_instruction(vline)
-            request = MemoryRequest(
-                address=paddr,
-                access_type=AccessType.INSTRUCTION_FETCH,
-                pc=vline,
-                temperature=temperature,
-                starvation_hint=vline in self._starved_lines,
-            )
-            self._request_cache[vline] = request
-        latency, l2_miss = self.hierarchy.access_instruction_fast(request)
+        request_cache = self._request_cache
+        translate = self.translator.translate_instruction
+        access_fast = self.hierarchy.access_instruction_fast
         stats = self.stats
-        stats.demand_fetches += 1
+        starved_lines = self._starved_lines
+        remember = self._remember_starvation
+        line_stall_cycles = self.line_stall_cycles
+        line_miss_counts = self.line_miss_counts
+        hidden_latency = self._hidden_latency
+        line_shift = self._line_shift
 
-        hidden = self.config.fetch_buffer_slack
-        if self.config.fdip_enabled:
-            hidden += self.config.fdip_lead_cycles
-        stall = float(latency) - hidden
-        if l2_miss:
-            self._remember_starvation(vline)
-            stats.starvation_events += 1
-        if stall > 0:
-            stats.ifetch_stall_cycles += stall
-            self.line_stall_cycles[vline] = self.line_stall_cycles.get(vline, 0.0) + stall
-            self.line_miss_counts[vline] = self.line_miss_counts.get(vline, 0) + 1
-            return stall
-        return 0.0
+        def fetch_line_fast(vline: int) -> float:
+            cached = request_cache.get(vline)
+            if cached is None:
+                paddr, temperature = translate(vline)
+                request = MemoryRequest(
+                    address=paddr,
+                    access_type=AccessType.INSTRUCTION_FETCH,
+                    pc=vline,
+                    temperature=temperature,
+                    starvation_hint=vline in starved_lines,
+                )
+                cached = (request, paddr >> line_shift)
+                request_cache[vline] = cached
+            request, line_no = cached
+            latency, l2_miss = access_fast(request, line_no)
+            stats.demand_fetches += 1
+
+            stall = float(latency) - hidden_latency
+            if l2_miss:
+                remember(vline)
+                stats.starvation_events += 1
+            if stall > 0:
+                stats.ifetch_stall_cycles += stall
+                line_stall_cycles[vline] = line_stall_cycles.get(vline, 0.0) + stall
+                line_miss_counts[vline] = line_miss_counts.get(vline, 0) + 1
+                return stall
+            return 0.0
+
+        return fetch_line_fast
 
     # ------------------------------------------------------------- starvation
     def _remember_starvation(self, vline: int) -> None:
@@ -193,7 +217,11 @@ class FetchEngine:
         return frozenset(self._starved_lines)
 
     def reset(self) -> None:
-        self.stats = FrontendStats()
+        # In place: the fast-path closure captures the stats object and maps.
+        stats = self.stats
+        stats.demand_fetches = 0
+        stats.starvation_events = 0
+        stats.ifetch_stall_cycles = 0.0
         self._starved_lines.clear()
         self._request_cache.clear()
         self.line_stall_cycles.clear()

@@ -63,6 +63,10 @@ class BenchmarkRunner:
     #: Optional persistent trace archive; a hit skips trace *generation*
     #: (the simulation still runs unless the result store also hits).
     trace_archive: Optional[TraceArchive] = None
+    #: Whether serial multi-policy stretches replay in lockstep (one trace
+    #: decode + front-of-pipe pass per workload instead of per policy);
+    #: results are bit-identical either way.
+    lockstep: bool = True
 
     def __post_init__(self) -> None:
         self.config.validate()
@@ -215,6 +219,76 @@ class BenchmarkRunner:
     # Backwards-compatible private alias (pre-CLI callers and pool workers).
     _run_resolved = run_resolved
 
+    def run_lockstep_resolved(
+        self,
+        spec: WorkloadSpec,
+        policies: Sequence[str | PolicySpec],
+        options: PipelineOptions | None = None,
+        config: SimulatorConfig | None = None,
+    ) -> list[RunArtifacts]:
+        """Simulate one resolved spec under several L2 policies in lockstep.
+
+        The trace pair is decoded once and the per-policy hierarchies advance
+        together through one replay loop
+        (:func:`repro.sim.simulator.run_lockstep`), eliminating the repeated
+        front-of-pipe work N independent runs would pay; results are
+        bit-identical to calling :meth:`run_resolved` per policy (pinned by
+        ``tests/test_lockstep.py``).  Store hits are served individually and
+        only the missing policies are simulated; fresh results are stored
+        under the same keys solo runs use.
+        """
+        from repro.sim.simulator import run_lockstep
+
+        wanted = [PolicySpec.of(policy) for policy in policies]
+        effective_options = options or self.pipeline_options
+        base_config = config or self.config
+
+        artifacts: dict[int, RunArtifacts] = {}
+        pending: list[tuple[int, PolicySpec, SimulatorConfig, Optional[str]]] = []
+        for position, policy in enumerate(wanted):
+            run_config = base_config.with_l2_policy(policy)
+            key: Optional[str] = None
+            if self.store is not None:
+                key = run_key(spec, policy, run_config, effective_options)
+                cached = self.store.load_run(key)
+                if cached is not None:
+                    artifacts[position] = RunArtifacts(
+                        result=cached.result,
+                        prepared=self._prepare_resolved(spec, effective_options),
+                    )
+                    continue
+            pending.append((position, policy, run_config, key))
+
+        if pending:
+            prepared = self._prepare_resolved(spec, effective_options)
+            warmup, measured = self.packed_traces(prepared)
+            simulators = [
+                SystemSimulator(
+                    run_config,
+                    translator=prepared.mmu(),
+                    benchmark=prepared.spec.name,
+                )
+                for _, _, run_config, _ in pending
+            ]
+            results = run_lockstep(simulators, warmup, measured)
+            self.simulations_run += len(pending)
+            for (position, policy, run_config, key), result in zip(
+                pending, results
+            ):
+                artifacts[position] = RunArtifacts(
+                    result=result, prepared=prepared
+                )
+                if self.store is not None and key is not None:
+                    self.store.save_run(
+                        key,
+                        StoredRun.from_tracker(result, None),
+                        spec=spec,
+                        policy=policy,
+                        config=run_config,
+                        options=effective_options,
+                    )
+        return [artifacts[position] for position in range(len(wanted))]
+
     def _simulate(
         self,
         spec: WorkloadSpec,
@@ -285,10 +359,38 @@ class BenchmarkRunner:
         points = [(spec, PolicySpec.of(policy)) for spec, policy in points]
         run_config = config or self.config
         if jobs is None or jobs == 1 or len(points) <= 1:
-            return [
-                self.run_resolved(spec, policy, config=run_config).result
-                for spec, policy in points
-            ]
+            if len(points) <= 1 or not self.lockstep:
+                return [
+                    self.run_resolved(spec, policy, config=run_config).result
+                    for spec, policy in points
+                ]
+            # Serial grids advance contiguous same-workload stretches (the
+            # benchmark-major sweep shape) in lockstep: one trace decode and
+            # one front-of-pipe pass for the whole policy group.
+            results: list[SimulationResult] = []
+            start = 0
+            total = len(points)
+            while start < total:
+                spec = points[start][0]
+                stop = start
+                while stop < total and points[stop][0] == spec:
+                    stop += 1
+                group = [policy for _, policy in points[start:stop]]
+                if len(group) == 1:
+                    results.append(
+                        self.run_resolved(
+                            spec, group[0], config=run_config
+                        ).result
+                    )
+                else:
+                    results.extend(
+                        artifact.result
+                        for artifact in self.run_lockstep_resolved(
+                            spec, group, config=run_config
+                        )
+                    )
+                start = stop
+            return results
         workers = jobs if jobs > 1 else (os.cpu_count() or 1)
         workers = min(workers, len(points))
         with multiprocessing.Pool(

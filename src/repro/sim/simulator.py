@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.errors import SimulationError
-from repro.common.trace import TraceRecord
+from repro.common.trace import PackedTrace, TraceRecord
 from repro.common.translation import AddressTranslator
-from repro.cpu.core import CoreModel, CoreResult
+from repro.cpu.core import CoreModel, CoreResult, run_packed_lockstep
 from repro.sim.config import SimulatorConfig
 from repro.sim.results import SimulationResult
 
@@ -72,6 +72,13 @@ class SystemSimulator:
         self._ran = False
 
     # -------------------------------------------------------------- internals
+    def package(self, core_result: CoreResult) -> SimulationResult:
+        """Package an externally produced core result (lockstep replay)."""
+        if core_result.instructions == 0:
+            raise SimulationError("measured trace window contained no instructions")
+        self._ran = True
+        return self._package(core_result)
+
     def _package(self, core_result: CoreResult) -> SimulationResult:
         stats = self.hierarchy.stats
         instructions = core_result.instructions
@@ -94,3 +101,31 @@ class SystemSimulator:
             line_stall_cycles=core_result.line_stall_cycles,
             line_miss_counts=core_result.line_miss_counts,
         )
+
+
+def run_lockstep(
+    simulators: Sequence[SystemSimulator],
+    warmup: PackedTrace,
+    measured: PackedTrace,
+) -> list[SimulationResult]:
+    """Run N simulators over the same trace pair in lockstep.
+
+    The simulators must share core configuration and differ only in their
+    memory systems (one per L2 replacement policy).  The warm-up window is
+    replayed first and discarded, statistics are reset, then the measured
+    window is replayed — exactly the protocol each solo
+    :class:`SystemSimulator` run follows — with the front-of-pipe work
+    (trace decode, fetch-boundary decisions, branch outcomes) computed once
+    for the whole group (see
+    :func:`repro.cpu.core.run_packed_lockstep`).  Results are bit-identical
+    to N independent runs.
+    """
+    cores = [simulator.core for simulator in simulators]
+    run_packed_lockstep(cores, warmup)  # warm-up window, discarded
+    for simulator in simulators:
+        simulator.hierarchy.reset_stats()
+    core_results = run_packed_lockstep(cores, measured)
+    return [
+        simulator.package(core_result)
+        for simulator, core_result in zip(simulators, core_results)
+    ]

@@ -43,6 +43,7 @@ from array import array
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
+from repro.common.addressing import CACHE_LINE_SIZE
 from repro.common.hashing import canonical_payload, stable_hash
 from repro.common.trace import PackedTrace
 from repro.workloads.spec import WorkloadSpec
@@ -51,8 +52,12 @@ if TYPE_CHECKING:  # the pipeline imports this package; keep layering acyclic
     from repro.core.pipeline import PipelineOptions
 
 #: Bump when the on-disk layout or anything a key covers changes; old
-#: entries then simply stop matching.
-TRACE_SCHEMA_VERSION = 1
+#: entries then simply stop matching.  Version 2 added the precomputed
+#: address-geometry columns (fetch events and memory line numbers for the
+#: standard cache line size), so replayed traces skip all shift/mask and
+#: event-scan work; version-1 archives are treated as plain misses and
+#: regenerated.
+TRACE_SCHEMA_VERSION = 2
 
 MAGIC = b"RPROTRC1"
 
@@ -65,6 +70,23 @@ COLUMNS: tuple[tuple[str, str], ...] = (
     ("mem_address", "Q"),
     ("depend_stall", "I"),
     ("issue_stall", "I"),
+)
+
+#: Cache line size the precomputed geometry columns are captured for (the
+#: line size of every shipped configuration).  A replay at a different line
+#: size simply recomputes lazily, exactly as before capture existed.
+GEOMETRY_LINE_SIZE = CACHE_LINE_SIZE
+
+#: The geometry columns, in on-disk order.  The first four are per fetch
+#: *event* (see :meth:`~repro.common.trace.PackedTrace.fetch_events`); the
+#: last is per instruction
+#: (:meth:`~repro.common.trace.PackedTrace.mem_lines`).
+GEOMETRY_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("event_indices", "I"),
+    ("event_pcs", "Q"),
+    ("event_flags", "H"),
+    ("event_lines", "Q"),
+    ("mem_lines", "Q"),
 )
 
 #: Segment names of one capture, in on-disk order.
@@ -105,11 +127,29 @@ def trace_key(spec: WorkloadSpec, options: PipelineOptions) -> str:
 
 
 # ------------------------------------------------------------- file format
+def _geometry_arrays(trace: PackedTrace) -> dict[str, array]:
+    """The geometry columns of one trace for :data:`GEOMETRY_LINE_SIZE`.
+
+    Computed (and cached on the trace) at capture time, so the process that
+    generated a trace pays the event scan once and every replayer — this
+    process included — reads it back as raw bytes.
+    """
+    indices, pcs, flags, lines = trace.fetch_events(GEOMETRY_LINE_SIZE)
+    return {
+        "event_indices": indices,
+        "event_pcs": pcs,
+        "event_flags": flags,
+        "event_lines": lines,
+        "mem_lines": trace.mem_lines(GEOMETRY_LINE_SIZE),
+    }
+
+
 def write_trace_file(
     path: Path, warmup: PackedTrace, measured: PackedTrace, meta: dict
 ) -> None:
     """Serialise a (warm-up, measured) pair to ``path`` atomically."""
     segments = dict(zip(SEGMENTS, (warmup, measured)))
+    geometries = {name: _geometry_arrays(trace) for name, trace in segments.items()}
     header = {
         "schema": TRACE_SCHEMA_VERSION,
         "byteorder": sys.byteorder,
@@ -126,6 +166,18 @@ def write_trace_file(
                     }
                     for column, typecode in COLUMNS
                 ],
+                "geometry": {
+                    "line_size": GEOMETRY_LINE_SIZE,
+                    "events_length": len(geometries[name]["event_indices"]),
+                    "columns": [
+                        {
+                            "name": column,
+                            "typecode": typecode,
+                            "itemsize": geometries[name][column].itemsize,
+                        }
+                        for column, typecode in GEOMETRY_COLUMNS
+                    ],
+                },
             }
             for name, trace in segments.items()
         ],
@@ -138,9 +190,12 @@ def write_trace_file(
             handle.write(MAGIC)
             handle.write(len(header_bytes).to_bytes(4, "little"))
             handle.write(header_bytes)
-            for trace in segments.values():
+            for name, trace in segments.items():
                 for column, _ in COLUMNS:
                     handle.write(getattr(trace, column).tobytes())
+                geometry = geometries[name]
+                for column, _ in GEOMETRY_COLUMNS:
+                    handle.write(geometry[column].tobytes())
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -225,6 +280,38 @@ def read_trace_file(path: Path) -> tuple[PackedTrace, PackedTrace, dict]:
                     payload, offset, column, length, byteorder
                 )
                 setattr(trace, column["name"], values)
+            # Geometry columns: restored straight into the trace's caches so
+            # replay skips the event scan and all shift/mask work.
+            geometry = entry["geometry"]
+            declared = [column["name"] for column in geometry["columns"]]
+            if declared != [column for column, _ in GEOMETRY_COLUMNS]:
+                raise CaptureFormatError(
+                    f"unexpected geometry columns {declared!r}"
+                )
+            events_length = geometry["events_length"]
+            if not isinstance(events_length, int) or events_length < 0:
+                raise CaptureFormatError(
+                    f"bad geometry events length {events_length!r}"
+                )
+            restored: dict[str, array] = {}
+            for column in geometry["columns"]:
+                column_length = (
+                    length if column["name"] == "mem_lines" else events_length
+                )
+                values, offset = _read_column(
+                    payload, offset, column, column_length, byteorder
+                )
+                restored[column["name"]] = values
+            trace.adopt_geometry(
+                geometry["line_size"],
+                (
+                    restored["event_indices"],
+                    restored["event_pcs"],
+                    restored["event_flags"],
+                    restored["event_lines"],
+                ),
+                restored["mem_lines"],
+            )
             traces.append(trace)
     except (KeyError, TypeError, ValueError, OverflowError) as error:
         raise CaptureFormatError(f"malformed header: {error}") from error

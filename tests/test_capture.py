@@ -261,3 +261,75 @@ class TestReplayBitIdentical:
         # Worker archive counters fold back into the session's archive.
         assert replay.traces.hits >= 1
         assert replay.traces.writes == 0
+
+
+# ------------------------------------------------------------ schema version
+class TestSchemaVersioning:
+    def test_old_version_archive_is_a_miss_not_a_crash(self, tmp_path):
+        """A version-1 archive (no geometry columns) must be regenerated."""
+        import json
+
+        spec = tiny_spec()
+        archive = TraceArchive(tmp_path)
+        warmup, measured = generate_pair(spec)
+        options = PipelineOptions()
+        path = archive.save(spec, options, warmup, measured)
+
+        # Rewrite the header as schema version 1 (the pre-geometry layout).
+        payload = path.read_bytes()
+        header_len = int.from_bytes(payload[len(MAGIC) : len(MAGIC) + 4], "little")
+        header = json.loads(payload[len(MAGIC) + 4 : len(MAGIC) + 4 + header_len])
+        header["schema"] = 1
+        for segment in header["segments"]:
+            segment.pop("geometry", None)
+        new_header = json.dumps(header, sort_keys=True).encode("utf-8")
+        path.write_bytes(
+            MAGIC
+            + len(new_header).to_bytes(4, "little")
+            + new_header
+            + payload[len(MAGIC) + 4 + header_len :]
+        )
+
+        with pytest.raises(CaptureFormatError):
+            read_trace_file(path)
+        assert archive.load(spec, options) is None  # plain miss
+        assert archive.misses == 1
+        # The next capture simply overwrites the stale entry.
+        archive.save(spec, options, warmup, measured)
+        assert archive.load(spec, options) is not None
+
+    def test_restored_geometry_matches_recomputation(self, tmp_path):
+        """The archived geometry columns equal what a fresh scan computes."""
+        from repro.workloads.capture import GEOMETRY_LINE_SIZE
+
+        spec = tiny_spec()
+        warmup, measured = generate_pair(spec)
+        path = tmp_path / "geom.trace"
+        write_trace_file(path, warmup, measured, {})
+        _, loaded, _ = read_trace_file(path)
+
+        # The loaded trace's caches are pre-seeded by adopt_geometry…
+        assert GEOMETRY_LINE_SIZE in loaded._events_cache
+        assert GEOMETRY_LINE_SIZE in loaded._mem_lines_cache
+        restored = loaded.fetch_events(GEOMETRY_LINE_SIZE)
+        restored_mem = loaded.mem_lines(GEOMETRY_LINE_SIZE)
+        # …and byte-identical to recomputing from the raw columns.
+        from repro.common.trace import PackedTrace
+
+        fresh = PackedTrace()
+        for name in (
+            "pc",
+            "size",
+            "flags",
+            "branch_target",
+            "mem_address",
+            "depend_stall",
+            "issue_stall",
+        ):
+            getattr(fresh, name).frombytes(getattr(loaded, name).tobytes())
+        computed = fresh.fetch_events(GEOMETRY_LINE_SIZE)
+        for restored_column, computed_column in zip(restored, computed):
+            assert restored_column.tobytes() == computed_column.tobytes()
+        assert restored_mem.tobytes() == fresh.mem_lines(
+            GEOMETRY_LINE_SIZE
+        ).tobytes()

@@ -243,6 +243,45 @@ class TestSweep:
         assert "# 0 simulation(s) run" in capsys.readouterr().out
 
 
+class TestBench:
+    def test_bench_tiny_writes_report_and_asserts_floors(self, tmp_path, capsys):
+        """One-round tiny bench: table printed, JSON written, floors hold.
+
+        The floors are deliberately conservative, so a healthy engine passes
+        even on a noisy test machine; a real hot-path regression (orders of
+        magnitude, not percent) would exit non-zero here.
+        """
+        import json
+
+        output = tmp_path / "bench-report.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--tiny",
+                    "--rounds",
+                    "1",
+                    "--no-sweep",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Engine speed" in out
+        assert "pinned speedup floors hold" in out
+        report = json.loads(output.read_text())
+        assert set(report["shapes"]) == {
+            "hot_loop",
+            "resident",
+            "mixed",
+            "streaming",
+        }
+        for row in report["shapes"].values():
+            assert row["fast_ips"] > row["seed_ips"]
+
+
 class TestReport:
     def test_report_without_run_fails(self, tmp_path, capsys):
         assert main(["report", "figure3", "--store", str(tmp_path)]) == 1
