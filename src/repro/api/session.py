@@ -352,3 +352,47 @@ class Session:
         for benchmark, policy, result in grid:
             sweep.results.setdefault(benchmark, {})[policy] = result
         return sweep
+
+    def sweep_checkpointed(
+        self,
+        benchmarks: Optional[Sequence[Benchmark]] = None,
+        policies: Optional[Iterable[str | PolicySpec]] = None,
+        baseline: str | PolicySpec = BASELINE_POLICY,
+        config: Optional[SimulatorConfig] = None,
+        jobs: Optional[int] = None,
+        supervision=None,
+        resume: bool = False,
+    ):
+        """Fault-tolerant :meth:`sweep`: checkpointed, supervised, resumable.
+
+        The grid is expanded into a hashed
+        :class:`~repro.experiments.sweep.SweepManifest`; units already in
+        the result store are served from it, the rest run in supervised
+        worker processes with the given
+        :class:`~repro.experiments.supervisor.SupervisionPolicy` (retries,
+        timeouts, backoff), journalled to
+        ``<store>/journals/<manifest>.jsonl``.  ``resume=True`` requires a
+        prior journal for the same manifest and executes only the missing
+        units.  Returns a
+        :class:`~repro.experiments.sweep.CheckpointedSweep`; failures and
+        interruptions are reported structurally, never raised mid-sweep.
+        Unit order — hence store contents and sweep results — matches
+        :meth:`sweep` exactly.
+        """
+        from repro.experiments.sweep import build_manifest, execute_checkpointed
+
+        run_config = config or self.config
+        manifest = build_manifest(
+            benchmarks=list(benchmarks or PROXY_BENCHMARK_NAMES),
+            policies=list(policies or EVALUATED_POLICIES),
+            baseline=baseline,
+            config=run_config,
+            options=self.options,
+        )
+        return execute_checkpointed(
+            self.runner_for(run_config),
+            manifest,
+            jobs=self.jobs if jobs is None else jobs,
+            supervision=supervision,
+            resume=resume,
+        )

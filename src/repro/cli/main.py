@@ -168,6 +168,48 @@ def build_parser() -> argparse.ArgumentParser:
         "policies)",
     )
     _add_run_options(sweep_parser)
+    fault_group = sweep_parser.add_argument_group(
+        "fault tolerance",
+        "sweeps are checkpointed: every finished unit is durable in the "
+        "result store and journalled under <store>/journals/, so an "
+        "interrupted sweep picks up where it left off with --resume",
+    )
+    fault_group.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep: re-plan the same grid and execute "
+        "only the units missing from the result store",
+    )
+    fault_group.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retries per unit after a worker error/crash/timeout "
+        "(default: 1)",
+    )
+    fault_group.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per unit attempt; an overdue worker is "
+        "killed and the unit retried (default: unlimited)",
+    )
+    fault_group.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="base delay before the first retry, doubling per attempt with "
+        "deterministic jitter (default: 0.25)",
+    )
+    fault_group.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="after a unit exhausts its retries, finish the remaining units "
+        "and report the partial failure (exit 1) instead of stopping",
+    )
 
     bench_parser = sub.add_parser(
         "bench",
@@ -311,12 +353,23 @@ def _cache_summary(ctx: ExperimentContext) -> str:
             f"# {store.misses} simulation(s) run, {store.hits} served from "
             f"cache ({store.root})"
         )
+        if store.corrupt:
+            summary += (
+                f"\n# store: {store.corrupt} corrupt entr"
+                f"{'y' if store.corrupt == 1 else 'ies'} quarantined to "
+                "*.corrupt and re-simulated"
+            )
     traces = ctx.session.traces
     if traces is not None:
         summary += (
             f"\n# traces: {traces.hits} replayed, {traces.writes} captured "
             f"({traces.root})"
         )
+        if traces.corrupt:
+            summary += (
+                f"\n# traces: {traces.corrupt} corrupt capture(s) "
+                "quarantined to *.corrupt and regenerated"
+            )
     return summary
 
 
@@ -448,23 +501,70 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
-    ctx = _make_context(args)
-    sweep = ctx.session.sweep(
-        benchmarks=ctx.benchmarks,
-        policies=ctx.policies,
-        jobs=ctx.jobs,
-    )
-    text = (
+def _render_sweep(sweep) -> str:
+    return (
         "== Speedup over SRRIP (Figure 6 view)\n"
         + format_figure6(sweep)
         + "\n\n== L2 MPKI (Table 3 view)\n"
         + format_table3(sweep)
     )
-    print(text)
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.supervisor import SupervisionPolicy
+
+    if args.resume and (args.no_cache or args.refresh):
+        raise ConfigurationError(
+            "--resume replays the result store; it cannot be combined with "
+            "--no-cache or --refresh"
+        )
+    ctx = _make_context(args)
+    if ctx.store is None:
+        # --no-cache: nothing durable to checkpoint against, so run the
+        # plain in-memory sweep (failures raise, nothing resumes).
+        sweep = ctx.session.sweep(
+            benchmarks=ctx.benchmarks,
+            policies=ctx.policies,
+            jobs=ctx.jobs,
+        )
+        print(_render_sweep(sweep))
+        print(_cache_summary(ctx))
+        return 0
+    checkpointed = ctx.session.sweep_checkpointed(
+        benchmarks=ctx.benchmarks,
+        policies=ctx.policies,
+        jobs=ctx.jobs,
+        supervision=SupervisionPolicy(
+            max_retries=args.max_retries,
+            unit_timeout=args.unit_timeout,
+            backoff_base=args.retry_backoff,
+            keep_going=args.keep_going,
+        ),
+        resume=args.resume,
+    )
+    report = checkpointed.report
+    if report.complete:
+        text = _render_sweep(checkpointed.sweep)
+        print(text)
+        print(report.summary_line())
+        print(_cache_summary(ctx))
+        _save_report(ctx, "sweep", text, checkpointed.sweep)
+        return 0
+    # Partial failure/interruption: no figure views (they would KeyError on
+    # the missing cells) — print the structured summary and how to recover.
+    print(report.summary_line())
     print(_cache_summary(ctx))
-    _save_report(ctx, "sweep", text, sweep)
-    return 0
+    for failure in report.failures:
+        print(f"repro sweep: {failure.describe()}", file=sys.stderr)
+    missing = report.total - report.cached - report.succeeded
+    reason = "was interrupted" if report.interrupted else "has failed units"
+    print(
+        f"repro sweep: sweep {reason}: {missing} of {report.total} unit(s) "
+        "missing; completed work is saved — rerun with --resume to finish "
+        f"(journal: {checkpointed.journal_path})",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def _cmd_bench(args) -> int:

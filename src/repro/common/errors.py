@@ -23,5 +23,25 @@ class CompilationError(ReproError):
     """Raised by the synthetic compiler/PGO pipeline."""
 
 
+class InjectedFault(ReproError):
+    """Raised by an armed fault-injection point (see :mod:`repro.common.faults`).
+
+    Only ever raised when the ``REPRO_FAULTS`` knob (or a programmatic
+    :class:`~repro.common.faults.FaultPlan`) arms a ``raise`` directive, so
+    seeing this outside a test or the CI chaos job means the knob leaked
+    into a real environment.
+    """
+
+
+class SweepInterrupted(ReproError):
+    """A checkpointed sweep stopped mid-flight (injected abort or operator
+    stop).  Completed units are durable in the result store and journal;
+    ``repro sweep --resume`` re-plans only the missing ones."""
+
+
+class SweepExecutionError(ReproError):
+    """A checkpointed sweep finished with failed units (retries exhausted)."""
+
+
 class LoaderError(ReproError):
     """Raised by the OS model when an ELF image cannot be mapped."""

@@ -25,16 +25,17 @@ the same cache.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.analysis.reuse import ReuseDistanceTracker
 from repro.cache.replacement.spec import PolicySpec
+from repro.common.faults import fire_point
 from repro.common.trace import PackedTrace, TraceRecord
 from repro.core.pipeline import CoDesignPipeline, PipelineOptions, PreparedWorkload
 from repro.experiments.store import ResultStore, StoredRun, run_key
+from repro.experiments.supervisor import SupervisedPool, SupervisionPolicy
 from repro.sim.config import BASELINE_POLICY, SimulatorConfig
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import SystemSimulator
@@ -393,8 +394,16 @@ class BenchmarkRunner:
             return results
         workers = jobs if jobs > 1 else (os.cpu_count() or 1)
         workers = min(workers, len(points))
-        with multiprocessing.Pool(
-            processes=workers,
+        # Chunks preserve input order, giving deterministic output ordering.
+        # Callers that know the grid shape pass a chunksize that hands each
+        # worker contiguous same-benchmark points, so its process-level
+        # runner cache pays workload preparation and trace generation once
+        # per benchmark instead of per point.
+        size = max(chunksize or 1, 1)
+        chunks = [points[start : start + size] for start in range(0, len(points), size)]
+        pool = SupervisedPool(
+            _run_grid_chunk,
+            workers=min(workers, len(chunks)),
             initializer=_init_grid_worker,
             initargs=(
                 run_config,
@@ -402,30 +411,54 @@ class BenchmarkRunner:
                 self.store,
                 self.trace_archive,
             ),
-        ) as pool:
-            # Pool.map preserves input order, giving deterministic output
-            # ordering.  Callers that know the grid shape pass a chunksize
-            # that hands each worker contiguous same-benchmark points, so
-            # its process-level runner cache pays workload preparation and
-            # trace generation once per benchmark instead of per point.
-            outcomes = pool.map(
-                _run_grid_point, points, chunksize=max(chunksize or 1, 1)
-            )
-        results = [result for result, _, _ in outcomes]
-        # Worker counters die with the pool; fold them back into this
-        # runner (and its store/archive stats) so callers see accurate totals.
-        simulated = sum(count for _, count, _ in outcomes)
+            # run_points keeps the all-or-nothing contract of the old bare
+            # Pool.map (no retries, stop on first failure) — what it adds is
+            # supervised teardown: a crash, a KeyboardInterrupt or a worker
+            # death terminates and joins every child instead of leaking them.
+            policy=SupervisionPolicy(max_retries=0, keep_going=False),
+        )
+        try:
+            report = pool.run(chunks)
+        finally:
+            # Worker counters die with the pool; fold back every *completed*
+            # chunk — even when the run was interrupted mid-flight — so this
+            # runner (and its store/archive stats) reflect the work that
+            # actually happened and landed durably in the store.
+            for outcome in pool.outcomes:
+                if outcome.status == "done":
+                    _, simulated, store_delta, trace_delta = outcome.value
+                    self.fold_worker_counters(simulated, store_delta, trace_delta)
+        report.raise_on_failure()
+        results: list[SimulationResult] = []
+        for outcome in report.outcomes:
+            results.extend(outcome.value[0])
+        return results
+
+    def fold_worker_counters(
+        self,
+        simulated: int,
+        store_delta: tuple[int, int, int, int],
+        trace_delta: tuple[int, int, int, int],
+    ) -> None:
+        """Fold one worker unit's counter deltas back into this runner.
+
+        Worker processes mutate their *own* copies of the store/archive
+        counter state; the parent folds the reported deltas back so CLI
+        cache summaries stay accurate across process boundaries.
+        """
         self.simulations_run += simulated
         if self.store is not None:
-            self.store.misses += simulated
-            self.store.writes += simulated
-            self.store.hits += len(points) - simulated
+            hits, misses, writes, corrupt = store_delta
+            self.store.hits += hits
+            self.store.misses += misses
+            self.store.writes += writes
+            self.store.corrupt += corrupt
         if self.trace_archive is not None:
-            for _, _, (hits, misses, writes) in outcomes:
-                self.trace_archive.hits += hits
-                self.trace_archive.misses += misses
-                self.trace_archive.writes += writes
-        return results
+            hits, misses, writes, corrupt = trace_delta
+            self.trace_archive.hits += hits
+            self.trace_archive.misses += misses
+            self.trace_archive.writes += writes
+            self.trace_archive.corrupt += corrupt
 
     def run_grid(
         self,
@@ -474,24 +507,60 @@ def _init_grid_worker(
     )
 
 
-def _run_grid_point(
-    point: tuple[WorkloadSpec, str],
-) -> tuple[SimulationResult, int, tuple[int, int, int]]:
-    """(result, simulations executed, trace-archive counter deltas) for one
-    grid point."""
-    spec, policy = point
+def _counter_state(tracker) -> tuple[int, int, int, int]:
+    """(hits, misses, writes, corrupt) of a store/archive, ``(0,0,0,0)`` for
+    ``None``."""
+    if tracker is None:
+        return (0, 0, 0, 0)
+    return (tracker.hits, tracker.misses, tracker.writes, tracker.corrupt)
+
+
+def _counter_delta(
+    before: tuple[int, int, int, int], after: tuple[int, int, int, int]
+) -> tuple[int, int, int, int]:
+    return tuple(now - then for now, then in zip(after, before))
+
+
+def _run_grid_chunk(
+    points: Sequence[tuple[WorkloadSpec, PolicySpec]], attempt: int = 1
+) -> tuple[list[SimulationResult], int, tuple, tuple]:
+    """(results, simulations executed, store counter deltas, trace-archive
+    counter deltas) for one contiguous chunk of grid points."""
     assert _GRID_RUNNER is not None, "worker initializer did not run"
-    archive = _GRID_RUNNER.trace_archive
-    before = _GRID_RUNNER.simulations_run
-    trace_before = (
-        (archive.hits, archive.misses, archive.writes) if archive else (0, 0, 0)
+    store_before = _counter_state(_GRID_RUNNER.store)
+    trace_before = _counter_state(_GRID_RUNNER.trace_archive)
+    simulated_before = _GRID_RUNNER.simulations_run
+    results = [
+        _GRID_RUNNER.run_resolved(spec, policy).result for spec, policy in points
+    ]
+    return (
+        results,
+        _GRID_RUNNER.simulations_run - simulated_before,
+        _counter_delta(store_before, _counter_state(_GRID_RUNNER.store)),
+        _counter_delta(trace_before, _counter_state(_GRID_RUNNER.trace_archive)),
     )
+
+
+def _run_sweep_unit(
+    payload: tuple[int, WorkloadSpec, PolicySpec], attempt: int = 1
+) -> tuple[SimulationResult, int, tuple, tuple]:
+    """Execute one checkpointed sweep unit in a supervised worker.
+
+    Returns (result, simulations executed, store counter deltas,
+    trace-archive counter deltas).  The ``sweep.unit`` failure point fires
+    *before* any work, keyed by the unit's manifest index, so chaos runs can
+    target one exact unit deterministically across any worker layout.
+    """
+    index, spec, policy = payload
+    assert _GRID_RUNNER is not None, "worker initializer did not run"
+    fire_point("sweep.unit", index, attempt)
+    store_before = _counter_state(_GRID_RUNNER.store)
+    trace_before = _counter_state(_GRID_RUNNER.trace_archive)
+    simulated_before = _GRID_RUNNER.simulations_run
     result = _GRID_RUNNER.run_resolved(spec, policy).result
-    trace_after = (
-        (archive.hits, archive.misses, archive.writes) if archive else (0, 0, 0)
-    )
     return (
         result,
-        _GRID_RUNNER.simulations_run - before,
-        tuple(after - b for after, b in zip(trace_after, trace_before)),
+        _GRID_RUNNER.simulations_run - simulated_before,
+        _counter_delta(store_before, _counter_state(_GRID_RUNNER.store)),
+        _counter_delta(trace_before, _counter_state(_GRID_RUNNER.trace_archive)),
     )

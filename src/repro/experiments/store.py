@@ -35,6 +35,7 @@ from typing import Optional
 
 from repro.analysis.reuse import REUSE_BUCKETS, ReuseDistanceTracker
 from repro.cache.replacement.spec import PolicySpec
+from repro.common.faults import fire_point
 from repro.common.hashing import canonical_payload, stable_hash
 from repro.core.pipeline import PipelineOptions
 from repro.sim.config import SimulatorConfig
@@ -136,17 +137,24 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: Corrupted/truncated entries quarantined during lookups.
+        self.corrupt = 0
 
     # -------------------------------------------------------------- run cache
     def _run_path(self, key: str) -> Path:
         return self.root / "runs" / key[:2] / f"{key}.json"
 
-    def load_run(self, key: str, need_reuse: bool = False) -> Optional[StoredRun]:
+    def load_run(
+        self, key: str, need_reuse: bool = False, record: bool = True
+    ) -> Optional[StoredRun]:
         """The cached run for ``key``, or ``None`` on a miss.
 
         ``need_reuse=True`` also requires the entry to carry reuse-distance
         histograms; an entry without them counts as a miss (the re-run will
-        overwrite it with the histograms included).
+        overwrite it with the histograms included).  ``record=False``
+        suppresses the hit/miss counters — planning reads by the sweep
+        scheduler use it so units later executed by a worker are not
+        double-counted.
         """
         entry = None
         if not self.refresh:
@@ -154,14 +162,16 @@ class ResultStore:
         if entry is not None and entry.get("schema") == SCHEMA_VERSION:
             reuse = entry.get("reuse")
             if not need_reuse or reuse is not None:
-                self.hits += 1
+                if record:
+                    self.hits += 1
                 return StoredRun(
                     result=SimulationResult.from_dict(entry["result"]),
                     reuse_num_sets=reuse["num_sets"] if reuse else None,
                     reuse_base=reuse["base"] if reuse else None,
                     reuse_hot_only=reuse["hot_only"] if reuse else None,
                 )
-        self.misses += 1
+        if record:
+            self.misses += 1
         return None
 
     def save_run(
@@ -214,17 +224,31 @@ class ResultStore:
         return None
 
     # -------------------------------------------------------------- internals
-    @staticmethod
-    def _read_json(path: Path) -> Optional[dict]:
+    def _read_json(self, path: Path) -> Optional[dict]:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 return json.load(handle)
-        except (OSError, ValueError):
-            # Missing, unreadable or corrupt entries are plain misses.
+        except OSError:
+            # Missing or unreadable entries are plain misses.
             return None
+        except ValueError:
+            # Damaged JSON (torn write, disk corruption) is a miss too, but
+            # quarantined out of the way so the re-run's atomic rewrite lands
+            # in a clean slot and the damage stays inspectable.
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path: Path) -> None:
+        target = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - racing workers, gone already
+            return
+        self.corrupt += 1
 
     @staticmethod
     def _write_json(path: Path, payload: dict) -> None:
+        fire_point("store.write")
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=path.name, suffix=".tmp"

@@ -4,6 +4,13 @@
 request constructors and store/config/session builders; both now import
 them from here.  Everything in this module is plain library code (no pytest
 dependency), so examples and ad-hoc scripts can reuse it too.
+
+This module is also the public face of the **fault-injection harness**: the
+engine itself only depends on the import-light implementation in
+:mod:`repro.common.faults` (the store cannot import this module without a
+cycle), and the names tests care about — :class:`FaultPlan`,
+:func:`fire_point`, :data:`REPRO_FAULTS_ENV`, :func:`corrupt_file` — are
+re-exported here.
 """
 
 from __future__ import annotations
@@ -15,10 +22,44 @@ from repro.api.session import Session
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.replacement.basic import LRUPolicy
 from repro.cache.replacement.rrip import SRRIPPolicy
+from repro.common.faults import (
+    ENV_VAR as REPRO_FAULTS_ENV,
+)
+from repro.common.faults import (
+    KILL_EXIT_CODE,
+    FaultDirective,
+    FaultPlan,
+    active_plan,
+    corrupt_file,
+    fire_point,
+    reset_fault_counters,
+)
 from repro.common.request import AccessType, MemoryRequest
 from repro.common.temperature import Temperature
 from repro.experiments.store import ResultStore
 from repro.sim.config import SimulatorConfig
+
+__all__ = [
+    "AccessType",
+    "FaultDirective",
+    "FaultPlan",
+    "KILL_EXIT_CODE",
+    "MemoryRequest",
+    "REPRO_FAULTS_ENV",
+    "Temperature",
+    "active_plan",
+    "corrupt_file",
+    "data_load",
+    "data_store",
+    "fire_point",
+    "instruction",
+    "make_request",
+    "make_session",
+    "make_store",
+    "reset_fault_counters",
+    "small_lru_cache",
+    "small_srrip_cache",
+]
 
 
 # ------------------------------------------------------------------ requests

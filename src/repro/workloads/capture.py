@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from repro.common.addressing import CACHE_LINE_SIZE
+from repro.common.faults import fire_point
 from repro.common.hashing import canonical_payload, stable_hash
 from repro.common.trace import PackedTrace
 from repro.workloads.spec import WorkloadSpec
@@ -338,6 +339,8 @@ class TraceArchive:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: Corrupted/truncated captures quarantined during lookups.
+        self.corrupt = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.trace"
@@ -352,12 +355,23 @@ class TraceArchive:
                 try:
                     warmup, measured, _ = read_trace_file(path)
                 except CaptureFormatError:
-                    pass
+                    # Damaged capture: quarantine it next to the slot (the
+                    # recapture's atomic rename lands cleanly, the bytes stay
+                    # inspectable) and count it like the result store does.
+                    self._quarantine(path)
                 else:
                     self.hits += 1
                     return warmup, measured
         self.misses += 1
         return None
+
+    def _quarantine(self, path: Path) -> None:
+        target = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - racing workers, gone already
+            return
+        self.corrupt += 1
 
     def save(
         self,
@@ -367,6 +381,7 @@ class TraceArchive:
         measured: PackedTrace,
     ) -> Path:
         """Capture a (warm-up, measured) pair for ``spec`` (atomic)."""
+        fire_point("trace.write")
         path = self.path_for(trace_key(spec, options))
         meta = {
             # The key inputs, echoed so archives are debuggable from a shell.

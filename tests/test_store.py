@@ -126,9 +126,37 @@ class TestCachedRuns:
         assert len(entries) == 1
         entries[0].write_text("{not json", encoding="utf-8")
 
-        recovered = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        recovered_store = ResultStore(tmp_path)
+        recovered = BenchmarkRunner(config=config, store=recovered_store)
         recovered.run(spec)
         assert recovered.simulations_run == 1
+        assert recovered_store.corrupt == 1
+
+    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path, spec, config):
+        """The damaged bytes move to <key>.corrupt; the slot is rewritten."""
+        runner = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        runner.run(spec)
+        entry = next(tmp_path.glob("runs/*/*.json"))
+        entry.write_text("{torn", encoding="utf-8")
+
+        store = ResultStore(tmp_path)
+        BenchmarkRunner(config=config, store=store).run(spec)
+        quarantined = entry.with_suffix(".corrupt")
+        assert quarantined.read_text(encoding="utf-8") == "{torn"
+        assert entry.exists()  # re-simulated and atomically rewritten
+        assert store.corrupt == 1
+        # The rewritten entry is healthy: a fresh store serves it as a hit.
+        after = ResultStore(tmp_path)
+        BenchmarkRunner(config=config, store=after).run(spec)
+        assert (after.hits, after.corrupt) == (1, 0)
+
+    def test_unreadable_entry_is_a_plain_miss_not_corrupt(
+        self, tmp_path, spec, config
+    ):
+        """OSError (missing file) never counts toward the corrupt counter."""
+        store = ResultStore(tmp_path)
+        BenchmarkRunner(config=config, store=store).run(spec)
+        assert (store.misses, store.corrupt) == (1, 0)
 
     def test_different_configs_do_not_collide(self, tmp_path, spec, config):
         small = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
