@@ -15,6 +15,10 @@ setup(
         "via a compiler/OS/hardware co-design (simulator + experiments)"
     ),
     python_requires=">=3.10",
+    # The simulator is dependency-free; NumPy only unlocks the vectorized
+    # batch replay kernel (engine=vector/auto falls back to the scalar loop
+    # without it, bit-identically).
+    extras_require={"fast": ["numpy"]},
     package_dir={"": "src"},
     packages=find_packages("src"),
     entry_points={

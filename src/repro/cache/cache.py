@@ -51,7 +51,8 @@ class SetAssociativeCache:
       (``address >> _line_shift``), which encodes both tag and set index
       (``tag = line >> _set_bits``, ``set = line & _set_mask``,
       ``address = line << _line_shift``);
-    * ``_valid`` / ``_dirty`` / ``_instr`` — bit-vectors (``bytearray``);
+    * ``_valid`` — a valid-bit vector (``bytearray``, for the C-speed
+      invalid-way scan); ``_dirty`` / ``_instr`` — 0/1 flag columns;
     * ``_temps`` / ``_pcs`` — temperature and fill-PC metadata consumed by
       victim fills and the TRRIP analysis.
 
@@ -149,10 +150,14 @@ class SetAssociativeCache:
         self.policy = policy
         self.stats = CacheStats()
         slots = num_sets * associativity
+        #: Plain lists rather than ``array``/``bytearray``: CPython list
+        #: indexing is measurably cheaper than buffer-backed indexing on the
+        #: fill/touch hot paths, which dominates the occasional ndarray
+        #: snapshot the vector kernel takes per window (``tag_arrays``).
         self._lines: list[int] = [0] * slots
         self._valid = bytearray(slots)
-        self._dirty = bytearray(slots)
-        self._instr = bytearray(slots)
+        self._dirty: list[int] = [0] * slots
+        self._instr: list[int] = [0] * slots
         self._pcs: list[int] = [0] * slots
         self._temps: list[Temperature] = [Temperature.NONE] * slots
         #: The metadata columns bundled for one-attribute-load unpacking on
@@ -339,6 +344,25 @@ class SetAssociativeCache:
             for line, way in self._line_map.items()
             if line & mask == set_index
         }
+
+    def tag_arrays(self):
+        """NumPy copies of the tag columns at this instant, ``(lines, valid)``.
+
+        ``lines`` is an int64 snapshot of the resident-line column and
+        ``valid`` a uint8 snapshot of the valid bits, both indexed by
+        ``slot = set_index * associativity + way``.  The vector kernel takes
+        one snapshot per cache per replay window for batched tag matching
+        (gather + compare across all ways of the addressed sets); the copy of
+        a few thousand slots is noise next to the window's probe work.
+
+        NumPy is imported lazily: the scalar engine never needs it.
+        """
+        import numpy
+
+        return (
+            numpy.array(self._lines, dtype=numpy.int64),
+            numpy.frombuffer(self._valid, dtype=numpy.uint8),
+        )
 
     # -------------------------------------------------------------- lookups
     def probe(self, address: int) -> Optional[int]:
@@ -644,8 +668,8 @@ class SetAssociativeCache:
         slots = self.num_sets * self.associativity
         self._lines[:] = [0] * slots
         self._valid[:] = bytes(slots)
-        self._dirty[:] = bytes(slots)
-        self._instr[:] = bytes(slots)
+        self._dirty[:] = [0] * slots
+        self._instr[:] = [0] * slots
         self._pcs[:] = [0] * slots
         self._temps[:] = [Temperature.NONE] * slots
         self._line_map.clear()

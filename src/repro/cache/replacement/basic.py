@@ -104,16 +104,31 @@ class FIFOPolicy(ReplacementPolicy):
 
     def __init__(self, num_sets: int, num_ways: int) -> None:
         super().__init__(num_sets, num_ways)
-        self._clock = 0
+        #: Monotonic insertion clock in a one-element cell so the fused
+        #: replacement can run declaratively (see :meth:`replace_spec`).
+        self._clock_cell = [0]
         self._stamps = [[0] * num_ways for _ in range(num_sets)]
+
+    @property
+    def _clock(self) -> int:
+        """Object view of the clock cell (kept for subclasses and tests)."""
+        return self._clock_cell[0]
+
+    @_clock.setter
+    def _clock(self, value: int) -> None:
+        self._clock_cell[0] = value
 
     # touch stays the base no-op: FIFO hits do not refresh recency.
     def hit_update_spec(self):
         return ("noop",)
 
     def on_insert(self, set_index: int, way: int, request: MemoryRequest) -> None:
-        self._clock += 1
-        self._stamps[set_index][way] = self._clock
+        # Request-indifferent: the stamp is a pure function of policy state.
+        # The vector kernel relies on that (it passes request=None).
+        cell = self._clock_cell
+        clock = cell[0] + 1
+        cell[0] = clock
+        self._stamps[set_index][way] = clock
 
     def victim(self, set_index: int) -> int:
         self._check_set(set_index)
@@ -125,12 +140,20 @@ class FIFOPolicy(ReplacementPolicy):
         self._check_set(set_index)
         stamps = self._stamps[set_index]
         way = stamps.index(min(stamps))
-        self._clock += 1
-        stamps[way] = self._clock
+        cell = self._clock_cell
+        clock = cell[0] + 1
+        cell[0] = clock
+        stamps[way] = clock
         return way
 
+    def replace_spec(self):
+        # FIFO's fused replacement is the same min-stamp-evict + clock-restamp
+        # step as LRU's (hits never touch the stamps, which is the only
+        # difference between the policies and lives in hit_update_spec).
+        return ("lru", self._stamps, self._clock_cell)
+
     def reset(self) -> None:
-        self._clock = 0
+        self._clock_cell[0] = 0
         for stamps in self._stamps:
             for way in range(self.num_ways):
                 stamps[way] = 0

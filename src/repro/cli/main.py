@@ -95,6 +95,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="worker processes for grid sweeps (0 = all cores; default: serial)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("scalar", "vector", "auto"),
+        default="auto",
+        help="packed-trace replay engine: the event-at-a-time scalar loop, "
+        "the NumPy batch kernel (fails on configurations it cannot replay), "
+        "or auto-selection (default).  Results are bit-identical either way",
+    )
+    parser.add_argument(
         "--policy",
         action="append",
         default=None,
@@ -244,6 +252,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the JSON report to FILE",
     )
+    bench_parser.add_argument(
+        "--engine",
+        choices=("scalar", "vector", "auto"),
+        default="auto",
+        help="replay engine the fast side measures (default: auto); floors "
+        "are asserted per engine (see BENCH_baseline.json)",
+    )
 
     report_parser = sub.add_parser(
         "report", help="render the cached output of a previous run"
@@ -329,7 +344,10 @@ def _make_traces(args) -> Optional[TraceArchive]:
 def _make_context(args) -> ExperimentContext:
     config = CONFIGS[args.config]()
     session = Session(
-        config=config, store=_make_store(args), traces=_make_traces(args)
+        config=config,
+        store=_make_store(args),
+        traces=_make_traces(args),
+        engine=getattr(args, "engine", "auto"),
     )
     return ExperimentContext(
         config=config,
@@ -581,6 +599,7 @@ def _cmd_bench(args) -> int:
         rounds=args.rounds or ROUNDS,
         tiny=args.tiny,
         sweep=not args.no_sweep,
+        engine=args.engine,
     )
     print(format_report(report))
     if args.output:

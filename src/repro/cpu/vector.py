@@ -1,0 +1,1139 @@
+"""NumPy-vectorized batch replay kernel for the memory system.
+
+The scalar packed-trace loop (:meth:`repro.cpu.core.CoreModel.run_packed`)
+walks the hierarchy one event at a time; on memory-bound shapes that is one
+Python-level dict probe per access and one multi-level walk per miss.  This
+kernel replays the same trace in consecutive *windows* of replay events:
+
+1. **Decode** (sequential): the fetch-boundary automaton, branch prediction,
+   stall annotations and prefetcher observations run in trace order — all of
+   them are independent of cache contents — and emit an ordered stream of
+   memory *ops* (demand fetches, demand data accesses, prefetch probes).
+2. **Probe** (vectorized): every op's line is tag-matched against all ways of
+   its addressed set in L1, L2 and SLC at once, over per-window ndarray
+   snapshots of the flat cache columns (``SetAssociativeCache.tag_arrays``),
+   yielding a servicing level and way per op.
+3. **Apply** (sequential): the ops run in order against the live columns —
+   hits touch replacement state inline, misses run an inlined copy of the
+   hierarchy walk (fills, back-invalidations, exclusive-SLC victim fills).
+   A ``touched`` set tracks every line whose residency changed inside the
+   window; ops on touched lines re-probe the authoritative residency dicts,
+   so intra-window aliasing (a fill or eviction invalidating an earlier
+   batched probe) is corrected exactly.
+4. **Fold**: order-independent integer counters (hit/miss statistics,
+   latency sums) are accumulated per window from a bincount over the final
+   ``(op kind, level)`` codes; order-dependent float accumulation (stall
+   cycles) happened per op in step 3, in scalar order.
+
+The result is **bit-identical** to ``run_packed`` — same counters, same float
+stall totals, same dict insertion order — which the differential harness in
+``tests/test_vector_equivalence.py`` pins for every batchable configuration.
+
+Batchability
+------------
+
+The kernel only replays configurations whose per-access behaviour is a pure
+function of addresses and policy state:
+
+* identity address translation, or the OS model's :class:`MMU`: its page
+  mappings are established on first touch and never revoked, so translating
+  at decode time (stage 1, in trace order — the same order the scalar loop
+  would translate in) yields the same physical addresses and the same
+  demand-mapping sequence as translating at access time.  The per-page
+  temperature tags travel with each decoded op into the fills.  The one
+  tolerated divergence is the MMU's *translation counters* on starvation
+  flips inside a window (re-translation happens one window later) — the
+  same class of counter drift the scalar fast path already documents
+  against the record path; translation counters never enter simulation
+  results;
+* request-free replacement policies on every level — LRU, FIFO, Random,
+  SRRIP, BRRIP (structural checks from :mod:`repro.cache.replacement.base`);
+  request-aware policies (SHiP, TRRIP, Emissary, DRRIP, CLIP) fall back to
+  the scalar loop;
+* prefetchers whose ``observe`` provably ignores the hit flag (the stock
+  stride and next-line engines, or none);
+* no ``l2_access_observer`` attached (checked per call by the simulator —
+  the reuse-distance analysis needs the scalar loop's per-access callbacks).
+
+:func:`unbatchable_reason` reports the first failing condition;
+``engine="auto"`` uses it to pick the kernel per configuration, while
+``engine="vector"`` raises on it (see
+:class:`repro.sim.simulator.SystemSimulator`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:  # NumPy is optional: the scalar engine never needs it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _np = None
+
+from repro.cache.prefetch import (
+    NextLinePrefetcher,
+    NullPrefetcher,
+    StridePrefetcher,
+)
+from repro.cache.replacement.base import (
+    ReplacementPolicy,
+    is_request_free_evict,
+    is_request_free_hit,
+    is_request_free_insert,
+    is_request_free_victim,
+)
+from repro.cache.replacement.basic import FIFOPolicy
+from repro.cache.replacement.rrip import BRRIPPolicy, RRIPBase
+from repro.common.request import AccessType, MemoryRequest, ScratchRequest
+from repro.common.temperature import Temperature
+from repro.common.trace import (
+    FLAG_BRANCH,
+    FLAG_CALL,
+    FLAG_DEPEND,
+    FLAG_INDIRECT,
+    FLAG_ISSUE,
+    FLAG_MEM,
+    FLAG_RETURN,
+    FLAG_STORE,
+    FLAG_TAKEN,
+    PackedTrace,
+)
+from repro.common.translation import IdentityTranslator
+from repro.cpu.core import CoreModel, CoreResult, _retire_total
+from repro.osmodel.mmu import MMU
+from repro.cpu.topdown import TopDownBreakdown
+
+#: Replay events per batched window.  Large enough to amortize the ndarray
+#: round trips, small enough that intra-window residency corrections (the
+#: ``touched`` re-probes) stay rare on the paper's working sets.
+DEFAULT_WINDOW = 4096
+
+#: Op-kind codes of the decoded op stream.  Instruction-side kinds are even,
+#: data-side odd; prefetch kinds are >= 2.
+_K_IFETCH = 0
+_K_DATA = 1
+_K_PF_INST = 2
+_K_PF_DATA = 3
+
+
+def numpy_available() -> bool:
+    """Whether the NumPy dependency of the kernel is importable."""
+    return _np is not None
+
+
+def _insert_ignores_request(policy: ReplacementPolicy) -> bool:
+    """Whether ``on_insert`` provably never reads the request.
+
+    Beyond the structural base-class check, two concrete hooks are known to
+    be request-indifferent by inspection: FIFO's insertion stamp and the
+    RRIP-base insert when it delegates to a request-indifferent
+    ``insertion_rrpv`` (the static default or BRRIP's deterministic duty
+    cycle).  The checks compare resolved function objects, so any subclass
+    override disqualifies itself automatically.
+    """
+    cls = type(policy)
+    if is_request_free_insert(policy):
+        return True
+    hook = cls.on_insert
+    if hook is FIFOPolicy.on_insert:
+        return True
+    if hook is RRIPBase.on_insert:
+        insertion = cls.insertion_rrpv
+        return (
+            insertion is RRIPBase.insertion_rrpv
+            or insertion is BRRIPPolicy.insertion_rrpv
+        )
+    return False
+
+
+def unbatchable_reason(core: CoreModel) -> Optional[str]:
+    """Why ``core`` cannot be replayed by the vector kernel, or ``None``.
+
+    Covers every *static* condition; the one dynamic condition — an
+    ``l2_access_observer`` attached to the hierarchy — is checked per run by
+    the caller, because observers come and go between runs.
+    """
+    if _np is None:
+        return "NumPy is not installed"
+    # Identity translation and the OS-model MMU are both decode-ahead safe:
+    # the MMU's mappings are established on first touch and never revoked,
+    # so stage-1 translation (in trace order) reproduces the access-time
+    # physical addresses and demand-mapping sequence exactly.  Any other
+    # translator could observe cache state or mutate mappings, so it forces
+    # the scalar loop.
+    for translator in (core.frontend.translator, core.backend.translator):
+        if type(translator) not in (IdentityTranslator, MMU):
+            return (
+                f"unsupported address translator "
+                f"{type(translator).__name__!r}"
+            )
+    hierarchy = core.hierarchy
+    for cache in (hierarchy.l1i, hierarchy.l1d, hierarchy.l2, hierarchy.slc):
+        policy = cache.policy
+        if not is_request_free_hit(policy):
+            return f"{cache.name} policy {policy.name!r} reads the request on hits"
+        if not is_request_free_victim(policy):
+            return (
+                f"{cache.name} policy {policy.name!r} reads the request "
+                "for victim selection"
+            )
+        if not _insert_ignores_request(policy):
+            return (
+                f"{cache.name} policy {policy.name!r} reads the request "
+                "on insertion"
+            )
+        if cache._evict_rows is None and not is_request_free_evict(policy):
+            return (
+                f"{cache.name} policy {policy.name!r} reads the request "
+                "on eviction"
+            )
+    for label, prefetcher in (
+        ("l1i", hierarchy.l1i_prefetcher),
+        ("l1d", hierarchy.l1d_prefetcher),
+        ("l2", hierarchy.l2_prefetcher),
+    ):
+        if isinstance(prefetcher, NullPrefetcher):
+            continue
+        if type(prefetcher) in (StridePrefetcher, NextLinePrefetcher):
+            continue
+        return (
+            f"{label} prefetcher {prefetcher.name!r} may depend on "
+            "hit/miss outcomes"
+        )
+    return None
+
+
+def batchable(core: CoreModel) -> bool:
+    """Whether the vector kernel can replay ``core``'s configuration."""
+    return unbatchable_reason(core) is None
+
+
+def _make_filler(cache, triple_victim: bool):
+    """Specialized fill closure for one cache, plus its counter drain.
+
+    An inlined copy of :meth:`SetAssociativeCache._fill_scalars` for the
+    walk's contract (``check_existing=False``, temperature ``NONE``) under
+    the batchability gates (policy hooks never read the request).  The fill
+    is the single hottest call on memory-bound replays, so the body is
+    specialized at build time on the policy's fused-replace kind (and, for
+    the ubiquitous 4-way LRU L1s, on the associativity, with the first-min
+    scan unrolled to plain comparisons).
+
+    The evicted line is *always* reported — the kernel needs every residency
+    change for its ``touched`` set.  With ``triple_victim`` the victim is a
+    ``(line, is_instruction, pc)`` tuple or ``None`` (the L2 shape: back-
+    invalidation and victim fills need all three fields); without it the
+    victim is just the line number, ``-1`` for none (the L1/SLC shape, which
+    skips the tuple construction).
+
+    ``fills``/``prefetch fills``/``evictions``/``writebacks`` are tallied in
+    closure cells; ``drain()`` returns and zeroes them so the caller can fold
+    them into ``cache.stats`` once per run (order-independent integers).
+    """
+    line_map = cache._line_map
+    set_mask = cache._set_mask
+    ways = cache.associativity
+    lines, dirty, instr, temps, pcs = cache._columns
+    valid = cache._valid
+    valid_counts = cache._valid_counts
+    policy_replace = cache._policy_replace
+    policy_victim = cache._policy_victim
+    policy_insert = cache._policy_insert
+    policy_evict = cache.policy.on_evict
+    policy_on_insert = cache.policy.on_insert
+    replace_kind = cache._replace_kind
+    replace_rows = cache._replace_rows
+    replace_a = cache._replace_a
+    replace_b = cache._replace_b
+    evict_rows = cache._evict_rows
+    evict_arg = cache._evict_arg
+    way_range = range(ways)
+    temp_none = Temperature.NONE
+    fills = prefetch_fills = evictions = writebacks = 0
+
+    def finish(slot, way, line_no, dirty_new, instr_new, temp, pc, is_prefetch):
+        # Shared insert tail for the unspecialized variants (the hot
+        # specialized variants inline it).
+        nonlocal fills, prefetch_fills
+        lines[slot] = line_no
+        dirty[slot] = dirty_new
+        instr[slot] = instr_new
+        temps[slot] = temp
+        pcs[slot] = pc
+        line_map[line_no] = way
+        fills += 1
+        if is_prefetch:
+            prefetch_fills += 1
+
+    def fill_lru4(line_no, dirty_new, instr_new, temp, pc, is_prefetch):
+        # replace_kind 1, 4 ways, line-number victim: the L1 fill. The
+        # first-min scan is unrolled (exactly list.index(min(list)) for
+        # four stamps: ties resolve to the lowest way).
+        nonlocal fills, prefetch_fills, evictions, writebacks
+        set_index = line_no & set_mask
+        base = set_index * 4
+        if valid_counts[set_index] < 4:
+            way = valid.find(0, base, base + 4) - base
+            slot = base + way
+            valid[slot] = 1
+            valid_counts[set_index] += 1
+            if policy_insert is not None:
+                policy_insert(set_index, way)
+            else:
+                policy_on_insert(set_index, way, None)
+            victim = -1
+        else:
+            stamps = replace_rows[set_index]
+            a = stamps[0]
+            b = stamps[1]
+            c = stamps[2]
+            d = stamps[3]
+            if a <= b:
+                way = 0 if a <= c and a <= d else (2 if c <= d else 3)
+            else:
+                way = 1 if b <= c and b <= d else (2 if c <= d else 3)
+            clock = replace_a[0] + 1
+            replace_a[0] = clock
+            stamps[way] = clock
+            slot = base + way
+            victim = lines[slot]
+            del line_map[victim]
+            evictions += 1
+            if dirty[slot]:
+                writebacks += 1
+        lines[slot] = line_no
+        dirty[slot] = dirty_new
+        instr[slot] = instr_new
+        temps[slot] = temp
+        pcs[slot] = pc
+        line_map[line_no] = way
+        fills += 1
+        if is_prefetch:
+            prefetch_fills += 1
+        return victim
+
+    def fill_lru_line(line_no, dirty_new, instr_new, temp, pc, is_prefetch):
+        # replace_kind 1, any associativity, line-number victim: the SLC
+        # fill under LRU/FIFO.
+        nonlocal fills, prefetch_fills, evictions, writebacks
+        set_index = line_no & set_mask
+        base = set_index * ways
+        if valid_counts[set_index] < ways:
+            way = valid.find(0, base, base + ways) - base
+            slot = base + way
+            valid[slot] = 1
+            valid_counts[set_index] += 1
+            if policy_insert is not None:
+                policy_insert(set_index, way)
+            else:
+                policy_on_insert(set_index, way, None)
+            victim = -1
+        else:
+            stamps = replace_rows[set_index]
+            way = stamps.index(min(stamps))
+            clock = replace_a[0] + 1
+            replace_a[0] = clock
+            stamps[way] = clock
+            slot = base + way
+            victim = lines[slot]
+            del line_map[victim]
+            evictions += 1
+            if dirty[slot]:
+                writebacks += 1
+        lines[slot] = line_no
+        dirty[slot] = dirty_new
+        instr[slot] = instr_new
+        temps[slot] = temp
+        pcs[slot] = pc
+        line_map[line_no] = way
+        fills += 1
+        if is_prefetch:
+            prefetch_fills += 1
+        return victim
+
+    def fill_lru_triple(line_no, dirty_new, instr_new, temp, pc, is_prefetch):
+        # replace_kind 1, triple victim: the L2 fill under LRU/FIFO.
+        nonlocal fills, prefetch_fills, evictions, writebacks
+        set_index = line_no & set_mask
+        base = set_index * ways
+        if valid_counts[set_index] < ways:
+            way = valid.find(0, base, base + ways) - base
+            slot = base + way
+            valid[slot] = 1
+            valid_counts[set_index] += 1
+            if policy_insert is not None:
+                policy_insert(set_index, way)
+            else:
+                policy_on_insert(set_index, way, None)
+            victim = None
+        else:
+            stamps = replace_rows[set_index]
+            way = stamps.index(min(stamps))
+            clock = replace_a[0] + 1
+            replace_a[0] = clock
+            stamps[way] = clock
+            slot = base + way
+            victim = (lines[slot], instr[slot], pcs[slot])
+            del line_map[lines[slot]]
+            evictions += 1
+            if dirty[slot]:
+                writebacks += 1
+        lines[slot] = line_no
+        dirty[slot] = dirty_new
+        instr[slot] = instr_new
+        temps[slot] = temp
+        pcs[slot] = pc
+        line_map[line_no] = way
+        fills += 1
+        if is_prefetch:
+            prefetch_fills += 1
+        return victim
+
+    def fill_rrip_triple(line_no, dirty_new, instr_new, temp, pc, is_prefetch):
+        # replace_kind 2, triple victim: the L2 fill under static RRIP.
+        nonlocal fills, prefetch_fills, evictions, writebacks
+        set_index = line_no & set_mask
+        base = set_index * ways
+        if valid_counts[set_index] < ways:
+            way = valid.find(0, base, base + ways) - base
+            slot = base + way
+            valid[slot] = 1
+            valid_counts[set_index] += 1
+            if policy_insert is not None:
+                policy_insert(set_index, way)
+            else:
+                policy_on_insert(set_index, way, None)
+            victim = None
+        else:
+            rrpvs = replace_rows[set_index]
+            oldest = max(rrpvs)
+            if oldest < replace_a:
+                delta = replace_a - oldest
+                for w in way_range:
+                    rrpvs[w] += delta
+            way = rrpvs.index(replace_a)
+            rrpvs[way] = replace_b
+            slot = base + way
+            victim = (lines[slot], instr[slot], pcs[slot])
+            del line_map[lines[slot]]
+            evictions += 1
+            if dirty[slot]:
+                writebacks += 1
+        lines[slot] = line_no
+        dirty[slot] = dirty_new
+        instr[slot] = instr_new
+        temps[slot] = temp
+        pcs[slot] = pc
+        line_map[line_no] = way
+        fills += 1
+        if is_prefetch:
+            prefetch_fills += 1
+        return victim
+
+    def fill_generic(line_no, dirty_new, instr_new, temp, pc, is_prefetch):
+        # Unspecialized fallback (any replace kind, either victim shape):
+        # exactly the _fill_scalars branch structure.
+        nonlocal evictions, writebacks
+        set_index = line_no & set_mask
+        base = set_index * ways
+        victim = None if triple_victim else -1
+        hooked = False
+        if valid_counts[set_index] < ways:
+            way = valid.find(0, base, base + ways) - base
+            slot = base + way
+            valid[slot] = 1
+            valid_counts[set_index] += 1
+        else:
+            if replace_kind == 1:
+                stamps = replace_rows[set_index]
+                way = stamps.index(min(stamps))
+                clock = replace_a[0] + 1
+                replace_a[0] = clock
+                stamps[way] = clock
+                hooked = True
+            elif replace_kind == 2:
+                rrpvs = replace_rows[set_index]
+                oldest = max(rrpvs)
+                if oldest < replace_a:
+                    delta = replace_a - oldest
+                    for w in way_range:
+                        rrpvs[w] += delta
+                way = rrpvs.index(replace_a)
+                rrpvs[way] = replace_b
+                hooked = True
+            elif policy_replace is not None:
+                way = policy_replace(set_index)
+                hooked = True
+            else:
+                way = policy_victim(set_index)
+            slot = base + way
+            if triple_victim:
+                victim = (lines[slot], instr[slot], pcs[slot])
+            else:
+                victim = lines[slot]
+            del line_map[lines[slot]]
+            evictions += 1
+            if dirty[slot]:
+                writebacks += 1
+            if not hooked:
+                if evict_rows is not None:
+                    evict_rows[set_index][way] = evict_arg
+                else:
+                    policy_evict(set_index, way, None)
+        finish(slot, way, line_no, dirty_new, instr_new, temp, pc, is_prefetch)
+        if not hooked:
+            if policy_insert is not None:
+                policy_insert(set_index, way)
+            else:
+                policy_on_insert(set_index, way, None)
+        return victim
+
+    if replace_kind == 1:
+        if triple_victim:
+            fill = fill_lru_triple
+        elif ways == 4:
+            fill = fill_lru4
+        else:
+            fill = fill_lru_line
+    elif replace_kind == 2 and triple_victim:
+        fill = fill_rrip_triple
+    else:
+        fill = fill_generic
+
+    def drain():
+        nonlocal fills, prefetch_fills, evictions, writebacks
+        out = (fills, prefetch_fills, evictions, writebacks)
+        fills = prefetch_fills = evictions = writebacks = 0
+        return out
+
+    return fill, drain
+
+
+def _probe(lines_nd, valid_nd, set_mask, ways, way_offsets, query):
+    """Batched tag match: ``(hit, way)`` arrays for the queried line numbers.
+
+    One gather per cache level: the addressed sets' slots are fancy-indexed
+    out of the zero-copy column views and compared against the query lines
+    across all ways at once.
+    """
+    idx = (query & set_mask)[:, None] * ways + way_offsets
+    match = (lines_nd[idx] == query[:, None]) & (valid_nd[idx] != 0)
+    return match.any(axis=1), match.argmax(axis=1)
+
+
+def run_packed_vector(
+    core: CoreModel, trace: PackedTrace, window: int = DEFAULT_WINDOW
+) -> CoreResult:
+    """Replay a packed trace through the windowed batch kernel.
+
+    Bit-identical to ``core.run_packed(trace)`` for batchable configurations
+    (see :func:`unbatchable_reason`); the caller is responsible for checking
+    batchability and the absence of an ``l2_access_observer`` first.
+    """
+    np = _np
+    frontend = core.frontend
+    backend = core.backend
+    branch_unit = core.branch_unit
+    hierarchy = core.hierarchy
+    frontend.line_stall_cycles.clear()
+    frontend.line_miss_counts.clear()
+    branches_before = branch_unit.stats.branches
+    mispredictions_before = branch_unit.stats.mispredictions
+
+    width = core.config.dispatch_width
+    retire_inc = 1.0 / width
+    penalty = float(core.config.branch.mispredict_penalty)
+    line_size = core.line_size
+    line_shift = line_size.bit_length() - 1
+
+    predict_raw = branch_unit.predict_and_update_raw
+    backend_stats = backend.stats
+    front_stats = frontend.stats
+    hier_stats = hierarchy.stats
+    remember = frontend._remember_starvation
+    line_stall_cycles = frontend.line_stall_cycles
+    line_miss_counts = frontend.line_miss_counts
+    temp_none = Temperature.NONE
+
+    # Address translation (None = identity, the zero-overhead default).
+    # Under the MMU the decode stage mirrors the scalar fast paths exactly:
+    # instruction lines translate once per new line through the frontend's
+    # request cache (whose entries `remember` pops on starvation flips, so
+    # rebuilds — and their hint/temperature — stay in sync with the scalar
+    # loop), data addresses translate per access.
+    translate = None
+    translate_data = None
+    if type(frontend.translator) is not IdentityTranslator:
+        translate = frontend.translator.translate_instruction
+        request_cache = frontend._request_cache
+        starved_lines = frontend._starved_lines
+        ifetch_type = AccessType.INSTRUCTION_FETCH
+    if type(backend.translator) is not IdentityTranslator:
+        translate_data = backend._translate_data_addr
+        if translate_data is None:
+            translate_data_full = backend.translator.translate_data
+
+            def translate_data(vaddr, _full=translate_data_full):
+                return _full(vaddr)[0]
+
+    sizes = trace.size
+    targets = trace.branch_target
+    mems = trace.mem_address
+    depends = trace.depend_stall
+    issues = trace.issue_stall
+    mem_lines = trace.mem_lines(line_size)
+    instructions = len(trace.pc)
+
+    # ---- caches: views, residency dicts, touch specs, fill closures -----
+    l1i = hierarchy.l1i
+    l1d = hierarchy.l1d
+    l2 = hierarchy.l2
+    slc = hierarchy.slc
+    l1i_map = l1i._line_map
+    l1d_map = l1d._line_map
+    l2_map = l2._line_map
+    slc_map = slc._line_map
+    l1i_mask, l1i_ways = l1i._set_mask, l1i.associativity
+    l1d_mask, l1d_ways = l1d._set_mask, l1d.associativity
+    l2_mask, l2_ways = l2._set_mask, l2.associativity
+    slc_mask, slc_ways = slc._set_mask, slc.associativity
+    l1i_offsets = np.arange(l1i_ways)
+    l1d_offsets = np.arange(l1d_ways)
+    l2_offsets = np.arange(l2_ways)
+    slc_offsets = np.arange(slc_ways)
+    l1i_dirty = l1i._dirty
+    l1d_dirty = l1d._dirty
+    l2_dirty = l2._dirty
+    slc_dirty = slc._dirty
+
+    # Touch dispatch scalars (kind 0 = call hook, 1 = const, 2 = clock,
+    # 3 = no-op), hoisted per cache exactly as the scalar fast paths do.
+    l1i_tk, l1i_rows, l1i_arg = l1i._touch_kind, l1i._touch_rows, l1i._touch_arg
+    l1d_tk, l1d_rows, l1d_arg = l1d._touch_kind, l1d._touch_rows, l1d._touch_arg
+    l2_tk, l2_rows, l2_arg = l2._touch_kind, l2._touch_rows, l2._touch_arg
+    slc_tk, slc_rows, slc_arg = slc._touch_kind, slc._touch_rows, slc._touch_arg
+    l1i_touch = l1i._policy_touch
+    l1d_touch = l1d._policy_touch
+    l2_touch = l2._policy_touch
+    slc_touch = slc._policy_touch
+
+    fill_l1i, drain_l1i = _make_filler(l1i, triple_victim=False)
+    fill_l1d, drain_l1d = _make_filler(l1d, triple_victim=False)
+    fill_l2, drain_l2 = _make_filler(l2, triple_victim=True)
+    fill_slc, drain_slc = _make_filler(slc, triple_victim=False)
+    l1i_invalidate = l1i.invalidate_line
+    l1d_invalidate = l1d.invalidate_line
+    slc_invalidate = slc.invalidate_line
+    l2_inclusive = hierarchy._l2_inclusive
+    slc_exclusive = hierarchy._slc_exclusive
+
+    # Latency / stall tables per servicing level (index 1..4); identical
+    # float operations to the scalar paths, performed once.
+    lat_l1i = hierarchy._lat_l1i
+    lat_l1d = hierarchy._lat_l1d
+    lat_l2 = hierarchy._lat_l2
+    lat_slc = hierarchy._lat_slc
+    lat_dram = hierarchy._lat_dram
+    lat_fetch = (
+        0,
+        lat_l1i,
+        lat_l1i + lat_l2,
+        lat_l1i + lat_l2 + lat_slc,
+        lat_l1i + lat_l2 + lat_slc + lat_dram,
+    )
+    lat_data = (
+        0,
+        lat_l1d,
+        lat_l1d + lat_l2,
+        lat_l1d + lat_l2 + lat_slc,
+        lat_l1d + lat_l2 + lat_slc + lat_dram,
+    )
+    hidden = frontend._hidden_latency
+    stall_fetch = tuple(float(lat) - hidden for lat in lat_fetch)
+    hide = backend._hide_latency
+    scale = backend._stall_scale
+    stall_load = [0.0] * 5
+    stall_store = [0.0] * 5
+    for level in range(1, 5):
+        exposed = lat_data[level] - hide
+        if exposed > 0:
+            stall = float(exposed) * scale
+            stall_load[level] = stall
+            stall_store[level] = stall * 0.5
+
+    # Prefetcher observes (pre-bound closures or None; gate guarantees they
+    # ignore the hit flag, so decode-time observation is exact).
+    l1i_observe = hierarchy._l1i_observe
+    l1d_observe = hierarchy._l1d_observe
+    l2_observe = hierarchy._l2_observe
+    observe_scratch = ScratchRequest()
+
+    # Per-run Top-Down accumulators (same order of accumulation as scalar).
+    ifetch_acc = 0.0
+    mispred_acc = 0.0
+    depend_acc = 0.0
+    issue_acc = 0.0
+    mem_acc = 0.0
+    #: Integer depend/issue stat totals, folded once (order-independent);
+    #: the float Top-Down accumulators above still add in scalar order.
+    depend_total = 0
+    issue_total = 0
+    #: The order-dependent float stall sums, hoisted out of the stats
+    #: objects: the per-op adds happen on these locals — in exactly the
+    #: scalar sequence, so the totals stay bit-identical — and are stored
+    #: back once per run.
+    ifetch_stall_total = front_stats.ifetch_stall_cycles
+    mem_stall_total = backend_stats.mem_stall_cycles
+    current_line = -1
+
+    int8 = np.int8
+    int64 = np.int64
+    intp = np.intp
+
+    for ev_indices, ev_pcs, ev_flags, ev_lines in trace.event_windows(
+        line_size, window
+    ):
+        # ---- stage 1: decode the window into an ordered op stream --------
+        op_kind: list[int] = []
+        op_line: list[int] = []
+        op_pc: list[int] = []
+        op_store: list[int] = []
+        op_temp: list = []
+        kind_append = op_kind.append
+        line_append = op_line.append
+        pc_append = op_pc.append
+        store_append = op_store.append
+        temp_append = op_temp.append
+        for index, pc, flags, fetch_line in zip(
+            ev_indices, ev_pcs, ev_flags, ev_lines
+        ):
+            if fetch_line != current_line:
+                current_line = fetch_line
+                if translate is None:
+                    fetch_paddr = fetch_line
+                    temp = temp_none
+                else:
+                    # Mirror of FetchEngine.fetch_line_fast's translation
+                    # caching: one translate per new virtual line, with the
+                    # built request cached so MMU counters and rebuilt-hint
+                    # requests track the scalar loop.
+                    cached = request_cache.get(fetch_line)
+                    if cached is None:
+                        paddr, temperature = translate(fetch_line)
+                        cached = (
+                            MemoryRequest(
+                                address=paddr,
+                                access_type=ifetch_type,
+                                pc=fetch_line,
+                                temperature=temperature,
+                                starvation_hint=fetch_line in starved_lines,
+                            ),
+                            paddr >> line_shift,
+                        )
+                        request_cache[fetch_line] = cached
+                    fetch_paddr = cached[1] << line_shift
+                    temp = cached[0].temperature
+                kind_append(_K_IFETCH)
+                line_append(fetch_paddr >> line_shift)
+                pc_append(fetch_line)
+                store_append(0)
+                temp_append(temp)
+                if l1i_observe is not None:
+                    observe_scratch.address = fetch_paddr
+                    observe_scratch.pc = fetch_line
+                    for target in l1i_observe(observe_scratch, False):
+                        kind_append(_K_PF_INST)
+                        line_append(target >> line_shift)
+                        pc_append(fetch_line)
+                        store_append(0)
+                        temp_append(temp)
+                if l2_observe is not None:
+                    observe_scratch.address = fetch_paddr
+                    observe_scratch.pc = fetch_line
+                    for target in l2_observe(observe_scratch, False):
+                        kind_append(_K_PF_INST)
+                        line_append(target >> line_shift)
+                        pc_append(fetch_line)
+                        store_append(0)
+                        temp_append(temp)
+
+            if flags:
+                if flags & FLAG_BRANCH:
+                    outcome = predict_raw(
+                        pc,
+                        sizes[index],
+                        flags & FLAG_TAKEN != 0,
+                        targets[index],
+                        flags & FLAG_INDIRECT != 0,
+                        flags & FLAG_CALL != 0,
+                        flags & FLAG_RETURN != 0,
+                    )
+                    if outcome[2]:
+                        mispred_acc += penalty
+                    if flags & FLAG_TAKEN:
+                        # Fetch redirects to the branch target.
+                        current_line = -1
+                if flags & FLAG_MEM:
+                    store = 1 if flags & FLAG_STORE else 0
+                    vaddr = mems[index]
+                    if translate_data is None:
+                        data_addr = vaddr
+                        data_line = mem_lines[index]
+                    else:
+                        # Per access, like BackendModel.access_data_fast
+                        # (data pages carry no temperature).
+                        data_addr = translate_data(vaddr)
+                        data_line = data_addr >> line_shift
+                    kind_append(_K_DATA)
+                    line_append(data_line)
+                    pc_append(pc)
+                    store_append(store)
+                    temp_append(temp_none)
+                    if l1d_observe is not None:
+                        observe_scratch.address = data_addr
+                        observe_scratch.pc = pc
+                        for target in l1d_observe(observe_scratch, False):
+                            kind_append(_K_PF_DATA)
+                            line_append(target >> line_shift)
+                            pc_append(pc)
+                            store_append(store)
+                            temp_append(temp_none)
+                    if l2_observe is not None:
+                        observe_scratch.address = data_addr
+                        observe_scratch.pc = pc
+                        for target in l2_observe(observe_scratch, False):
+                            kind_append(_K_PF_DATA)
+                            line_append(target >> line_shift)
+                            pc_append(pc)
+                            store_append(store)
+                            temp_append(temp_none)
+                if flags & FLAG_DEPEND:
+                    cycles = depends[index]
+                    depend_total += cycles
+                    depend_acc += cycles
+                if flags & FLAG_ISSUE:
+                    cycles = issues[index]
+                    issue_total += cycles
+                    issue_acc += cycles
+
+        if not op_kind:
+            continue
+
+        # ---- stage 2: batched probes over the pre-window cache state -----
+        # The tag columns are snapshotted per window (plain-list columns;
+        # the copy is noise next to the gathers).
+        q_lines = np.array(op_line, dtype=int64)
+        kinds_nd = np.array(op_kind, dtype=int8)
+        level_nd = np.full(len(op_kind), 4, dtype=int8)
+        way_nd = np.zeros(len(op_kind), dtype=intp)
+        inst_mask = (kinds_nd & 1) == 0
+        ii = np.nonzero(inst_mask)[0]
+        if ii.size:
+            l1i_lines, l1i_valid = l1i.tag_arrays()
+            hit, way = _probe(
+                l1i_lines, l1i_valid, l1i_mask, l1i_ways, l1i_offsets, q_lines[ii]
+            )
+            hits = ii[hit]
+            level_nd[hits] = 1
+            way_nd[hits] = way[hit]
+        di = np.nonzero(~inst_mask)[0]
+        if di.size:
+            l1d_lines, l1d_valid = l1d.tag_arrays()
+            hit, way = _probe(
+                l1d_lines, l1d_valid, l1d_mask, l1d_ways, l1d_offsets, q_lines[di]
+            )
+            hits = di[hit]
+            level_nd[hits] = 1
+            way_nd[hits] = way[hit]
+        rem = np.nonzero(level_nd != 1)[0]
+        if rem.size:
+            l2_lines, l2_valid = l2.tag_arrays()
+            hit, way = _probe(
+                l2_lines, l2_valid, l2_mask, l2_ways, l2_offsets, q_lines[rem]
+            )
+            hits = rem[hit]
+            level_nd[hits] = 2
+            way_nd[hits] = way[hit]
+            rem = rem[~hit]
+            if rem.size:
+                slc_lines, slc_valid = slc.tag_arrays()
+                hit, way = _probe(
+                    slc_lines, slc_valid, slc_mask, slc_ways, slc_offsets,
+                    q_lines[rem],
+                )
+                hits = rem[hit]
+                level_nd[hits] = 3
+                way_nd[hits] = way[hit]
+        counts = np.bincount(
+            kinds_nd.astype(int8) * 5 + level_nd, minlength=20
+        ).tolist()
+        levels = level_nd.tolist()
+        ways_list = way_nd.tolist()
+
+        # ---- stage 3: apply the ops in order against the live columns ----
+        touched: set[int] = set()
+        touched_add = touched.add
+        for kind, line, pc, store, temp, level, way in zip(
+            op_kind, op_line, op_pc, op_store, op_temp, levels, ways_list
+        ):
+            if line in touched:
+                # Residency changed since the batched probe: re-derive the
+                # servicing level/way from the authoritative dicts.
+                counts[kind * 5 + level] -= 1
+                way = (l1i_map if kind & 1 == 0 else l1d_map).get(line)
+                if way is not None:
+                    level = 1
+                else:
+                    way = l2_map.get(line)
+                    if way is not None:
+                        level = 2
+                    else:
+                        way = slc_map.get(line)
+                        if way is not None:
+                            level = 3
+                        else:
+                            level = 4
+                counts[kind * 5 + level] += 1
+
+            if level == 1:
+                # L1 hit: dirty bit + inline replacement touch.
+                if kind & 1:
+                    if store:
+                        l1d_dirty[(line & l1d_mask) * l1d_ways + way] = 1
+                    if l1d_tk == 2:
+                        clock = l1d_arg[0] + 1
+                        l1d_arg[0] = clock
+                        l1d_rows[line & l1d_mask][way] = clock
+                    elif l1d_tk == 1:
+                        l1d_rows[line & l1d_mask][way] = l1d_arg
+                    elif l1d_tk == 0:
+                        l1d_touch(line & l1d_mask, way)
+                    if kind == _K_DATA:
+                        stall = stall_store[1] if store else stall_load[1]
+                        if stall > 0.0:
+                            mem_stall_total += stall
+                            mem_acc += stall
+                else:
+                    if l1i_tk == 2:
+                        clock = l1i_arg[0] + 1
+                        l1i_arg[0] = clock
+                        l1i_rows[line & l1i_mask][way] = clock
+                    elif l1i_tk == 1:
+                        l1i_rows[line & l1i_mask][way] = l1i_arg
+                    elif l1i_tk == 0:
+                        l1i_touch(line & l1i_mask, way)
+                    if kind == _K_IFETCH:
+                        stall = stall_fetch[1]
+                        if stall > 0.0:
+                            # op_pc holds the *virtual* fetch line (equal to
+                            # the physical one under identity translation):
+                            # stall attribution is per virtual line.
+                            vline = pc
+                            ifetch_stall_total += stall
+                            line_stall_cycles[vline] = (
+                                line_stall_cycles.get(vline, 0.0) + stall
+                            )
+                            line_miss_counts[vline] = (
+                                line_miss_counts.get(vline, 0) + 1
+                            )
+                            ifetch_acc += stall
+                continue
+
+            # L1 miss: inlined hierarchy walk below L1.
+            inst = kind & 1 == 0
+            is_pf = kind >= 2
+            touched_add(line)
+            instr_new = 1 if inst else 0
+            l1_fill = fill_l1i if inst else fill_l1d
+            if level == 2:
+                # L2 hit.
+                set2 = line & l2_mask
+                if store:
+                    l2_dirty[set2 * l2_ways + way] = 1
+                if l2_tk == 1:
+                    l2_rows[set2][way] = l2_arg
+                elif l2_tk == 2:
+                    clock = l2_arg[0] + 1
+                    l2_arg[0] = clock
+                    l2_rows[set2][way] = clock
+                elif l2_tk == 0:
+                    l2_touch(set2, way)
+                v = l1_fill(line, store, instr_new, temp, pc, is_pf)
+                if v >= 0:
+                    touched_add(v)
+            elif level == 3:
+                # SLC hit (exclusive: the line moves up into L2 + L1).
+                set3 = line & slc_mask
+                if store:
+                    slc_dirty[set3 * slc_ways + way] = 1
+                if slc_tk == 2:
+                    clock = slc_arg[0] + 1
+                    slc_arg[0] = clock
+                    slc_rows[set3][way] = clock
+                elif slc_tk == 1:
+                    slc_rows[set3][way] = slc_arg
+                elif slc_tk == 0:
+                    slc_touch(set3, way)
+                if slc_exclusive:
+                    slc_invalidate(line)
+                victim = fill_l2(line, store, instr_new, temp, pc, is_pf)
+                if victim is not None:
+                    victim_line, victim_instr, victim_pc = victim
+                    touched_add(victim_line)
+                    if l2_inclusive:
+                        if victim_line in l1i_map:
+                            l1i_invalidate(victim_line)
+                        if victim_line in l1d_map:
+                            l1d_invalidate(victim_line)
+                    if slc_exclusive:
+                        v = fill_slc(
+                            victim_line, 0, 1 if victim_instr else 0,
+                            temp_none, victim_pc, True,
+                        )
+                        if v >= 0:
+                            touched_add(v)
+                v = l1_fill(line, store, instr_new, temp, pc, is_pf)
+                if v >= 0:
+                    touched_add(v)
+            else:
+                # Serviced by DRAM.
+                victim = fill_l2(line, store, instr_new, temp, pc, is_pf)
+                if victim is not None:
+                    victim_line, victim_instr, victim_pc = victim
+                    touched_add(victim_line)
+                    if l2_inclusive:
+                        if victim_line in l1i_map:
+                            l1i_invalidate(victim_line)
+                        if victim_line in l1d_map:
+                            l1d_invalidate(victim_line)
+                    if slc_exclusive:
+                        v = fill_slc(
+                            victim_line, 0, 1 if victim_instr else 0,
+                            temp_none, victim_pc, True,
+                        )
+                        if v >= 0:
+                            touched_add(v)
+                if not slc_exclusive:
+                    v = fill_slc(line, store, instr_new, temp, pc, is_pf)
+                    if v >= 0:
+                        touched_add(v)
+                v = l1_fill(line, store, instr_new, temp, pc, is_pf)
+                if v >= 0:
+                    touched_add(v)
+
+            # Demand stall accounting (per op, in scalar float order).
+            if kind == _K_IFETCH:
+                vline = pc
+                if level >= 3:
+                    remember(vline)
+                stall = stall_fetch[level]
+                if stall > 0.0:
+                    ifetch_stall_total += stall
+                    line_stall_cycles[vline] = (
+                        line_stall_cycles.get(vline, 0.0) + stall
+                    )
+                    line_miss_counts[vline] = line_miss_counts.get(vline, 0) + 1
+                    ifetch_acc += stall
+            elif kind == _K_DATA:
+                stall = stall_store[level] if store else stall_load[level]
+                if stall > 0.0:
+                    mem_stall_total += stall
+                    mem_acc += stall
+
+        # ---- stage 4: fold the window's order-independent counters -------
+        c01, c02, c03, c04 = counts[1], counts[2], counts[3], counts[4]
+        c11, c12, c13, c14 = counts[6], counts[7], counts[8], counts[9]
+        c21, c22, c23, c24 = counts[11], counts[12], counts[13], counts[14]
+        c31, c32, c33, c34 = counts[16], counts[17], counts[18], counts[19]
+        fetches = c01 + c02 + c03 + c04
+        data_ops = c11 + c12 + c13 + c14
+        front_stats.demand_fetches += fetches
+        front_stats.starvation_events += c03 + c04
+        backend_stats.data_accesses += data_ops
+        hier_stats.instruction_fetches += fetches
+        hier_stats.data_accesses += data_ops
+        hier_stats.prefetches_issued += (
+            c21 + c22 + c23 + c24 + c31 + c32 + c33 + c34
+        )
+        hier_stats.l1i_misses += c02 + c03 + c04
+        hier_stats.l1d_misses += c12 + c13 + c14
+        hier_stats.l2_inst_misses += c03 + c04 + c23 + c24
+        hier_stats.l2_data_misses += c13 + c14
+        hier_stats.slc_misses += c04 + c14
+        hier_stats.dram_accesses += c04 + c14
+        hier_stats.total_latency += (
+            c01 * lat_fetch[1]
+            + c02 * lat_fetch[2]
+            + c03 * lat_fetch[3]
+            + c04 * lat_fetch[4]
+            + c11 * lat_data[1]
+            + c12 * lat_data[2]
+            + c13 * lat_data[3]
+            + c14 * lat_data[4]
+        )
+        l1i_stats = l1i.stats
+        l1i_stats.inst_hits += c01
+        l1i_stats.inst_misses += c02 + c03 + c04
+        l1i_stats.prefetch_hits += c21
+        l1i_stats.prefetch_misses += c22 + c23 + c24
+        l1d_stats = l1d.stats
+        l1d_stats.data_hits += c11
+        l1d_stats.data_misses += c12 + c13 + c14
+        l1d_stats.prefetch_hits += c31
+        l1d_stats.prefetch_misses += c32 + c33 + c34
+        l2_stats = l2.stats
+        l2_stats.inst_hits += c02
+        l2_stats.inst_misses += c03 + c04
+        l2_stats.data_hits += c12
+        l2_stats.data_misses += c13 + c14
+        l2_stats.prefetch_hits += c22 + c32
+        l2_stats.prefetch_misses += c23 + c24 + c33 + c34
+        slc_stats = slc.stats
+        slc_stats.inst_hits += c03
+        slc_stats.inst_misses += c04
+        slc_stats.data_hits += c13
+        slc_stats.data_misses += c14
+        slc_stats.prefetch_hits += c23 + c33
+        slc_stats.prefetch_misses += c24 + c34
+
+    # Store back the hoisted stall sums and fold the order-independent
+    # integer totals.
+    front_stats.ifetch_stall_cycles = ifetch_stall_total
+    backend_stats.mem_stall_cycles = mem_stall_total
+    backend_stats.depend_stall_cycles += depend_total
+    backend_stats.issue_stall_cycles += issue_total
+
+    # Fold the fill counters accumulated by the per-cache fill closures.
+    for cache, drain in (
+        (l1i, drain_l1i),
+        (l1d, drain_l1d),
+        (l2, drain_l2),
+        (slc, drain_slc),
+    ):
+        stats = cache.stats
+        fills, prefetch_fills, evictions, writebacks = drain()
+        stats.fills += fills
+        stats.prefetch_fills += prefetch_fills
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+
+    retire = _retire_total(retire_inc, instructions)
+    topdown = TopDownBreakdown(
+        retire=retire,
+        ifetch=ifetch_acc,
+        mispred=mispred_acc,
+        depend=depend_acc,
+        issue=issue_acc,
+        mem=mem_acc,
+    )
+    return CoreResult(
+        instructions=instructions,
+        cycles=topdown.total_cycles,
+        topdown=topdown,
+        branches=branch_unit.stats.branches - branches_before,
+        branch_mispredictions=(
+            branch_unit.stats.mispredictions - mispredictions_before
+        ),
+        line_stall_cycles=dict(frontend.line_stall_cycles),
+        line_miss_counts=dict(frontend.line_miss_counts),
+    )

@@ -30,6 +30,14 @@ returning, so no worker process ever outlives the pool.  Completed results
 remain available on :attr:`SupervisedPool.outcomes` even when the run is
 interrupted, so callers can fold back counters for the work that *did*
 finish.
+
+Results travel over each worker's **private duplex pipe**, never a shared
+``multiprocessing.Queue``.  A shared queue serializes every ``put`` through
+one cross-process lock, and a worker SIGKILLed while its feeder thread
+holds that lock (a single-CPU scheduling race) leaves the lock held forever
+— wedging every *other* worker's next result and the pool with it.  With
+per-worker pipes a dying worker can only ever truncate its own channel,
+which the supervisor already treats as a crash of that worker alone.
 """
 
 from __future__ import annotations
@@ -37,10 +45,10 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import pickle
-import queue
 import random
 import time
 import traceback
+from multiprocessing import connection
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
@@ -197,15 +205,20 @@ def _decode_error(encoded: tuple) -> tuple[Optional[BaseException], str]:
     return None, f"{summary}\n{text}"
 
 
-def _worker_main(worker_id, conn, results, func, initializer, initargs):
-    """Entry point of one supervised worker process."""
+def _worker_main(worker_id, conn, func, initializer, initargs):
+    """Entry point of one supervised worker process.
+
+    ``conn`` is the worker's private duplex pipe: tasks arrive on it and
+    results go back on it, so nothing this process does — including dying
+    mid-send — can interfere with any other worker's channel.
+    """
     try:
         if initializer is not None:
             initializer(*initargs)
     except BaseException as error:
-        results.put((worker_id, None, 0, "init_error", _encode_error(error)))
+        conn.send((worker_id, None, 0, "init_error", _encode_error(error)))
         return
-    results.put((worker_id, None, 0, "ready", None))
+    conn.send((worker_id, None, 0, "ready", None))
     while True:
         try:
             task = conn.recv()
@@ -217,9 +230,9 @@ def _worker_main(worker_id, conn, results, func, initializer, initargs):
         try:
             value = func(payload, attempt)
         except BaseException as error:
-            results.put((worker_id, index, attempt, "error", _encode_error(error)))
+            conn.send((worker_id, index, attempt, "error", _encode_error(error)))
         else:
-            results.put((worker_id, index, attempt, "ok", value))
+            conn.send((worker_id, index, attempt, "ok", value))
 
 
 # --------------------------------------------------------------- supervisor
@@ -277,7 +290,6 @@ class SupervisedPool:
         self._ctx = pool_context()
         self._workers: dict[int, _Worker] = {}
         self._next_worker_id = 0
-        self._results: Optional[multiprocessing.queues.Queue] = None
         #: Available to callers even when run() raises (partial fold-back).
         self.outcomes: list[UnitOutcome] = []
         self.report: Optional[PoolReport] = None
@@ -294,7 +306,6 @@ class SupervisedPool:
         self.report = PoolReport(outcomes=self.outcomes)
         if not payloads:
             return self.report
-        self._results = self._ctx.Queue()
         #: min-heap of (ready time, task position, attempt)
         pending: list[tuple[float, int, int]] = [
             (0.0, position, 1) for position in range(len(payloads))
@@ -328,13 +339,12 @@ class SupervisedPool:
     def _spawn(self) -> None:
         worker_id = self._next_worker_id
         self._next_worker_id += 1
-        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        local, remote = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
             args=(
                 worker_id,
-                parent_conn,
-                self._results,
+                remote,
                 self.func,
                 self.initializer,
                 self.initargs,
@@ -342,8 +352,10 @@ class SupervisedPool:
             daemon=True,
         )
         process.start()
-        parent_conn.close()
-        self._workers[worker_id] = _Worker(worker_id, process, child_conn)
+        # Close the parent's copy of the worker's end so the worker's death
+        # shows up as EOF on `local`.
+        remote.close()
+        self._workers[worker_id] = _Worker(worker_id, process, local)
 
     def _ensure_workers(self, target: int) -> None:
         while len(self._workers) < target:
@@ -394,44 +406,58 @@ class SupervisedPool:
 
     def _drain(self, pending, timeout: float) -> None:
         block = True
+        broken: set = set()
         while True:
-            try:
-                message = self._results.get(timeout=timeout if block else 0)
-            except queue.Empty:
+            conns = {
+                w.conn: w
+                for w in self._workers.values()
+                if w.conn not in broken
+            }
+            if not conns:
+                return
+            readable = connection.wait(list(conns), timeout if block else 0)
+            if not readable:
                 return
             block = False
-            worker_id, position, attempt, status, payload = message
-            worker = self._workers.get(worker_id)
-            if status == "ready":
-                if worker is not None:
-                    worker.ready = True
-                    self._init_failures = 0
-                continue
-            if status == "init_error":
-                _, summary = _decode_error(payload)
-                self._last_init_error = summary
-                continue  # the death check retires the worker
-            if (
-                worker is None
-                or worker.running is None
-                or worker.running[:2] != (position, attempt)
-            ):
-                continue  # stale result from a worker already written off
-            started = worker.running[2]
-            worker.running = None
-            duration = time.monotonic() - started
-            outcome = self.outcomes[position]
-            if status == "ok":
-                outcome.status = "done"
-                outcome.value = payload
-                outcome.duration = duration
-                if self.on_result is not None:
-                    self.on_result(position, attempt, worker_id, duration, payload)
-            else:
-                error, message = _decode_error(payload)
-                self._attempt_failed(
-                    pending, position, attempt, worker_id, "error", message, error
-                )
+            for conn in readable:
+                worker = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # The worker died — possibly mid-send, truncating its own
+                    # pipe.  Only its unit is affected; the death check
+                    # retires it and requeues the unit.
+                    broken.add(conn)
+                    continue
+                self._handle_message(pending, worker, message)
+
+    def _handle_message(self, pending, worker: _Worker, message) -> None:
+        worker_id, position, attempt, status, payload = message
+        if status == "ready":
+            worker.ready = True
+            self._init_failures = 0
+            return
+        if status == "init_error":
+            _, summary = _decode_error(payload)
+            self._last_init_error = summary
+            return  # the death check retires the worker
+        if worker.running is None or worker.running[:2] != (position, attempt):
+            return  # stale result from an attempt already written off
+        started = worker.running[2]
+        worker.running = None
+        duration = time.monotonic() - started
+        outcome = self.outcomes[position]
+        if status == "ok":
+            outcome.status = "done"
+            outcome.value = payload
+            outcome.duration = duration
+            if self.on_result is not None:
+                self.on_result(position, attempt, worker_id, duration, payload)
+        else:
+            error, message_text = _decode_error(payload)
+            self._attempt_failed(
+                pending, position, attempt, worker_id, "error", message_text, error
+            )
 
     def _check_timeouts(self, pending) -> None:
         if self.policy.unit_timeout is None:
@@ -535,6 +561,3 @@ class SupervisedPool:
             except OSError:  # pragma: no cover - already gone
                 pass
         self._workers.clear()
-        if self._results is not None:
-            self._results.close()
-            self._results = None

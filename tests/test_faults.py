@@ -184,6 +184,22 @@ class TestSupervisedPool:
         assert report.values() == [-5]  # second attempt succeeds
         assert report.outcomes[0].failures[0].kind == "crash"
 
+    def test_repeated_crashes_never_wedge_the_pool(self):
+        """Every unit SIGKILLs its first worker; the pool must survive the
+        whole barrage.  This is the regression pin for the shared-result-
+        channel deadlock: with results funnelled through one shared queue, a
+        worker killed in the scheduling window where the queue's cross-
+        process lock is held wedged every respawned worker's ready
+        handshake, hanging the pool on single-CPU hosts.  Per-worker result
+        pipes confine a dying worker's damage to its own channel."""
+        payloads = [-n for n in range(1, 7)]
+        for _ in range(5):
+            policy = SupervisionPolicy(max_retries=1, **_FAST)
+            pool = SupervisedPool(_crash_if_negative, workers=2, policy=policy)
+            report = pool.run(payloads)
+            assert report.values() == payloads
+            assert all(o.failures[0].kind == "crash" for o in report.outcomes)
+
     def test_hung_worker_is_killed_at_the_deadline_and_retried(self):
         policy = SupervisionPolicy(max_retries=1, unit_timeout=0.5, **_FAST)
         pool = SupervisedPool(_hang_first, workers=1, policy=policy)

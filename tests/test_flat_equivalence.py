@@ -22,9 +22,10 @@ from typing import Optional
 import pytest
 
 from repro.cache.cache import SetAssociativeCache
-from repro.cache.replacement.spec import PolicySpec, policy_names
+from repro.cache.replacement.spec import PolicySpec
 from repro.common.request import AccessType, MemoryRequest
 from repro.common.temperature import Temperature
+from repro.testing import equivalence_policy_names
 
 SETS = 8
 WAYS = 4
@@ -226,7 +227,7 @@ def replay(model, ops, line_addresses) -> list[tuple]:
     return model.events
 
 
-@pytest.mark.parametrize("policy_name", sorted(policy_names()))
+@pytest.mark.parametrize("policy_name", equivalence_policy_names())
 @pytest.mark.parametrize("seed", SEEDS)
 def test_flat_cache_matches_object_reference(policy_name, seed):
     ops = make_stream(seed)

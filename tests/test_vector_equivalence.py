@@ -1,0 +1,294 @@
+"""Scalar vs vector replay engines: the bit-identity differential harness.
+
+The NumPy batch kernel (:mod:`repro.cpu.vector`) replays packed traces in
+windows — batched tag probes against per-window snapshots, then an ordered
+apply pass — while the scalar loop
+(:meth:`repro.cpu.core.CoreModel.run_packed`) walks one event at a time.
+The two must be **bit-identical**: same :class:`SimulationResult` (cycles,
+Top-Down floats, MPKI, per-line stall dicts), same cache columns, same
+residency dicts, same replacement-policy state, same RNG state.
+
+This suite pins that property over the shared policy × workload-family
+matrix from :mod:`repro.testing` (every registered replacement policy
+crossed with every registered workload family), for the scalar, auto and —
+where the configuration is batchable — forced-vector engines, and across
+degenerate window sizes (1, a prime, the whole trace in one window).
+Policies the kernel cannot batch (request-aware ones) must fall back
+cleanly under ``engine="auto"`` and refuse loudly under ``engine="vector"``.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.vector import (
+    DEFAULT_WINDOW,
+    numpy_available,
+    run_packed_vector,
+    unbatchable_reason,
+)
+from repro.sim.config import SimulatorConfig
+from repro.sim.simulator import SystemSimulator
+from repro.testing import equivalence_matrix, family_trace_pair
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="the vector kernel requires NumPy"
+)
+
+#: Cached per-family (warm-up, measured) trace pairs: generated once per
+#: test session, shared by every policy row of the matrix.
+_TRACES: dict[str, tuple] = {}
+
+
+def traces_for(family: str):
+    if family not in _TRACES:
+        _TRACES[family] = family_trace_pair(family)
+    return _TRACES[family]
+
+
+def _canonical(value, seen=None):
+    """Convert arbitrary mutable state into a comparable-by-value form.
+
+    Policies hang plain helper objects off themselves (e.g. CLIP's
+    ``SetDuelingController``) that define no ``__eq__``; a deep copy of
+    those would compare by identity and always differ.  Recurse into
+    ``__dict__``/``__slots__`` and special-case ``random.Random`` so every
+    snapshot bottoms out in primitives."""
+    if seen is None:
+        seen = set()
+    if isinstance(value, random.Random):
+        return ("<random>", value.getstate())
+    if isinstance(value, (type(None), bool, int, float, str, bytes)):
+        return value
+    if id(value) in seen:
+        return "<cycle>"
+    seen = seen | {id(value)}
+    if isinstance(value, dict):
+        return {key: _canonical(item, seen) for key, item in value.items()}
+    if isinstance(value, (list, tuple, array)):
+        return [_canonical(item, seen) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return ("<set>", sorted(repr(item) for item in value))
+    state = {}
+    if hasattr(value, "__dict__"):
+        state.update(vars(value))
+    for slot_name in getattr(type(value), "__slots__", ()):
+        if hasattr(value, slot_name):
+            state[slot_name] = getattr(value, slot_name)
+    if not state:
+        return repr(value)
+    return (
+        type(value).__name__,
+        {key: _canonical(item, seen) for key, item in state.items()},
+    )
+
+
+def policy_state(policy) -> dict:
+    """A comparable snapshot of one replacement policy's mutable state."""
+    return _canonical(policy)
+
+
+def hierarchy_state(hierarchy) -> dict:
+    """Full comparable snapshot of the memory system's mutable state."""
+    state = {}
+    for cache in (
+        hierarchy.l1i,
+        hierarchy.l1d,
+        hierarchy.l2,
+        hierarchy.slc,
+    ):
+        state[cache.name] = {
+            "lines": list(cache._lines),
+            "valid": bytes(cache._valid),
+            "dirty": list(cache._dirty),
+            "instr": list(cache._instr),
+            "temps": list(cache._temps),
+            "pcs": list(cache._pcs),
+            "line_map": dict(cache._line_map),
+            "policy": policy_state(cache.policy),
+        }
+    return state
+
+
+def run_engine(policy: str, family: str, engine: str):
+    """One warm-up + measured replay; returns (result, end state)."""
+    warmup, measured = traces_for(family)
+    simulator = SystemSimulator(
+        SimulatorConfig.scaled().with_l2_policy(policy),
+        benchmark=family,
+        engine=engine,
+    )
+    simulator.warm_up(warmup)
+    result = simulator.run(measured)
+    return result, hierarchy_state(simulator.hierarchy)
+
+
+@pytest.mark.parametrize(
+    "policy,family",
+    equivalence_matrix(),
+    ids=[f"{p}-{f}" for p, f in equivalence_matrix()],
+)
+def test_engines_bit_identical(policy, family):
+    """scalar == auto (== forced vector, when batchable) on the full matrix.
+
+    The comparison is exact: dataclass equality on the packaged result
+    (covering the float Top-Down accumulators and the per-line stall dicts
+    bit for bit) plus deep equality of every cache column, residency dict
+    and policy state after the run.
+    """
+    scalar_result, scalar_state = run_engine(policy, family, "scalar")
+    auto_result, auto_state = run_engine(policy, family, "auto")
+    assert scalar_result == auto_result
+    assert scalar_state == auto_state
+
+    probe = SystemSimulator(
+        SimulatorConfig.scaled().with_l2_policy(policy), benchmark=family
+    )
+    if unbatchable_reason(probe.core) is None:
+        vector_result, vector_state = run_engine(policy, family, "vector")
+        assert scalar_result == vector_result
+        assert scalar_state == vector_state
+    else:
+        # Request-aware configurations must refuse a forced vector engine
+        # (auto already proved it falls back to the scalar loop above).
+        forced = SystemSimulator(
+            SimulatorConfig.scaled().with_l2_policy(policy),
+            benchmark=family,
+            engine="vector",
+        )
+        warmup, _ = traces_for(family)
+        with pytest.raises(ConfigurationError):
+            forced.warm_up(warmup)
+
+
+@pytest.mark.parametrize("policy", ["lru", "srrip", "brrip", "fifo", "random"])
+@pytest.mark.parametrize("family", ["zipf", "streaming"])
+def test_window_size_invariance(policy, family):
+    """The window is a pure batching knob: 1, a prime, len(trace), and the
+    default all replay bit-identically to the scalar loop."""
+    warmup, measured = traces_for(family)
+    scalar = SystemSimulator(
+        SimulatorConfig.scaled().with_l2_policy(policy),
+        benchmark=family,
+        engine="scalar",
+    )
+    scalar.warm_up(warmup)
+    scalar_result = scalar.run(measured)
+    scalar_state = hierarchy_state(scalar.hierarchy)
+
+    event_count = len(measured.fetch_events(64)[0])
+    for window in (1, 257, max(event_count, 1), DEFAULT_WINDOW):
+        simulator = SystemSimulator(
+            SimulatorConfig.scaled().with_l2_policy(policy),
+            benchmark=family,
+            engine="vector",
+        )
+        run_packed_vector(simulator.core, warmup, window=window)
+        simulator.hierarchy.reset_stats()
+        core_result = run_packed_vector(simulator.core, measured, window=window)
+        result = simulator.package(core_result)
+        assert result == scalar_result, f"window={window}"
+        assert hierarchy_state(simulator.hierarchy) == scalar_state, (
+            f"window={window}"
+        )
+
+
+def test_vector_engine_requires_packed_trace():
+    """Record streams cannot be windowed; engine='vector' says so."""
+    warmup, _ = traces_for("zipf")
+    simulator = SystemSimulator(
+        SimulatorConfig.scaled().with_l2_policy("lru"), engine="vector"
+    )
+    with pytest.raises(ConfigurationError, match="record stream"):
+        simulator.warm_up(list(warmup))
+
+
+def test_auto_falls_back_for_record_streams():
+    """engine='auto' replays record streams through the scalar loop."""
+    warmup, measured = traces_for("zipf")
+    packed = SystemSimulator(
+        SimulatorConfig.scaled().with_l2_policy("lru"), engine="auto"
+    )
+    packed.warm_up(warmup)
+    expected = packed.run(measured)
+
+    records = SystemSimulator(
+        SimulatorConfig.scaled().with_l2_policy("lru"), engine="auto"
+    )
+    records.warm_up(list(warmup))
+    assert records.run(list(measured)) == expected
+
+
+@pytest.mark.parametrize("policy", ["lru", "srrip", "random", "brrip", "fifo"])
+def test_mmu_pipeline_bit_identical(policy):
+    """The full co-design pipeline — MMU translation with demand paging and
+    temperature-tagged code pages — replays bit-identically on the vector
+    engine, end to end through the experiment runner."""
+    from repro.experiments.runner import BenchmarkRunner
+    from repro.workloads.families import WorkloadFamilySpec
+
+    results = {}
+    for engine in ("scalar", "vector"):
+        spec = WorkloadFamilySpec.of(
+            "zipf", instructions=4000, warmup=1000
+        ).synthesize()
+        runner = BenchmarkRunner(
+            config=SimulatorConfig.scaled(), engine=engine
+        )
+        results[engine] = runner.run(spec, policy).result
+    assert results["scalar"] == results["vector"]
+
+
+def test_mmu_deep_state_identical():
+    """Under MMU translation the entire memory-system state — including the
+    per-line temperature metadata written by fills of tagged code pages —
+    matches between engines after a run."""
+    from repro.experiments.runner import BenchmarkRunner
+    from repro.workloads.families import WorkloadFamilySpec
+
+    results, states = {}, {}
+    for engine in ("scalar", "vector"):
+        spec = WorkloadFamilySpec.of(
+            "phased", instructions=4000, warmup=1000
+        ).synthesize()
+        runner = BenchmarkRunner(
+            config=SimulatorConfig.scaled().with_l2_policy("srrip"),
+            engine=engine,
+        )
+        prepared = runner._prepare_resolved(spec)
+        warm, measured = runner.packed_traces(prepared)
+        simulator = SystemSimulator(
+            runner.config,
+            translator=prepared.mmu(),
+            benchmark="phased",
+            engine=engine,
+        )
+        simulator.warm_up(warm)
+        results[engine] = simulator.run(measured)
+        states[engine] = hierarchy_state(simulator.hierarchy)
+    assert results["scalar"] == results["vector"]
+    assert states["scalar"] == states["vector"]
+
+    tagged = [
+        temp
+        for cache_state in states["vector"].values()
+        for temp in cache_state["temps"]
+        if getattr(temp, "is_tagged", False)
+    ]
+    assert tagged, "expected temperature-tagged lines under the co-design MMU"
+
+
+def test_observer_forces_scalar_fallback():
+    """An attached l2_access_observer is a per-run unbatchable condition."""
+    warmup, measured = traces_for("zipf")
+    simulator = SystemSimulator(
+        SimulatorConfig.scaled().with_l2_policy("lru"), engine="vector"
+    )
+    simulator.warm_up(warmup)
+    simulator.hierarchy.l2_access_observer = lambda *args: None
+    with pytest.raises(ConfigurationError, match="observer"):
+        simulator.run(measured)

@@ -1,0 +1,121 @@
+"""Property/fuzz differential tests for the vector replay kernel.
+
+``tests/test_vector_equivalence.py`` pins scalar == vector over the curated
+policy × workload-family matrix; this file attacks the kernel with seeded
+*adversarial* traces from :mod:`repro.testing`:
+
+* :func:`repro.testing.fuzz_trace` — random instruction mixes with branch,
+  store, and depend/issue-stall annotations;
+* :func:`repro.testing.aliasing_trace` — same-set aliasing bursts that
+  overflow a set's associativity mid-window, forcing the kernel through its
+  intra-window fill/eviction correction paths;
+* zero-memory traces (``mem_rate=0.0``) — fetch/branch-only streams where
+  the batched probe arrays are empty.
+
+The per-window cross-check is the strongest property here: the same trace
+is replayed chunk by chunk through a scalar core and a vector core, and the
+**entire** memory-system state (cache columns, residency maps, policy
+state) must match after every chunk — not just at the end of the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.vector import numpy_available, run_packed_vector
+from repro.sim.config import SimulatorConfig
+from repro.sim.simulator import SystemSimulator
+from repro.testing import aliasing_trace, fuzz_trace
+from test_vector_equivalence import hierarchy_state
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="the vector kernel requires NumPy"
+)
+
+
+def fresh(policy: str, engine: str) -> SystemSimulator:
+    return SystemSimulator(
+        SimulatorConfig.scaled().with_l2_policy(policy),
+        benchmark="fuzz",
+        engine=engine,
+    )
+
+
+def assert_engines_match(policy: str, trace, window: int | None = None):
+    """Replay ``trace`` through both engines; assert results + state match."""
+    scalar = fresh(policy, "scalar")
+    scalar_result = scalar.run(trace)
+
+    vector = fresh(policy, "vector")
+    if window is None:
+        vector_result = vector.run(trace)
+    else:
+        vector.hierarchy.reset_stats()
+        vector_result = vector.package(
+            run_packed_vector(vector.core, trace, window=window)
+        )
+    assert scalar_result == vector_result
+    assert hierarchy_state(scalar.hierarchy) == hierarchy_state(vector.hierarchy)
+
+
+@pytest.mark.parametrize("policy", ["lru", "srrip", "brrip", "fifo", "random"])
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_fuzz_traces_bit_identical(policy, seed):
+    assert_engines_match(policy, fuzz_trace(seed))
+
+
+@pytest.mark.parametrize("policy", ["lru", "srrip", "random"])
+@pytest.mark.parametrize("seed", [21, 22, 23])
+def test_aliasing_bursts_bit_identical(policy, seed):
+    """Same-set aliasing bursts overflow associativity mid-window; a small
+    window guarantees fills and evictions straddle window boundaries."""
+    trace = aliasing_trace(seed)
+    assert_engines_match(policy, trace)
+    assert_engines_match(policy, trace, window=64)
+
+
+@pytest.mark.parametrize("policy", ["lru", "srrip"])
+def test_zero_memory_traces(policy):
+    """Fetch/branch-only streams: the batched data-probe arrays are empty."""
+    assert_engines_match(policy, fuzz_trace(31, mem_rate=0.0))
+
+
+@pytest.mark.parametrize("policy", ["ship", "drrip"])
+def test_auto_fallback_on_fuzz_traces(policy):
+    """Unbatchable policies under engine='auto' replay fuzz traces through
+    the scalar loop and match engine='scalar' exactly."""
+    trace = aliasing_trace(41)
+    scalar = fresh(policy, "scalar")
+    scalar_result = scalar.run(trace)
+    auto = fresh(policy, "auto")
+    auto_result = auto.run(trace)
+    assert scalar_result == auto_result
+    assert hierarchy_state(scalar.hierarchy) == hierarchy_state(auto.hierarchy)
+
+
+@pytest.mark.parametrize("policy", ["srrip", "random"])
+@pytest.mark.parametrize("seed", [51, 52])
+def test_per_window_state_snapshots(policy, seed):
+    """Chunked lockstep replay: after *every* chunk the scalar and vector
+    cores must agree on the full memory-system state, so a divergence is
+    caught at the first window it appears in rather than at end of run."""
+    trace = aliasing_trace(seed, instructions=3000)
+    chunk_size = 256
+    scalar = fresh(policy, "scalar")
+    vector = fresh(policy, "vector")
+    from repro.common.trace import PackedTrace
+
+    chunks = []
+    for start in range(0, len(trace), chunk_size):
+        chunk = PackedTrace()
+        for index in range(start, min(start + chunk_size, len(trace))):
+            chunk.append_record(trace.record(index))
+        chunks.append(chunk)
+    assert len(chunks) > 5
+
+    for number, chunk in enumerate(chunks):
+        scalar.core.run(chunk)
+        run_packed_vector(vector.core, chunk, window=97)
+        assert hierarchy_state(scalar.hierarchy) == hierarchy_state(
+            vector.hierarchy
+        ), f"state diverged after chunk {number}"
