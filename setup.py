@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-trrip",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of TRRIP: temperature-based code-cache replacement "
         "via a compiler/OS/hardware co-design (simulator + experiments)"

@@ -11,7 +11,9 @@ from repro.api.session import Session
 from repro.cache.replacement.factory import available_policies
 from repro.cache.replacement.spec import PolicySpec, describe_policies
 from repro.cli.serialize import render_csv, to_jsonable
+from repro.client import DEFAULT_PORT, URL_ENV_VAR
 from repro.common.errors import ConfigurationError, WorkloadError
+from repro.experiments.backends import backend_names
 from repro.experiments.registry import (
     REGISTRY,
     ExperimentContext,
@@ -21,7 +23,7 @@ from repro.experiments.registry import (
 from repro.experiments.store import ResultStore
 from repro.experiments.table3 import format_table3
 from repro.experiments.figure6 import format_figure6
-from repro.sim.config import BASELINE_POLICY, EVALUATED_POLICIES, SimulatorConfig
+from repro.sim.config import BASELINE_POLICY, EVALUATED_POLICIES, NAMED_CONFIGS
 from repro.workloads.capture import TraceArchive
 from repro.workloads.families import describe_families, resolve_workload
 from repro.workloads.spec import (
@@ -30,11 +32,6 @@ from repro.workloads.spec import (
     get_spec,
     tiny_spec,
 )
-
-CONFIGS = {
-    "scaled": SimulatorConfig.scaled,
-    "paper": SimulatorConfig.paper,
-}
 
 
 # ------------------------------------------------------------------ arguments
@@ -46,6 +43,13 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="result-store directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro)",
+    )
+    group.add_argument(
+        "--store-backend",
+        choices=backend_names(),
+        default=None,
+        help="result-store storage backend (default: $REPRO_STORE_BACKEND "
+        "or dir).  Both hold byte-identical entries under the same keys",
     )
     group.add_argument(
         "--no-cache",
@@ -69,7 +73,7 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--config",
-        choices=sorted(CONFIGS),
+        choices=sorted(NAMED_CONFIGS),
         default="scaled",
         help="simulator configuration (default: scaled)",
     )
@@ -260,6 +264,159 @@ def build_parser() -> argparse.ArgumentParser:
         "are asserted per engine (see BENCH_baseline.json)",
     )
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the simulation service: an HTTP daemon with a job queue, "
+        "in-flight dedup by content hash, backpressure and graceful drain",
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="address to bind (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        metavar="PORT",
+        help=f"port to bind; 0 = ephemeral (default: {DEFAULT_PORT})",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker threads executing jobs (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        metavar="N",
+        help="job-queue capacity; a full queue answers 429 with Retry-After "
+        "(default: 16)",
+    )
+    serve_parser.add_argument(
+        "--config",
+        choices=sorted(NAMED_CONFIGS),
+        default="scaled",
+        help="default configuration for submissions that name none "
+        "(default: scaled)",
+    )
+    serve_parser.add_argument(
+        "--engine",
+        choices=("scalar", "vector", "auto"),
+        default="auto",
+        help="packed-trace replay engine (default: auto)",
+    )
+    serve_parser.add_argument(
+        "--ready-file",
+        metavar="FILE",
+        default=None,
+        help="write the bound URL to FILE once the service accepts requests "
+        "(lets scripts/CI wait for startup without polling)",
+    )
+    serve_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log each HTTP request to stderr",
+    )
+    _add_cache_options(serve_parser)
+
+    def _add_client_options(client_parser: argparse.ArgumentParser) -> None:
+        client_parser.add_argument(
+            "--url",
+            default=None,
+            metavar="URL",
+            help=f"service URL (default: ${URL_ENV_VAR} or "
+            f"http://127.0.0.1:{DEFAULT_PORT})",
+        )
+        client_parser.add_argument(
+            "--timeout",
+            type=float,
+            default=60.0,
+            metavar="SECONDS",
+            help="per-request HTTP timeout (default: 60)",
+        )
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a scenario to a running `repro serve` daemon"
+    )
+    submit_parser.add_argument(
+        "--benchmarks",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated benchmarks ('tiny' = the smoke workload)",
+    )
+    submit_parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="submit the miniature smoke-test workload",
+    )
+    submit_parser.add_argument(
+        "--policies",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated policy tokens (default: server baseline)",
+    )
+    submit_parser.add_argument(
+        "--config",
+        choices=sorted(NAMED_CONFIGS),
+        default=None,
+        help="named configuration (default: the server's default)",
+    )
+    submit_parser.add_argument(
+        "--track-reuse",
+        action="store_true",
+        help="collect reuse-distance histograms per point",
+    )
+    submit_parser.add_argument(
+        "--label", default=None, help="free-form tag echoed in job status"
+    )
+    submit_parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="read the submission payload from a JSON file ('-' = stdin) "
+        "instead of building it from flags",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print its results",
+    )
+    submit_parser.add_argument(
+        "--busy-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="on 429, sleep for the server's Retry-After and retry up to N "
+        "times (default: fail immediately)",
+    )
+    _add_client_options(submit_parser)
+
+    status_parser = sub.add_parser(
+        "status",
+        help="show a served job's status, or the service metrics with no "
+        "job id",
+    )
+    status_parser.add_argument(
+        "job",
+        nargs="?",
+        default=None,
+        metavar="JOB",
+        help="job id from `repro submit` (omit for /metrics)",
+    )
+    _add_client_options(status_parser)
+
+    result_parser = sub.add_parser(
+        "result", help="fetch the results of a finished served job"
+    )
+    result_parser.add_argument(
+        "job", metavar="JOB", help="job id from `repro submit`"
+    )
+    _add_client_options(result_parser)
+
     report_parser = sub.add_parser(
         "report", help="render the cached output of a previous run"
     )
@@ -281,6 +438,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="result-store directory the run was saved to",
+    )
+    report_parser.add_argument(
+        "--store-backend",
+        choices=backend_names(),
+        default=None,
+        help="result-store storage backend the run was saved with "
+        "(default: $REPRO_STORE_BACKEND or dir)",
     )
     return parser
 
@@ -331,7 +495,11 @@ def _parse_policies(args) -> Optional[list]:
 def _make_store(args) -> Optional[ResultStore]:
     if args.no_cache:
         return None
-    return ResultStore(root=args.store, refresh=args.refresh)
+    return ResultStore(
+        root=args.store,
+        refresh=args.refresh,
+        backend=getattr(args, "store_backend", None),
+    )
 
 
 def _make_traces(args) -> Optional[TraceArchive]:
@@ -342,7 +510,7 @@ def _make_traces(args) -> Optional[TraceArchive]:
 
 
 def _make_context(args) -> ExperimentContext:
-    config = CONFIGS[args.config]()
+    config = NAMED_CONFIGS[args.config]()
     session = Session(
         config=config,
         store=_make_store(args),
@@ -569,9 +737,12 @@ def _cmd_sweep(args) -> int:
         _save_report(ctx, "sweep", text, checkpointed.sweep)
         return 0
     # Partial failure/interruption: no figure views (they would KeyError on
-    # the missing cells) — print the structured summary and how to recover.
-    print(report.summary_line())
-    print(_cache_summary(ctx))
+    # the missing cells).  Everything goes to stderr — stdout carries only
+    # machine-readable experiment output, and a failed sweep has none, so a
+    # consumer piping `repro sweep` sees an empty stream plus exit 1 instead
+    # of diagnostics masquerading as data.
+    print(report.summary_line(), file=sys.stderr)
+    print(_cache_summary(ctx), file=sys.stderr)
     for failure in report.failures:
         print(f"repro sweep: {failure.describe()}", file=sys.stderr)
     missing = report.total - report.cached - report.succeeded
@@ -618,8 +789,151 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the simulation service daemon in the foreground."""
+    from repro.server import JobManager, ReproServer
+
+    if args.workers < 1:
+        raise ConfigurationError("repro serve needs at least one worker")
+    config_name = args.config
+
+    def session_factory() -> Session:
+        # One private session per worker thread (sessions are not
+        # thread-safe); each gets its own store/archive *instances* over the
+        # shared on-disk roots, which both backends handle concurrently.
+        return Session(
+            config=NAMED_CONFIGS[config_name](),
+            store=_make_store(args),
+            traces=_make_traces(args),
+            engine=args.engine,
+        )
+
+    manager = JobManager(
+        session_factory=session_factory,
+        workers=args.workers,
+        queue_size=args.queue_size,
+    )
+    server = ReproServer(
+        manager,
+        host=args.host,
+        port=args.port,
+        default_config=config_name,
+        verbose=args.verbose,
+    )
+    server.install_signal_handlers()
+    print(
+        f"repro serve: listening on {server.url} "
+        f"({args.workers} worker(s), queue capacity {args.queue_size}, "
+        f"config {config_name})",
+        file=sys.stderr,
+    )
+    if args.ready_file:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            handle.write(server.url + "\n")
+    server.serve_forever()
+    print("repro serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _build_submission(args) -> dict:
+    """A submission payload from ``repro submit`` flags (or ``--json``)."""
+    if args.json is not None:
+        if args.json == "-":
+            raw = sys.stdin.read()
+        else:
+            with open(args.json, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        try:
+            payload = json.loads(raw)
+        except ValueError as error:
+            raise ConfigurationError(f"--json payload is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise ConfigurationError("--json payload must be a JSON object")
+        return payload
+    benchmarks: list[str] = []
+    if args.tiny:
+        benchmarks.append("tiny")
+    if args.benchmarks:
+        benchmarks.extend(
+            name.strip() for name in args.benchmarks.split(",") if name.strip()
+        )
+    if not benchmarks:
+        raise ConfigurationError(
+            "repro submit needs --tiny, --benchmarks or --json"
+        )
+    submission: dict = {"benchmarks": benchmarks}
+    if args.policies:
+        submission["policies"] = [
+            token.strip() for token in args.policies.split(",") if token.strip()
+        ]
+    if args.config:
+        submission["config"] = args.config
+    if args.track_reuse:
+        submission["track_reuse"] = True
+    if args.label:
+        submission["label"] = args.label
+    return submission
+
+
+def _client_call(args, call) -> int:
+    """Run one client interaction with uniform connection/error reporting.
+
+    Stdout stays machine-readable (JSON only); every diagnostic goes to
+    stderr with exit 1.
+    """
+    from repro.client import JobFailed, ReproClient, ServiceError
+
+    client = ReproClient(args.url, timeout=args.timeout)
+    try:
+        print(json.dumps(call(client), indent=1))
+        return 0
+    except JobFailed as error:
+        print(
+            f"repro: job {error.job} failed: "
+            f"{error.error.get('type')}: {error.error.get('message')}",
+            file=sys.stderr,
+        )
+        return 1
+    except ServiceError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 1
+    except TimeoutError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(
+            f"repro: cannot reach {client.url} ({error}) — is `repro serve` "
+            "running?",
+            file=sys.stderr,
+        )
+        return 1
+
+
+def _cmd_submit(args) -> int:
+    submission = _build_submission(args)
+
+    def call(client):
+        accepted = client.submit(submission, busy_retries=args.busy_retries)
+        if not args.wait:
+            return accepted
+        client.wait(accepted["job"])
+        return client.result(accepted["job"])
+
+    return _client_call(args, call)
+
+
+def _cmd_status(args) -> int:
+    if args.job is None:
+        return _client_call(args, lambda client: client.metrics())
+    return _client_call(args, lambda client: client.status(args.job))
+
+
+def _cmd_result(args) -> int:
+    return _client_call(args, lambda client: client.result(args.job))
+
+
 def _cmd_report(args) -> int:
-    store = ResultStore(root=args.store)
+    store = ResultStore(root=args.store, backend=args.store_backend)
     payload = store.load_report(args.experiment)
     if payload is None:
         print(
@@ -636,6 +950,13 @@ def _cmd_report(args) -> int:
     print(
         f"# report from `repro run {args.experiment}` "
         f"(config={payload.get('config')}, benchmarks={scope})",
+        file=sys.stderr,
+    )
+    stats = store.stats()
+    print(
+        f"# store: {store.backend.describe()}; "
+        f"{len(store.backend.keys('runs'))} cached run(s), "
+        f"{stats['hits']} hit(s), {stats['corrupt']} corrupt this lookup",
         file=sys.stderr,
     )
     if args.format == "text":
@@ -668,6 +989,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        if args.command == "result":
+            return _cmd_result(args)
         if args.command == "report":
             return _cmd_report(args)
     except (ConfigurationError, WorkloadError) as error:

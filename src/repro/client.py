@@ -1,0 +1,197 @@
+"""Blocking JSON client for the ``repro serve`` daemon.
+
+Stdlib-only (``http.client``), deliberately boring: one connection per
+request, JSON in, JSON out, errors as typed exceptions.  This is the one
+HTTP client in the tree — the CLI's ``repro submit|status|result`` and the
+test-suite both go through it, so the wire protocol is exercised end to end
+everywhere it is used.
+
+Backpressure is first-class: a 429 raises :class:`ServerBusy` carrying the
+server's ``Retry-After`` estimate, and :meth:`ReproClient.submit` can
+optionally absorb it by sleeping and retrying (``busy_retries``), which is
+what the CLI's ``repro submit --wait`` does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from http.client import HTTPConnection
+from typing import Optional
+from urllib.parse import urlsplit
+
+from repro.common.errors import ReproError
+
+#: Default port of ``repro serve`` (and the ``repro submit|...`` commands).
+DEFAULT_PORT = 8642
+
+#: Environment override for the service URL used by the CLI client commands.
+URL_ENV_VAR = "REPRO_SERVER_URL"
+
+#: Job states the server reports as final.
+TERMINAL_STATES = ("done", "failed")
+
+
+def default_url() -> str:
+    """The service URL: ``$REPRO_SERVER_URL`` or localhost:8642."""
+    return os.environ.get(URL_ENV_VAR) or f"http://127.0.0.1:{DEFAULT_PORT}"
+
+
+class ServiceError(ReproError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, payload: dict):
+        message = (
+            payload.get("error")
+            if isinstance(payload.get("error"), str)
+            else json.dumps(payload.get("error") or payload)
+        )
+        super().__init__(f"server returned {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServerBusy(ServiceError):
+    """The job queue is full (HTTP 429); retry after :attr:`retry_after`."""
+
+    def __init__(self, payload: dict, retry_after: int):
+        super().__init__(429, payload)
+        self.retry_after = retry_after
+
+
+class JobFailed(ServiceError):
+    """The job reached the ``failed`` state; :attr:`error` is structured."""
+
+    def __init__(self, payload: dict):
+        super().__init__(500, payload)
+        self.job = payload.get("job")
+        self.error = payload.get("error") or {}
+
+
+class ReproClient:
+    """Blocking client for one ``repro serve`` endpoint."""
+
+    def __init__(self, url: Optional[str] = None, timeout: float = 60.0):
+        self.url = (url or default_url()).rstrip("/")
+        parsed = urlsplit(self.url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ReproError(
+                f"service URL must look like http://host:port, got {self.url!r}"
+            )
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self.timeout = timeout
+
+    # ---------------------------------------------------------------- plumbing
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> tuple[int, dict, dict]:
+        """One HTTP round trip; returns (status, headers, decoded body)."""
+        connection = HTTPConnection(self._host, self._port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw) if raw else {}
+            return response.status, dict(response.getheaders()), decoded
+        finally:
+            connection.close()
+
+    def _get(self, path: str) -> dict:
+        status, _, payload = self._request("GET", path)
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload
+
+    # --------------------------------------------------------------- protocol
+    def submit(self, submission: dict, busy_retries: int = 0) -> dict:
+        """POST a submission; returns the acceptance payload (``job`` id).
+
+        ``busy_retries > 0`` absorbs that many 429 responses by sleeping for
+        the server's ``Retry-After`` before retrying — dedup makes blind
+        resubmission safe (an identical submission that got through in the
+        meantime is attached to, never re-simulated).
+        """
+        for attempt in range(busy_retries + 1):
+            status, headers, payload = self._request("POST", "/jobs", submission)
+            if status == 429:
+                retry_after = int(headers.get("Retry-After", "1"))
+                if attempt < busy_retries:
+                    time.sleep(retry_after)
+                    continue
+                raise ServerBusy(payload, retry_after)
+            if status >= 400:
+                raise ServiceError(status, payload)
+            return payload
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def status(self, job_id: str) -> dict:
+        """GET the status snapshot of a job."""
+        return self._get(f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """GET the results of a finished job.
+
+        Raises :class:`JobFailed` (with the structured server-side error)
+        for failed jobs and :class:`ServiceError` with ``status=409`` when
+        the job has not finished yet — poll via :meth:`wait` first.
+        """
+        status, _, payload = self._request("GET", f"/jobs/{job_id}/result")
+        if status == 500 and payload.get("state") == "failed":
+            raise JobFailed(payload)
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None, poll: float = 0.2
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns its status."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot.get("state") in TERMINAL_STATES:
+                return snapshot
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot.get('state')!r} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def run(
+        self,
+        submission: dict,
+        timeout: Optional[float] = None,
+        poll: float = 0.2,
+        busy_retries: int = 0,
+    ) -> dict:
+        """Submit, wait, fetch: the blocking one-call shape."""
+        accepted = self.submit(submission, busy_retries=busy_retries)
+        self.wait(accepted["job"], timeout=timeout, poll=poll)
+        return self.result(accepted["job"])
+
+    # ------------------------------------------------------------- diagnostics
+    def health(self) -> dict:
+        return self._get("/healthz")
+
+    def metrics(self) -> dict:
+        return self._get("/metrics")
+
+
+__all__ = [
+    "DEFAULT_PORT",
+    "JobFailed",
+    "ReproClient",
+    "ServerBusy",
+    "ServiceError",
+    "TERMINAL_STATES",
+    "URL_ENV_VAR",
+    "default_url",
+]

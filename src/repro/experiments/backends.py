@@ -1,0 +1,285 @@
+"""Pluggable storage backends for the result store.
+
+The :class:`~repro.experiments.store.ResultStore` used to be welded to one
+layout — JSON files under ``runs/<k0k1>/<key>.json``.  Everything above it
+(the runner, the session, the sweep scheduler, the ``repro serve`` daemon)
+only ever needs four operations, so those four are the whole backend
+interface:
+
+* :meth:`StoreBackend.load` — the JSON payload stored under a key, ``None``
+  on a miss; damaged bytes are **quarantined** (moved aside, never silently
+  deleted) and reported by raising :class:`CorruptEntry`;
+* :meth:`StoreBackend.save` — atomically overwrite a key with a payload;
+* :meth:`StoreBackend.keys` / :meth:`StoreBackend.quarantined` — enumerate
+  live and quarantined entries of a namespace (ops introspection, tests,
+  ``/metrics``).
+
+Namespaces (``"runs"``, ``"reports"``) keep one backend instance shared by
+the run cache and the report cache.  Two backends ship:
+
+``dir``
+    The historical one-file-per-entry layout, byte-identical to what every
+    previous release wrote: atomic ``os.replace`` renames, corrupt entries
+    moved to ``<key>.corrupt``.
+``sqlite``
+    A single ``store.sqlite3`` database under the same root (stdlib
+    :mod:`sqlite3`; no new dependencies), one row per entry plus a
+    ``quarantine`` table.  Every call opens a short-lived connection, so a
+    backend instance is safe to share across threads, fork into pool
+    workers, and pickle.
+
+Both are proven interchangeable by running the store test suite against
+each (``tests/test_store.py`` parametrises every store-backed test over
+both names).  Selection: the ``backend=`` argument, else the
+``REPRO_STORE_BACKEND`` environment variable, else ``dir``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+
+#: Environment variable naming the default backend (CLI: ``--store-backend``).
+ENV_VAR = "REPRO_STORE_BACKEND"
+
+#: Namespaces that shard entries into ``<k0k1>/`` fan-out directories (their
+#: keys are content hashes; report names stay flat and human-readable).
+SHARDED_SPACES = ("runs",)
+
+
+class CorruptEntry(Exception):
+    """A stored payload failed to decode.
+
+    Raised by :meth:`StoreBackend.load` *after* the damaged bytes have been
+    quarantined, so the caller's retry (a re-simulation plus
+    :meth:`StoreBackend.save`) lands in a clean slot while the damage stays
+    inspectable.
+    """
+
+
+class StoreBackend(ABC):
+    """Storage engine behind a :class:`~repro.experiments.store.ResultStore`."""
+
+    #: Registry name (``"dir"``, ``"sqlite"``); set by subclasses.
+    name: str
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    @abstractmethod
+    def load(self, space: str, key: str) -> Optional[dict]:
+        """The payload stored under ``(space, key)``, or ``None`` on a miss.
+
+        Damaged entries are quarantined and reported as :class:`CorruptEntry`.
+        """
+
+    @abstractmethod
+    def save(self, space: str, key: str, payload: dict) -> None:
+        """Atomically overwrite ``(space, key)`` with ``payload``."""
+
+    @abstractmethod
+    def keys(self, space: str) -> list[str]:
+        """Every live key in ``space``, sorted."""
+
+    @abstractmethod
+    def quarantined(self, space: str) -> list[str]:
+        """Every quarantined key in ``space``, sorted."""
+
+    def describe(self) -> str:
+        """One-line human-readable identity for CLI summaries."""
+        return f"{self.root} [{self.name}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({str(self.root)!r})"
+
+
+class DirBackend(StoreBackend):
+    """One JSON file per entry — the historical on-disk layout, unchanged.
+
+    Safe to share between processes: entries are written to a temporary file
+    and atomically renamed into place, and racing writers for one key write
+    byte-identical content (simulations are deterministic).
+    """
+
+    name = "dir"
+
+    def path_for(self, space: str, key: str) -> Path:
+        if space in SHARDED_SPACES:
+            return self.root / space / key[:2] / f"{key}.json"
+        return self.root / space / f"{key}.json"
+
+    def load(self, space: str, key: str) -> Optional[dict]:
+        path = self.path_for(space, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except OSError:
+            # Missing or unreadable entries are plain misses.
+            return None
+        except ValueError as error:
+            # Damaged JSON (torn write, disk corruption): quarantine out of
+            # the way so the re-run's atomic rewrite lands in a clean slot.
+            try:
+                os.replace(path, path.with_suffix(".corrupt"))
+            except OSError:  # racing workers quarantined it already
+                return None
+            raise CorruptEntry(f"{space}/{key}: {error}") from error
+
+    def save(self, space: str, key: str, payload: dict) -> None:
+        path = self.path_for(space, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def keys(self, space: str) -> list[str]:
+        pattern = "*/*.json" if space in SHARDED_SPACES else "*.json"
+        return sorted(path.stem for path in (self.root / space).glob(pattern))
+
+    def quarantined(self, space: str) -> list[str]:
+        pattern = "*/*.corrupt" if space in SHARDED_SPACES else "*.corrupt"
+        return sorted(path.stem for path in (self.root / space).glob(pattern))
+
+
+class SQLiteBackend(StoreBackend):
+    """Every entry in one ``store.sqlite3`` database under the root.
+
+    Writes run in their own transaction (an ``INSERT OR REPLACE`` is the
+    atomic-overwrite equivalent of the dir backend's rename), and each call
+    opens a short-lived connection, so one backend instance can be shared
+    across threads and forked into pool workers.  Corrupt payloads move to
+    the ``quarantine`` table, mirroring the ``*.corrupt`` convention.
+    """
+
+    name = "sqlite"
+
+    #: Database filename under the store root.
+    FILENAME = "store.sqlite3"
+
+    @property
+    def database_path(self) -> Path:
+        return self.root / self.FILENAME
+
+    def _connect(self) -> sqlite3.Connection:
+        self.root.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(self.database_path, timeout=30.0)
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS entries ("
+            " space TEXT NOT NULL, key TEXT NOT NULL, payload TEXT NOT NULL,"
+            " PRIMARY KEY (space, key))"
+        )
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS quarantine ("
+            " space TEXT NOT NULL, key TEXT NOT NULL, payload TEXT NOT NULL,"
+            " PRIMARY KEY (space, key))"
+        )
+        return connection
+
+    def load(self, space: str, key: str) -> Optional[dict]:
+        try:
+            with self._connect() as connection:
+                row = connection.execute(
+                    "SELECT payload FROM entries WHERE space = ? AND key = ?",
+                    (space, key),
+                ).fetchone()
+        except sqlite3.Error:
+            # An unreadable/locked-out database is a plain miss, exactly like
+            # an unreadable file in the dir backend.
+            return None
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except ValueError as error:
+            with self._connect() as connection:
+                connection.execute(
+                    "INSERT OR REPLACE INTO quarantine (space, key, payload)"
+                    " VALUES (?, ?, ?)",
+                    (space, key, row[0]),
+                )
+                connection.execute(
+                    "DELETE FROM entries WHERE space = ? AND key = ?",
+                    (space, key),
+                )
+            raise CorruptEntry(f"{space}/{key}: {error}") from error
+
+    def save(self, space: str, key: str, payload: dict) -> None:
+        text = json.dumps(payload, indent=1)
+        with self._connect() as connection:
+            connection.execute(
+                "INSERT OR REPLACE INTO entries (space, key, payload)"
+                " VALUES (?, ?, ?)",
+                (space, key, text),
+            )
+
+    def keys(self, space: str) -> list[str]:
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT key FROM entries WHERE space = ? ORDER BY key", (space,)
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def quarantined(self, space: str) -> list[str]:
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT key FROM quarantine WHERE space = ? ORDER BY key",
+                (space,),
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def describe(self) -> str:
+        return f"{self.database_path} [{self.name}]"
+
+
+#: Registered backends by name, in catalog order.
+BACKENDS: dict[str, type[StoreBackend]] = {
+    DirBackend.name: DirBackend,
+    SQLiteBackend.name: SQLiteBackend,
+}
+
+
+def backend_names() -> tuple[str, ...]:
+    return tuple(BACKENDS)
+
+
+def default_backend_name() -> str:
+    """``$REPRO_STORE_BACKEND`` if set, else ``dir``."""
+    return os.environ.get(ENV_VAR) or DirBackend.name
+
+
+def open_backend(
+    name: "str | StoreBackend | None", root: Path | str
+) -> StoreBackend:
+    """Resolve a backend selection into an instance rooted at ``root``.
+
+    ``name`` may be a backend name, an already-built instance (adopted
+    as-is), or ``None`` for the environment/default selection.  Unknown
+    names fail eagerly with the valid choices.
+    """
+    if isinstance(name, StoreBackend):
+        return name
+    wanted = name or default_backend_name()
+    backend_type = BACKENDS.get(wanted)
+    if backend_type is None:
+        raise ConfigurationError(
+            f"unknown store backend {wanted!r}; expected one of "
+            f"{', '.join(backend_names())}"
+        )
+    return backend_type(root)

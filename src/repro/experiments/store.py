@@ -9,8 +9,13 @@ SHA-256 content hash of those inputs (see :mod:`repro.common.hashing`), so
 regenerating a figure a second time — from the same process, a new process,
 or a pool worker — is a cache hit instead of a re-simulation.
 
-Layout under the store root (default ``~/.cache/repro``, overridable with
-the ``REPRO_CACHE_DIR`` environment variable or the CLI's ``--store``):
+Physical storage is delegated to a pluggable
+:class:`~repro.experiments.backends.StoreBackend` (selected via the
+``backend=`` argument, the ``REPRO_STORE_BACKEND`` environment variable or
+the CLI's ``--store-backend``).  The default ``dir`` backend keeps the
+historical layout under the store root (default ``~/.cache/repro``,
+overridable with the ``REPRO_CACHE_DIR`` environment variable or the CLI's
+``--store``):
 
 * ``runs/<k0k1>/<key>.json`` — one cached :class:`~repro.sim.results.SimulationResult`
   (plus reuse-distance histograms when the run tracked them), with the key
@@ -18,23 +23,24 @@ the ``REPRO_CACHE_DIR`` environment variable or the CLI's ``--store``):
 * ``reports/<experiment>.json`` — the rendered output of the most recent
   ``repro run <experiment>``, consumed by ``repro report``.
 
-Entries never expire on their own; the key embeds a schema version, so a
-format change simply stops matching old entries.  ``refresh=True`` makes
-every lookup miss while still writing fresh entries (the CLI's
-``--refresh``), and deleting the root directory invalidates everything.
+The ``sqlite`` backend stores the same namespaces as rows of a single
+``store.sqlite3`` database under the same root.  Entries never expire on
+their own; the key embeds a schema version, so a format change simply stops
+matching old entries.  ``refresh=True`` makes every lookup miss while still
+writing fresh entries (the CLI's ``--refresh``), and deleting the root
+directory invalidates everything.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
 from repro.analysis.reuse import REUSE_BUCKETS, ReuseDistanceTracker
 from repro.cache.replacement.spec import PolicySpec
+from repro.experiments.backends import CorruptEntry, StoreBackend, open_backend
 from repro.common.faults import fire_point
 from repro.common.hashing import canonical_payload, stable_hash
 from repro.core.pipeline import PipelineOptions
@@ -123,15 +129,24 @@ class StoredRun:
 class ResultStore:
     """Content-addressed store of simulation runs and experiment reports.
 
-    The store is safe to share between pool workers: entries are written to a
-    temporary file and atomically renamed into place, and two workers racing
-    on the same key write byte-identical content (simulations are
-    deterministic).  Hit/miss/write counters are per-instance — the CLI
-    reports them after each command.
+    The store is safe to share between pool workers: both shipped backends
+    write atomically, and two workers racing on the same key write
+    byte-identical content (simulations are deterministic).  Hit/miss/write
+    counters are per-instance — the CLI reports them after each command and
+    the ``repro serve`` daemon aggregates them into ``/metrics``
+    (:meth:`stats`).
     """
 
-    def __init__(self, root: Path | str | None = None, refresh: bool = False):
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        refresh: bool = False,
+        backend: "str | StoreBackend | None" = None,
+    ):
         self.root = Path(root) if root is not None else default_store_root()
+        #: Physical storage engine (``dir`` files or a ``sqlite`` database);
+        #: see :mod:`repro.experiments.backends` for selection rules.
+        self.backend = open_backend(backend, self.root)
         #: When set, every lookup misses but fresh results are still written.
         self.refresh = refresh
         self.hits = 0
@@ -140,10 +155,21 @@ class ResultStore:
         #: Corrupted/truncated entries quarantined during lookups.
         self.corrupt = 0
 
-    # -------------------------------------------------------------- run cache
-    def _run_path(self, key: str) -> Path:
-        return self.root / "runs" / key[:2] / f"{key}.json"
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: ``{"hits", "misses", "writes", "corrupt"}``.
 
+        ``corrupt`` counts entries this instance quarantined mid-lookup —
+        surfaced in CLI cache summaries, ``repro report`` provenance and the
+        server's ``/metrics``.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
+
+    # -------------------------------------------------------------- run cache
     def load_run(
         self, key: str, need_reuse: bool = False, record: bool = True
     ) -> Optional[StoredRun]:
@@ -158,7 +184,7 @@ class ResultStore:
         """
         entry = None
         if not self.refresh:
-            entry = self._read_json(self._run_path(key))
+            entry = self._read_entry("runs", key)
         if entry is not None and entry.get("schema") == SCHEMA_VERSION:
             reuse = entry.get("reuse")
             if not need_reuse or reuse is not None:
@@ -203,63 +229,35 @@ class ResultStore:
                 else None
             ),
         }
-        self._write_json(self._run_path(key), entry)
+        self._write_entry("runs", key, entry)
         self.writes += 1
 
     # ---------------------------------------------------------------- reports
-    def _report_path(self, experiment: str) -> Path:
-        return self.root / "reports" / f"{experiment}.json"
-
-    def save_report(self, experiment: str, payload: dict) -> Path:
+    def save_report(self, experiment: str, payload: dict) -> None:
         """Persist the rendered output of ``repro run <experiment>``."""
-        path = self._report_path(experiment)
-        self._write_json(path, {"schema": SCHEMA_VERSION, **payload})
-        return path
+        self._write_entry(
+            "reports", experiment, {"schema": SCHEMA_VERSION, **payload}
+        )
 
     def load_report(self, experiment: str) -> Optional[dict]:
         """The most recent report for ``experiment``, or ``None``."""
-        entry = self._read_json(self._report_path(experiment))
+        entry = self._read_entry("reports", experiment)
         if entry is not None and entry.get("schema") == SCHEMA_VERSION:
             return entry
         return None
 
     # -------------------------------------------------------------- internals
-    def _read_json(self, path: Path) -> Optional[dict]:
+    def _read_entry(self, space: str, key: str) -> Optional[dict]:
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except OSError:
-            # Missing or unreadable entries are plain misses.
-            return None
-        except ValueError:
-            # Damaged JSON (torn write, disk corruption) is a miss too, but
-            # quarantined out of the way so the re-run's atomic rewrite lands
-            # in a clean slot and the damage stays inspectable.
-            self._quarantine(path)
+            return self.backend.load(space, key)
+        except CorruptEntry:
+            # Damaged bytes (torn write, disk corruption) are a miss; the
+            # backend already quarantined them out of the way so the
+            # re-run's atomic rewrite lands in a clean slot and the damage
+            # stays inspectable.
+            self.corrupt += 1
             return None
 
-    def _quarantine(self, path: Path) -> None:
-        target = path.with_suffix(".corrupt")
-        try:
-            os.replace(path, target)
-        except OSError:  # pragma: no cover - racing workers, gone already
-            return
-        self.corrupt += 1
-
-    @staticmethod
-    def _write_json(path: Path, payload: dict) -> None:
+    def _write_entry(self, space: str, key: str, payload: dict) -> None:
         fire_point("store.write")
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=1)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        self.backend.save(space, key, payload)

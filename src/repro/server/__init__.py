@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon.
+
+The Session layer, the content-hash result store and the trace archive are
+already process-safe and dedup-aware; this package puts an HTTP front end on
+them so the replay engine becomes a queryable service instead of a CLI
+someone runs:
+
+* :mod:`repro.server.jobs` — the in-process execution core: a bounded job
+  queue, N worker threads running submissions through
+  :class:`~repro.api.session.Session`, in-flight deduplication by content
+  hash (identical concurrent submissions attach to one running simulation),
+  explicit backpressure and graceful drain;
+* :mod:`repro.server.submission` — the JSON submission protocol: payload
+  validation, Scenario construction, and the job content key derived from
+  the same :func:`~repro.experiments.store.run_key` hashes the result store
+  uses;
+* :mod:`repro.server.app` — the stdlib ``ThreadingHTTPServer`` API layer
+  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/result``,
+  ``GET /healthz``, ``GET /metrics``) plus SIGTERM/SIGINT drain.
+
+The matching blocking client lives in :mod:`repro.client`; the CLI wires
+everything up as ``repro serve`` / ``repro submit`` / ``repro status`` /
+``repro result``.  Everything is stdlib-only — no new dependencies.
+"""
+
+from repro.server.app import ReproServer
+from repro.server.jobs import Job, JobManager, QueueFullError, ShuttingDownError
+from repro.server.submission import SubmissionError, parse_submission
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "QueueFullError",
+    "ReproServer",
+    "ShuttingDownError",
+    "SubmissionError",
+    "parse_submission",
+]

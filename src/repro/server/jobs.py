@@ -1,0 +1,384 @@
+"""Job queue and worker pool behind the ``repro serve`` daemon.
+
+The execution core is deliberately independent of HTTP: a
+:class:`JobManager` owns a bounded FIFO queue of :class:`Job` objects and N
+worker threads that execute them through the regular
+:class:`~repro.api.session.Session` machinery, so everything the batch CLI
+guarantees — store-level dedup, trace capture/replay, lockstep multi-policy
+grouping, bit-identical results — holds for served jobs too.  On top of the
+store's content-level dedup the manager adds **in-flight job dedup**:
+submissions are content-addressed by their
+:attr:`~repro.server.submission.ParsedSubmission.job_key` (a hash over the
+plan's result-store run keys), so identical concurrent submissions attach to
+one queued/running/completed job instead of simulating twice.
+
+Capacity is explicit, never silent:
+
+* a full queue rejects the submission with :class:`QueueFullError`, which
+  the HTTP layer maps to ``429`` with a ``Retry-After`` estimate derived
+  from observed job wall times;
+* :meth:`JobManager.shutdown` stops accepting
+  (:class:`ShuttingDownError` → ``503``) and **drains**: every job already
+  accepted — running or still queued — completes before the workers exit,
+  because an accepted job is a promise.
+
+Worker threads each own a private session (sessions are not thread-safe;
+the shared state is the on-disk store, which is).  Fault injection
+(``REPRO_FAULTS``) is wired into the execution path via the ``serve.job``
+failure point: an injected raise/ENOSPC/abort during a served job marks the
+job *failed* with a structured error and the worker moves on — a wedged
+worker would otherwise silently shrink the pool.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.api.session import Session
+from repro.common.errors import ReproError
+from repro.common.faults import fire_point
+from repro.server.submission import ParsedSubmission
+
+#: Job lifecycle states, in order.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+#: States a job can never leave.
+TERMINAL_STATES = (DONE, FAILED)
+
+#: Sentinel handed to workers to make them exit after the queue drains.
+_STOP = object()
+
+
+class QueueFullError(ReproError):
+    """The bounded job queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: int):
+        super().__init__(
+            f"job queue is full; retry after ~{retry_after}s"
+        )
+        self.retry_after = retry_after
+
+
+class ShuttingDownError(ReproError):
+    """The manager is draining and no longer accepts submissions."""
+
+    def __init__(self) -> None:
+        super().__init__("server is shutting down; submissions are closed")
+
+
+@dataclass
+class Job:
+    """One accepted submission and everything learned while serving it."""
+
+    id: str
+    key: str
+    parsed: ParsedSubmission
+    state: str = QUEUED
+    #: Submissions served by this job (1 + deduplicated attachments).
+    attached: int = 1
+    #: Wall-clock submission/start/finish stamps (``time.time``).
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Execution wall time in seconds (monotonic), set on completion.
+    wall_time: Optional[float] = None
+    #: One payload per requested point, in request order (state ``done``).
+    results: Optional[list[dict]] = None
+    #: Structured failure: ``{"type", "message"}`` (state ``failed``).
+    error: Optional[dict] = None
+    #: Signalled on entering a terminal state (used by waiters and drain).
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def snapshot(self) -> dict:
+        """JSON-safe status view (the ``GET /jobs/<id>`` payload)."""
+        payload = {
+            "job": self.id,
+            "state": self.state,
+            "submission": self.parsed.normalized,
+            "points": self.parsed.total_points,
+            "unique_points": self.parsed.unique_points,
+            "deduped_submissions": self.attached - 1,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_time_seconds": self.wall_time,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobManager:
+    """Bounded job queue + worker threads executing through ``Session``.
+
+    ``session_factory`` builds one private session per worker thread (give
+    each its own store/archive *instances* over the shared on-disk roots;
+    :meth:`store_stats`/:meth:`trace_stats` aggregate the counters).
+    ``workers=0`` creates no threads — submissions queue up until
+    :meth:`start` runs, which tests use to stage deterministic backpressure
+    and dedup scenarios.
+    """
+
+    def __init__(
+        self,
+        session_factory: Optional[Callable[[], Session]] = None,
+        workers: int = 2,
+        queue_size: int = 16,
+    ):
+        if workers < 0:
+            raise ReproError(f"workers must be >= 0, got {workers}")
+        if queue_size < 1:
+            raise ReproError(f"queue_size must be >= 1, got {queue_size}")
+        self._session_factory = session_factory or Session
+        self.worker_count = workers
+        self.queue_size = queue_size
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._by_key: dict[str, str] = {}
+        self._threads: list[threading.Thread] = []
+        self._sessions: list[Session] = []
+        self._accepting = True
+        self._draining = False
+        self._sequence = 0
+        self.started_at = time.time()
+        # Lifetime counters (states are derived from the jobs themselves).
+        self.submitted = 0
+        self.deduped = 0
+        self.rejected = 0
+        self._wall_count = 0
+        self._wall_total = 0.0
+        self._wall_max = 0.0
+
+    # ------------------------------------------------------------ submission
+    def submit(self, parsed: ParsedSubmission) -> tuple[Job, bool]:
+        """Accept a parsed submission; returns ``(job, deduplicated)``.
+
+        An in-flight or completed job with the same content key adopts the
+        submission (``deduplicated=True``); a failed one does not — the
+        resubmission becomes a fresh job, i.e. the retry path.  Raises
+        :class:`QueueFullError` on backpressure and
+        :class:`ShuttingDownError` during drain; neither registers a job.
+        """
+        with self._lock:
+            if not self._accepting:
+                raise ShuttingDownError()
+            existing_id = self._by_key.get(parsed.job_key)
+            if existing_id is not None:
+                existing = self._jobs[existing_id]
+                if existing.state != FAILED:
+                    existing.attached += 1
+                    self.submitted += 1
+                    self.deduped += 1
+                    return existing, True
+            self._sequence += 1
+            job = Job(
+                id=f"{parsed.job_key[:12]}-{self._sequence}",
+                key=parsed.job_key,
+                parsed=parsed,
+                submitted_at=time.time(),
+            )
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self.rejected += 1
+                raise QueueFullError(self._retry_after_locked()) from None
+            self.submitted += 1
+            self._jobs[job.id] = job
+            self._by_key[parsed.job_key] = job.id
+            return job, False
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until a job reaches a terminal state (or timeout)."""
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        if not job.done_event.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.state} after {timeout}s")
+        return job
+
+    def _retry_after_locked(self) -> int:
+        """Backpressure hint: how long until a queue slot frees up.
+
+        Scales the mean observed job wall time by the backlog per worker;
+        1s floor when nothing has completed yet, 120s cap so a pathological
+        first job cannot push clients away for good.
+        """
+        mean = self._wall_total / self._wall_count if self._wall_count else 1.0
+        backlog = self._queue.qsize() + 1
+        per_worker = backlog / max(self.worker_count, 1)
+        return max(1, min(120, int(mean * per_worker + 0.999)))
+
+    # ------------------------------------------------------------- execution
+    def start(self, workers: Optional[int] = None) -> None:
+        """Spawn the worker threads (idempotent top-up to ``workers``)."""
+        wanted = self.worker_count if workers is None else workers
+        self.worker_count = max(self.worker_count, wanted)
+        with self._lock:
+            missing = wanted - len(self._threads)
+            for _ in range(max(0, missing)):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-serve-worker-{len(self._threads)}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def _worker_loop(self) -> None:
+        session = self._session_factory()
+        with self._lock:
+            self._sessions.append(session)
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            self._execute(session, item)
+
+    def _execute(self, session: Session, job: Job) -> None:
+        with self._lock:
+            job.state = RUNNING
+            job.started_at = time.time()
+        clock_start = time.monotonic()
+        try:
+            # The served-job failure point: REPRO_FAULTS="serve.job:N=..."
+            # targets the N-th job this process executes.  A raise/enospc/
+            # abort here (or anywhere in the execution below, including the
+            # store/trace write points) must fail the *job*, structurally,
+            # not the worker.
+            fire_point("serve.job")
+            results = self._run(session, job.parsed)
+        except Exception as error:  # noqa: BLE001 - the worker must survive
+            with self._lock:
+                job.error = {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                }
+                job.state = FAILED
+                self._finish_locked(job, clock_start)
+        else:
+            with self._lock:
+                job.results = results
+                job.state = DONE
+                self._finish_locked(job, clock_start)
+
+    def _finish_locked(self, job: Job, clock_start: float) -> None:
+        job.finished_at = time.time()
+        job.wall_time = time.monotonic() - clock_start
+        self._wall_count += 1
+        self._wall_total += job.wall_time
+        self._wall_max = max(self._wall_max, job.wall_time)
+        job.done_event.set()
+
+    @staticmethod
+    def _run(session: Session, parsed: ParsedSubmission) -> list[dict]:
+        """Execute one parsed submission; one payload per requested point.
+
+        Store keys are recomputed by the engine exactly as for a direct CLI
+        run, so a served result and a ``repro run``/``repro sweep`` of the
+        same point are literally the same store entry.
+        """
+        plan = parsed.plan
+        artifacts = session.execute(plan)
+        results = []
+        for request, arts, key in zip(plan.requests, artifacts, parsed.run_keys):
+            entry = {
+                "benchmark": request.spec.name,
+                "policy": request.policy.canonical(),
+                "store_key": key,
+                "result": arts.result.to_dict(),
+            }
+            if request.track_reuse and arts.reuse is not None:
+                entry["reuse"] = {
+                    "num_sets": arts.reuse.num_sets,
+                    "base": dict(arts.reuse.base.counts),
+                    "hot_only": dict(arts.reuse.hot_only.counts),
+                }
+            results.append(entry)
+        return results
+
+    # ----------------------------------------------------------------- drain
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting submissions and wind the workers down.
+
+        ``drain=True`` (the only shipped mode; the flag exists for tests)
+        lets every accepted job — queued included — finish first: the stop
+        sentinels queue *behind* the backlog, so workers exit only once it
+        is empty.  Idempotent; safe to call from signal handlers via a
+        helper thread.
+        """
+        with self._lock:
+            if self._draining:
+                return
+            self._accepting = False
+            self._draining = True
+            threads = list(self._threads)
+        if not drain:
+            try:
+                while True:
+                    self._queue.get_nowait()
+            except queue.Empty:
+                pass
+        for _ in threads:
+            self._queue.put(_STOP)
+        for thread in threads:
+            thread.join()
+
+    # --------------------------------------------------------------- metrics
+    def metrics(self) -> dict:
+        """The ``GET /metrics`` payload: jobs, wall times, store counters."""
+        with self._lock:
+            states = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            wall = {
+                "count": self._wall_count,
+                "total_seconds": self._wall_total,
+                "max_seconds": self._wall_max,
+                "mean_seconds": (
+                    self._wall_total / self._wall_count if self._wall_count else 0.0
+                ),
+            }
+            jobs = {
+                "submitted": self.submitted,
+                "deduped": self.deduped,
+                "rejected": self.rejected,
+                "queued": states[QUEUED],
+                "running": states[RUNNING],
+                "completed": states[DONE],
+                "failed": states[FAILED],
+                "queue_capacity": self.queue_size,
+                "workers": len(self._threads),
+            }
+            sessions = list(self._sessions)
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "jobs": jobs,
+            "job_wall_time": wall,
+            "store": self._aggregate(
+                [s.store for s in sessions if s.store is not None]
+            ),
+            "traces": self._aggregate(
+                [s.traces for s in sessions if s.traces is not None]
+            ),
+        }
+
+    @staticmethod
+    def _aggregate(trackers: list) -> dict[str, int]:
+        totals = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+        for tracker in trackers:
+            for name, value in tracker.stats().items():
+                totals[name] += value
+        return totals

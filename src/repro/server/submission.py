@@ -1,0 +1,212 @@
+"""The JSON submission protocol of the ``repro serve`` daemon.
+
+A submission is a declarative description of what to simulate — the JSON
+twin of a :class:`~repro.api.scenario.Scenario`::
+
+    {
+      "benchmarks": ["tiny"],                  # names, family tokens, "tiny"
+      "policies": ["lru", "ship:shct_bits=3"], # optional; default baseline
+      "config": "scaled",                      # optional; named configuration
+      "track_reuse": false,                    # optional; reuse histograms
+      "warmup_instructions": 2000,             # optional phase overrides
+      "measure_instructions": 6000,
+      "label": "my study"                      # optional free-form tag
+    }
+
+Validation is eager and total: unknown fields, unknown workloads/policies/
+configurations and empty axes all fail here with a
+:class:`SubmissionError` (HTTP 400) before anything is queued.  Parsing also
+expands the scenario into its :class:`~repro.api.scenario.RunPlan` and
+derives two kinds of content hash from it:
+
+* one :func:`~repro.experiments.store.run_key` per requested point — the
+  exact store keys a direct ``repro run``/``repro sweep`` of the same grid
+  would write, echoed in the result payload so clients can correlate served
+  results with store entries;
+* the **job key**: a stable hash over the ordered run keys.  Two
+  submissions with equal job keys are served by one job (and therefore one
+  set of simulations) — the in-flight dedup the job manager applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.scenario import RunPlan, Scenario, build_plan
+from repro.common.errors import ReproError
+from repro.common.hashing import stable_hash
+from repro.core.pipeline import PipelineOptions
+from repro.experiments.store import run_key
+from repro.sim.config import BASELINE_POLICY, NAMED_CONFIGS, named_config
+from repro.workloads.spec import tiny_spec
+
+#: Submission schema version, folded into every job key.
+SUBMISSION_SCHEMA = 1
+
+#: The accepted top-level payload fields.
+FIELDS = (
+    "benchmarks",
+    "policies",
+    "config",
+    "track_reuse",
+    "warmup_instructions",
+    "measure_instructions",
+    "label",
+)
+
+#: Benchmark token served by the miniature smoke workload (the CLI's
+#: ``--tiny``); everything else resolves through the regular catalogs.
+TINY_TOKEN = "tiny"
+
+
+class SubmissionError(ReproError):
+    """A submission payload failed validation (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class ParsedSubmission:
+    """A validated submission, expanded and content-addressed."""
+
+    #: Normalised echo of the payload (defaults filled in), JSON-safe.
+    normalized: dict
+    #: The scenario the job will execute.
+    scenario: Scenario
+    #: Its expanded, deduplicated plan (built eagerly: free, and it is what
+    #: surfaces unknown-workload/policy errors before queueing).
+    plan: RunPlan
+    #: One result-store key per requested point, in request order.
+    run_keys: tuple[str, ...]
+    #: Content hash identifying the whole job (dedup coordinate).
+    job_key: str
+
+    @property
+    def total_points(self) -> int:
+        return len(self.plan.requests)
+
+    @property
+    def unique_points(self) -> int:
+        return len(self.plan.unique)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SubmissionError(message)
+
+
+def _string_list(payload: dict, field: str) -> list[str]:
+    values = payload.get(field)
+    _require(isinstance(values, list) and values, f"{field!r} must be a non-empty list")
+    for value in values:
+        _require(
+            isinstance(value, str) and value.strip(),
+            f"{field!r} entries must be non-empty strings",
+        )
+    return [value.strip() for value in values]
+
+
+def parse_submission(
+    payload: object, default_config: str = "scaled"
+) -> ParsedSubmission:
+    """Validate a submission payload and expand it into a plan.
+
+    Raises :class:`SubmissionError` on any structural problem; workload,
+    policy and configuration tokens are validated through the same
+    registries the CLI uses, so the error messages name the offending token
+    and the valid choices.
+    """
+    _require(isinstance(payload, dict), "submission must be a JSON object")
+    unknown = sorted(set(payload) - set(FIELDS))
+    _require(
+        not unknown,
+        f"unknown submission field(s) {', '.join(map(repr, unknown))}; "
+        f"expected a subset of {', '.join(FIELDS)}",
+    )
+    _require("benchmarks" in payload, "submission needs a 'benchmarks' list")
+
+    benchmark_tokens = _string_list(payload, "benchmarks")
+    policy_tokens = (
+        _string_list(payload, "policies")
+        if payload.get("policies") is not None
+        else [BASELINE_POLICY]
+    )
+    config_name = payload.get("config", default_config)
+    _require(
+        isinstance(config_name, str) and config_name in NAMED_CONFIGS,
+        f"unknown configuration {config_name!r}; expected one of "
+        f"{', '.join(NAMED_CONFIGS)}",
+    )
+    track_reuse = payload.get("track_reuse", False)
+    _require(isinstance(track_reuse, bool), "'track_reuse' must be a boolean")
+    label = payload.get("label", "")
+    _require(isinstance(label, str), "'label' must be a string")
+    overrides = {}
+    for field in ("warmup_instructions", "measure_instructions"):
+        value = payload.get(field)
+        if value is not None:
+            _require(
+                isinstance(value, int) and not isinstance(value, bool) and value > 0,
+                f"{field!r} must be a positive integer",
+            )
+            overrides[field] = value
+
+    benchmarks = tuple(
+        tiny_spec() if token == TINY_TOKEN else token for token in benchmark_tokens
+    )
+    try:
+        scenario = Scenario(
+            benchmarks=benchmarks,
+            policies=tuple(policy_tokens),
+            config=named_config(config_name),
+            track_reuse=track_reuse,
+            label=label,
+            **overrides,
+        )
+        # Expansion resolves every workload/policy token eagerly — an
+        # unknown name fails here, before the job exists.
+        plan = build_plan((scenario,), options=PipelineOptions())
+    except SubmissionError:
+        raise
+    except ReproError as error:
+        raise SubmissionError(str(error)) from error
+
+    run_keys = tuple(
+        run_key(
+            request.spec,
+            request.policy,
+            request.config.with_l2_policy(request.policy),
+            request.options,
+        )
+        for request in plan.requests
+    )
+    job_key = stable_hash(
+        {
+            "schema": SUBMISSION_SCHEMA,
+            "run_keys": list(run_keys),
+            "track_reuse": track_reuse,
+        }
+    )
+    normalized = {
+        "benchmarks": benchmark_tokens,
+        "policies": policy_tokens,
+        "config": config_name,
+        "track_reuse": track_reuse,
+        "label": label,
+        **{field: value for field, value in overrides.items()},
+    }
+    return ParsedSubmission(
+        normalized=normalized,
+        scenario=scenario,
+        plan=plan,
+        run_keys=run_keys,
+        job_key=job_key,
+    )
+
+
+__all__ = [
+    "FIELDS",
+    "ParsedSubmission",
+    "SubmissionError",
+    "SUBMISSION_SCHEMA",
+    "TINY_TOKEN",
+    "parse_submission",
+]

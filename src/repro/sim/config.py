@@ -221,6 +221,27 @@ class SimulatorConfig:
         return cls.scaled()
 
 
+#: Named configuration constructors shared by the CLI (``--config``) and the
+#: ``repro serve`` submission protocol (the ``"config"`` field).
+NAMED_CONFIGS = {
+    "scaled": SimulatorConfig.scaled,
+    "paper": SimulatorConfig.paper,
+}
+
+
+def named_config(name: str) -> SimulatorConfig:
+    """Build the named configuration, failing eagerly on unknown names."""
+    from repro.common.errors import ConfigurationError
+
+    constructor = NAMED_CONFIGS.get(name)
+    if constructor is None:
+        raise ConfigurationError(
+            f"unknown configuration {name!r}; expected one of "
+            f"{', '.join(NAMED_CONFIGS)}"
+        )
+    return constructor()
+
+
 def table1_rows(config: SimulatorConfig | None = None) -> list[tuple[str, str]]:
     """Human-readable (component, configuration) rows mirroring Table 1."""
     cfg = config or SimulatorConfig.paper()

@@ -68,6 +68,7 @@ __all__ = [
     "active_plan",
     "aliasing_trace",
     "corrupt_file",
+    "damage_store_entry",
     "data_load",
     "data_store",
     "equivalence_matrix",
@@ -79,6 +80,7 @@ __all__ = [
     "make_request",
     "make_session",
     "make_store",
+    "read_quarantined_entry",
     "reset_fault_counters",
     "small_lru_cache",
     "small_srrip_cache",
@@ -133,13 +135,65 @@ def small_srrip_cache() -> SetAssociativeCache:
 
 # ----------------------------------------------------------- store / session
 def make_store(
-    root: Path | str | None, refresh: bool = False
+    root: Path | str | None,
+    refresh: bool = False,
+    backend: "str | None" = None,
 ) -> Optional[ResultStore]:
     """A :class:`ResultStore` rooted at ``root``, or ``None`` when no root
     is given (callers treat that as "store disabled")."""
     if not root:
         return None
-    return ResultStore(root, refresh=refresh)
+    return ResultStore(root, refresh=refresh, backend=backend)
+
+
+def damage_store_entry(
+    store: ResultStore, key: str, space: str = "runs", text: str = "{torn"
+) -> None:
+    """Overwrite a stored payload with undecodable bytes, backend-agnostically.
+
+    The corruption tests poke damage *behind* the store (a torn write, bit
+    rot) and assert the quarantine behaviour; this is the one place that
+    knows how to reach each backend's storage directly — a file write for
+    ``dir``, an SQL ``UPDATE`` for ``sqlite`` — so the tests themselves stay
+    layout-free and run against every backend unchanged.
+    """
+    from repro.experiments.backends import DirBackend, SQLiteBackend
+
+    backend = store.backend
+    if isinstance(backend, DirBackend):
+        backend.path_for(space, key).write_text(text, encoding="utf-8")
+    elif isinstance(backend, SQLiteBackend):
+        with backend._connect() as connection:
+            connection.execute(
+                "UPDATE entries SET payload = ? WHERE space = ? AND key = ?",
+                (text, space, key),
+            )
+    else:  # pragma: no cover - future backends must teach this helper
+        raise NotImplementedError(f"cannot damage entries of {backend!r}")
+
+
+def read_quarantined_entry(
+    store: ResultStore, key: str, space: str = "runs"
+) -> Optional[str]:
+    """The quarantined raw payload for ``key``, or ``None`` if not present."""
+    from repro.experiments.backends import DirBackend, SQLiteBackend
+
+    backend = store.backend
+    if isinstance(backend, DirBackend):
+        path = backend.path_for(space, key).with_suffix(".corrupt")
+        if not path.exists():
+            return None
+        return path.read_text(encoding="utf-8")
+    if isinstance(backend, SQLiteBackend):
+        with backend._connect() as connection:
+            row = connection.execute(
+                "SELECT payload FROM quarantine WHERE space = ? AND key = ?",
+                (space, key),
+            ).fetchone()
+        return None if row is None else row[0]
+    raise NotImplementedError(  # pragma: no cover
+        f"cannot read quarantine of {backend!r}"
+    )
 
 
 def make_session(

@@ -342,6 +342,19 @@ class TraceArchive:
         #: Corrupted/truncated captures quarantined during lookups.
         self.corrupt = 0
 
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: ``{"hits", "misses", "writes", "corrupt"}``.
+
+        Mirrors :meth:`repro.experiments.store.ResultStore.stats`; surfaced
+        in CLI cache summaries and the ``repro serve`` ``/metrics`` payload.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
+
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.trace"
 

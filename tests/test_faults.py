@@ -329,7 +329,10 @@ class TestResumeSemantics:
         monkeypatch.setenv(REPRO_FAULTS_ENV, "sweep.completed:2=abort")
         assert main(_sweep_args(tmp_path, "chaos")) == 1
         captured = capsys.readouterr()
-        assert "[interrupted]" in captured.out
+        # Diagnostics (summary, cache counters, resume hint) all go to
+        # stderr; stdout stays clean for machine-readable output.
+        assert captured.out == ""
+        assert "[interrupted]" in captured.err
         assert "--resume" in captured.err
         assert len(_store_bytes(tmp_path, "chaos")) == 2  # durable progress
 
@@ -429,8 +432,9 @@ class TestDegradedSweeps:
         )
         assert main(args) == 1
         captured = capsys.readouterr()
-        assert "1 failed" in captured.out
-        assert "Figure 6 view" not in captured.out  # no half-rendered views
+        assert captured.out == ""  # diagnostics never land on stdout
+        assert "1 failed" in captured.err
+        assert "Figure 6 view" not in captured.err  # no half-rendered views
         assert "failed after 2 attempt(s) [error]" in captured.err
         assert "injected failure at sweep.unit:1" in captured.err
         assert len(_store_bytes(tmp_path, "partial")) == 2  # the others landed
@@ -451,9 +455,10 @@ class TestDegradedSweeps:
             "0.01",
         )
         assert main(args) == 1
-        out = capsys.readouterr().out
-        assert "1 failed" in out
-        assert "not run" in out
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "1 failed" in captured.err
+        assert "not run" in captured.err
 
 
 class TestSessionFaults:

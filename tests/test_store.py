@@ -1,13 +1,25 @@
-"""Tests for the on-disk result store and the runner's cached path."""
+"""Tests for the result store and the runner's cached path.
+
+Every store-backed test in this module is parametrised over **all
+registered storage backends** (``dir`` and ``sqlite``): the assertions are
+identical, only the ``backend=`` selection changes, which is the proof that
+the backends are interchangeable behind the
+:class:`~repro.experiments.backends.StoreBackend` interface.  Tests that
+must reach behind the store (damaging an entry, inspecting the quarantine)
+do so through the backend-agnostic helpers in :mod:`repro.testing` instead
+of poking the filesystem layout directly.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.core.pipeline import PipelineOptions
+from repro.experiments.backends import backend_names
 from repro.experiments.runner import BenchmarkRunner
 from repro.experiments.store import ResultStore, run_key
 from repro.sim.config import SimulatorConfig
+from repro.testing import damage_store_entry, read_quarantined_entry
 from repro.workloads.spec import tiny_spec
 
 
@@ -19,6 +31,16 @@ def spec():
 @pytest.fixture
 def config():
     return SimulatorConfig.scaled()
+
+
+@pytest.fixture(params=backend_names())
+def make_store(request, tmp_path):
+    """Build stores over one shared root with the parametrised backend."""
+
+    def factory(refresh: bool = False) -> ResultStore:
+        return ResultStore(tmp_path, refresh=refresh, backend=request.param)
+
+    return factory
 
 
 class TestRunKey:
@@ -48,14 +70,14 @@ class TestRunKey:
 
 class TestCachedRuns:
     def test_second_runner_serves_from_store_without_simulating(
-        self, tmp_path, spec, config
+        self, make_store, spec, config
     ):
-        first = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        first = BenchmarkRunner(config=config, store=make_store())
         warm = first.run(spec, "trrip-1")
         assert first.simulations_run == 1
         assert first.store.writes == 1
 
-        second = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        second = BenchmarkRunner(config=config, store=make_store())
         cached = second.run(spec, "trrip-1")
         assert second.simulations_run == 0
         assert second.store.hits == 1
@@ -63,21 +85,23 @@ class TestCachedRuns:
         # Bit-exact: the dataclass compares floats by identity.
         assert cached.result == warm.result
 
-    def test_cache_hit_still_exposes_prepared_workload(self, tmp_path, spec, config):
-        store = ResultStore(tmp_path)
-        BenchmarkRunner(config=config, store=ResultStore(tmp_path)).run(spec)
+    def test_cache_hit_still_exposes_prepared_workload(
+        self, make_store, spec, config
+    ):
+        store = make_store()
+        BenchmarkRunner(config=config, store=make_store()).run(spec)
         runner = BenchmarkRunner(config=config, store=store)
         artifacts = runner.run(spec)
         assert runner.simulations_run == 0
         assert artifacts.prepared.spec == runner.resolve_spec(spec)
         assert artifacts.prepared.binary is not None
 
-    def test_reuse_histograms_round_trip(self, tmp_path, spec, config):
-        first = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+    def test_reuse_histograms_round_trip(self, make_store, spec, config):
+        first = BenchmarkRunner(config=config, store=make_store())
         tracked = first.run(spec, track_reuse=True)
         assert first.simulations_run == 1
 
-        second = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        second = BenchmarkRunner(config=config, store=make_store())
         cached = second.run(spec, track_reuse=True)
         assert second.simulations_run == 0
         assert cached.reuse is not None
@@ -91,83 +115,130 @@ class TestCachedRuns:
         assert untracked.reuse is None
 
     def test_entry_without_reuse_upgrades_when_tracking_requested(
-        self, tmp_path, spec, config
+        self, make_store, spec, config
     ):
         # First run does not track reuse; a later track_reuse=True request
         # must re-simulate and upgrade the entry in place.
-        BenchmarkRunner(config=config, store=ResultStore(tmp_path)).run(spec)
-        upgrading = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        BenchmarkRunner(config=config, store=make_store()).run(spec)
+        upgrading = BenchmarkRunner(config=config, store=make_store())
         artifacts = upgrading.run(spec, track_reuse=True)
         assert upgrading.simulations_run == 1
         assert artifacts.reuse is not None
 
-        third = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        third = BenchmarkRunner(config=config, store=make_store())
         third.run(spec, track_reuse=True)
         assert third.simulations_run == 0
 
-    def test_refresh_resimulates_but_rewrites(self, tmp_path, spec, config):
-        BenchmarkRunner(config=config, store=ResultStore(tmp_path)).run(spec)
-        refreshing = BenchmarkRunner(
-            config=config, store=ResultStore(tmp_path, refresh=True)
-        )
+    def test_refresh_resimulates_but_rewrites(self, make_store, spec, config):
+        BenchmarkRunner(config=config, store=make_store()).run(spec)
+        refreshing = BenchmarkRunner(config=config, store=make_store(refresh=True))
         refreshing.run(spec)
         assert refreshing.simulations_run == 1
         assert refreshing.store.writes == 1
 
-        after = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        after = BenchmarkRunner(config=config, store=make_store())
         after.run(spec)
         assert after.simulations_run == 0
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path, spec, config):
-        store = ResultStore(tmp_path)
+    def test_corrupt_entry_is_a_miss(self, make_store, spec, config):
+        store = make_store()
         runner = BenchmarkRunner(config=config, store=store)
         runner.run(spec)
-        entries = list(tmp_path.glob("runs/*/*.json"))
-        assert len(entries) == 1
-        entries[0].write_text("{not json", encoding="utf-8")
+        keys = store.backend.keys("runs")
+        assert len(keys) == 1
+        damage_store_entry(store, keys[0], text="{not json")
 
-        recovered_store = ResultStore(tmp_path)
+        recovered_store = make_store()
         recovered = BenchmarkRunner(config=config, store=recovered_store)
         recovered.run(spec)
         assert recovered.simulations_run == 1
         assert recovered_store.corrupt == 1
 
-    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path, spec, config):
-        """The damaged bytes move to <key>.corrupt; the slot is rewritten."""
-        runner = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+    def test_corrupt_entry_is_quarantined_not_deleted(
+        self, make_store, spec, config
+    ):
+        """The damaged bytes move to quarantine; the slot is rewritten."""
+        runner = BenchmarkRunner(config=config, store=make_store())
         runner.run(spec)
-        entry = next(tmp_path.glob("runs/*/*.json"))
-        entry.write_text("{torn", encoding="utf-8")
+        key = runner.store.backend.keys("runs")[0]
+        damage_store_entry(runner.store, key, text="{torn")
 
-        store = ResultStore(tmp_path)
+        store = make_store()
         BenchmarkRunner(config=config, store=store).run(spec)
-        quarantined = entry.with_suffix(".corrupt")
-        assert quarantined.read_text(encoding="utf-8") == "{torn"
-        assert entry.exists()  # re-simulated and atomically rewritten
+        assert read_quarantined_entry(store, key) == "{torn"
+        assert store.backend.quarantined("runs") == [key]
+        # Re-simulated and atomically rewritten into the live slot.
+        assert key in store.backend.keys("runs")
         assert store.corrupt == 1
         # The rewritten entry is healthy: a fresh store serves it as a hit.
-        after = ResultStore(tmp_path)
+        after = make_store()
         BenchmarkRunner(config=config, store=after).run(spec)
         assert (after.hits, after.corrupt) == (1, 0)
 
     def test_unreadable_entry_is_a_plain_miss_not_corrupt(
-        self, tmp_path, spec, config
+        self, make_store, spec, config
     ):
-        """OSError (missing file) never counts toward the corrupt counter."""
-        store = ResultStore(tmp_path)
+        """A missing entry never counts toward the corrupt counter."""
+        store = make_store()
         BenchmarkRunner(config=config, store=store).run(spec)
         assert (store.misses, store.corrupt) == (1, 0)
 
-    def test_different_configs_do_not_collide(self, tmp_path, spec, config):
-        small = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+    def test_stats_mirror_the_counter_attributes(self, make_store, spec, config):
+        store = make_store()
+        BenchmarkRunner(config=config, store=store).run(spec)
+        assert store.stats() == {
+            "hits": 0,
+            "misses": 1,
+            "writes": 1,
+            "corrupt": 0,
+        }
+        again = make_store()
+        BenchmarkRunner(config=config, store=again).run(spec)
+        assert again.stats() == {
+            "hits": 1,
+            "misses": 0,
+            "writes": 0,
+            "corrupt": 0,
+        }
+
+    def test_different_configs_do_not_collide(self, make_store, spec, config):
+        small = BenchmarkRunner(config=config, store=make_store())
         small_result = small.run(spec).result
         big_config = config.with_l2_geometry(size_bytes=64 * 1024)
-        big = BenchmarkRunner(config=big_config, store=ResultStore(tmp_path))
+        big = BenchmarkRunner(config=big_config, store=make_store())
         big.run(spec)
         assert big.simulations_run == 1  # no false hit from the small config
 
-        again = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        again = BenchmarkRunner(config=config, store=make_store())
         assert again.run(spec).result == small_result
+
+
+class TestBackendSelection:
+    def test_environment_variable_selects_the_backend(self, tmp_path, monkeypatch):
+        from repro.experiments.backends import ENV_VAR, SQLiteBackend
+
+        monkeypatch.setenv(ENV_VAR, "sqlite")
+        store = ResultStore(tmp_path)
+        assert isinstance(store.backend, SQLiteBackend)
+
+    def test_unknown_backend_fails_eagerly(self, tmp_path):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown store backend"):
+            ResultStore(tmp_path, backend="carrier-pigeon")
+
+    def test_backends_store_byte_identical_payloads(self, tmp_path, spec, config):
+        """The same run saved through both backends decodes identically."""
+        import json
+
+        payloads = {}
+        for name in backend_names():
+            store = ResultStore(tmp_path / name, backend=name)
+            BenchmarkRunner(config=config, store=store).run(spec, "trrip-1")
+            (key,) = store.backend.keys("runs")
+            payloads[name] = (key, json.dumps(store.backend.load("runs", key)))
+        (first, *rest) = payloads.values()
+        assert all(entry == first for entry in rest)
 
 
 class TestResultSerialisation:
@@ -180,8 +251,8 @@ class TestResultSerialisation:
         restored = SimulationResult.from_dict(result.to_dict())
         assert restored == result
 
-    def test_reports_round_trip(self, tmp_path):
-        store = ResultStore(tmp_path)
+    def test_reports_round_trip(self, make_store):
+        store = make_store()
         store.save_report("figure3", {"text": "hello", "data": [1, 2]})
         payload = store.load_report("figure3")
         assert payload["text"] == "hello"
@@ -190,27 +261,27 @@ class TestResultSerialisation:
 
 
 class TestParallelGridWithStore:
-    def test_grid_workers_share_the_store(self, tmp_path, spec, config):
-        store = ResultStore(tmp_path)
+    def test_grid_workers_share_the_store(self, make_store, spec, config):
+        store = make_store()
         runner = BenchmarkRunner(config=config, store=store)
         grid = runner.run_grid([spec], ["srrip", "trrip-1"], jobs=2)
         assert len(grid) == 2
-        # Workers wrote their runs into the shared on-disk store, and their
+        # Workers wrote their runs into the shared store, and their
         # counters were folded back into the parent runner.
-        assert len(list(tmp_path.glob("runs/*/*.json"))) == 2
+        assert len(store.backend.keys("runs")) == 2
         assert runner.simulations_run == 2
         assert (store.misses, store.hits) == (2, 0)
 
-        serial = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        serial = BenchmarkRunner(config=config, store=make_store())
         replay = serial.run_grid([spec], ["srrip", "trrip-1"], jobs=None)
         assert serial.simulations_run == 0
         assert [r for _, _, r in replay] == [r for _, _, r in grid]
 
-    def test_parallel_replay_counts_hits(self, tmp_path, spec, config):
-        BenchmarkRunner(config=config, store=ResultStore(tmp_path)).run_grid(
+    def test_parallel_replay_counts_hits(self, make_store, spec, config):
+        BenchmarkRunner(config=config, store=make_store()).run_grid(
             [spec], ["srrip", "trrip-1"], jobs=2
         )
-        replay = BenchmarkRunner(config=config, store=ResultStore(tmp_path))
+        replay = BenchmarkRunner(config=config, store=make_store())
         replay.run_grid([spec], ["srrip", "trrip-1"], jobs=2)
         assert replay.simulations_run == 0
         assert (replay.store.misses, replay.store.hits) == (0, 2)
