@@ -214,6 +214,13 @@ class Session:
     # -------------------------------------------------------------- execution
     def _run_request(self, request: RunRequest) -> RunArtifacts:
         runner = self.runner_for(request.config, request.options)
+        if request.is_multicore:
+            return runner.run_cores_resolved(
+                request.cores,
+                request.policy,
+                options=request.options,
+                interleave=request.interleave,
+            )
         return runner.run_resolved(
             request.spec,
             request.policy,
@@ -229,6 +236,10 @@ class Session:
         if jobs is not None and jobs != 1 and len(unique) > 1:
             uniform = (
                 not any(request.track_reuse for request in unique)
+                # Multi-core points run solo-serial: each one already owns
+                # its cores' replay, and serial/pool parity is trivially
+                # deterministic because the pool path never touches them.
+                and not any(request.is_multicore for request in unique)
                 and len(
                     {
                         self._runner_key(request.config, request.options)
@@ -282,7 +293,7 @@ class Session:
             return [self._run_request(request) for request in unique]
         groups: dict[tuple, list[int]] = {}
         for index, request in enumerate(unique):
-            if request.track_reuse:
+            if request.track_reuse or request.is_multicore:
                 group_key = ("solo", index)
             else:
                 group_key = (

@@ -95,17 +95,121 @@ def _build_cache(name: str, cfg: CacheLevelConfig, line_size: int) -> SetAssocia
     )
 
 
-class CacheHierarchy:
-    """Drives memory requests through the modelled cache hierarchy."""
+class SharedCacheSystem:
+    """One L2 + SLC instance shared by several per-core hierarchies.
+
+    The multi-core interleaved mode gives each core a private
+    :class:`CacheHierarchy` (its own L1s and prefetchers) constructed over
+    this object, so every core's miss path lands in the *same* L2/SLC arrays
+    and replacement-policy state.  Besides the caches it keeps the sharing
+    bookkeeping the contention experiments report:
+
+    * ``owners`` — L2 line number -> index of the core that last filled it
+      (occupancy attribution);
+    * ``inter_core_evictions[c]`` — lines core ``c`` owned that another core
+      evicted (how much core ``c`` suffered);
+    * ``evictions_caused[c]`` — lines of *other* cores that core ``c``'s
+      fills evicted (how much core ``c`` inflicted).
+
+    Back-invalidation is cross-core: an inclusive-L2 victim is invalidated in
+    every registered core's L1s, not just the filler's.  With a single
+    registered core the shared walk performs exactly the private walk's state
+    transitions, which is what keeps an N=1 multi-core run bit-identical to
+    the single-core path (``tests/test_multicore.py``).
+    """
 
     def __init__(self, config: HierarchyConfig) -> None:
         config.validate()
         self.config = config
         line = config.line_size
-        self.l1i = _build_cache("L1I", config.l1i, line)
-        self.l1d = _build_cache("L1D", config.l1d, line)
         self.l2 = _build_cache("L2", config.l2, line)
         self.slc = _build_cache("SLC", config.slc, line)
+        #: L2 line number -> core index of the last filler.
+        self.owners: dict[int, int] = {}
+        #: Core index -> L2 lines it owned that another core evicted.
+        self.inter_core_evictions: dict[int, int] = {}
+        #: Core index -> other cores' L2 lines its fills evicted.
+        self.evictions_caused: dict[int, int] = {}
+        #: Per-core L1 views for cross-core back-invalidation, appended by
+        #: :meth:`register`.  The list object is identity-stable: walk
+        #: closures built before later cores register still see them.
+        self._l1_registry: list[tuple[dict, dict, object, object]] = []
+
+    def register(self, core_id: int, hierarchy: "CacheHierarchy") -> None:
+        """Attach one core's private hierarchy to the shared levels."""
+        cfg = hierarchy.config
+        if (
+            cfg.l2 != self.config.l2
+            or cfg.slc != self.config.slc
+            or cfg.line_size != self.config.line_size
+            or cfg.l2_inclusive != self.config.l2_inclusive
+            or cfg.slc_exclusive != self.config.slc_exclusive
+        ):
+            raise ConfigurationError(
+                "shared-cache cores must agree on L2/SLC geometry, line size "
+                "and inclusion flags"
+            )
+        if core_id in self.inter_core_evictions:
+            raise ConfigurationError(f"core {core_id} registered twice")
+        self.inter_core_evictions[core_id] = 0
+        self.evictions_caused[core_id] = 0
+        self._l1_registry.append(
+            (
+                hierarchy.l1i._line_map,
+                hierarchy.l1d._line_map,
+                hierarchy.l1i.invalidate_line,
+                hierarchy.l1d.invalidate_line,
+            )
+        )
+
+    def occupancy(self) -> dict[int, int]:
+        """Resident L2 lines per owning core (cores with none report 0)."""
+        counts = {core: 0 for core in sorted(self.inter_core_evictions)}
+        for core in self.owners.values():
+            counts[core] = counts.get(core, 0) + 1
+        return counts
+
+    def reset_sharing_stats(self) -> None:
+        """Zero the eviction counters while keeping ownership state.
+
+        Called after warm-up, mirroring ``reset_stats`` on the caches: the
+        measured window starts with warmed contents (owners persist) but
+        clean counters.
+        """
+        for core in self.inter_core_evictions:
+            self.inter_core_evictions[core] = 0
+        for core in self.evictions_caused:
+            self.evictions_caused[core] = 0
+
+
+class CacheHierarchy:
+    """Drives memory requests through the modelled cache hierarchy.
+
+    With ``shared`` set, the L2 and SLC are the shared system's instances
+    (multi-core interleaved mode) and the below-L1 walk adds ownership
+    tracking plus cross-core back-invalidation; otherwise the hierarchy is
+    fully private and behaves exactly as before.
+    """
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        shared: Optional[SharedCacheSystem] = None,
+        core_id: int = 0,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.shared = shared
+        self.core_id = core_id
+        line = config.line_size
+        self.l1i = _build_cache("L1I", config.l1i, line)
+        self.l1d = _build_cache("L1D", config.l1d, line)
+        if shared is None:
+            self.l2 = _build_cache("L2", config.l2, line)
+            self.slc = _build_cache("SLC", config.slc, line)
+        else:
+            self.l2 = shared.l2
+            self.slc = shared.slc
         self.l1i_prefetcher: Prefetcher = make_prefetcher(
             config.l1i.prefetcher, **config.l1i.prefetcher_kwargs
         )
@@ -124,12 +228,14 @@ class CacheHierarchy:
         self.l2_access_observer = None
         self._prefetch_scratch = ScratchRequest()
         self._prefetch_scratch.is_prefetch = True
+        self._prefetch_scratch.core = core_id
         #: Reused request for SLC victim fills (temperature NONE, no
         #: starvation hint, prefetch-flagged — the values a fresh
         #: ``MemoryRequest`` would carry); every consumer on the fill path
         #: only reads field values.
         self._slc_scratch = ScratchRequest()
         self._slc_scratch.is_prefetch = True
+        self._slc_scratch.core = core_id
         # ---- precomputed geometry and latencies for the walk hot path ----
         self._line_shift = self.l1i._line_shift
         self._lat_l1i = config.l1i.latency
@@ -147,7 +253,11 @@ class CacheHierarchy:
         #: above; see _make_walk/_make_instruction_fast/_make_data_fast.  The
         #: seed baseline replaces the caches after construction but never
         #: uses these paths — it overrides the whole access path.
-        self._walk_below_l1 = self._make_walk()
+        if shared is not None:
+            shared.register(core_id, self)
+            self._walk_below_l1 = self._make_walk_shared()
+        else:
+            self._walk_below_l1 = self._make_walk()
         self._issue_targets = self._make_issue_targets()
         self.access_instruction_fast = self._make_instruction_fast()
         self.access_data_fast = self._make_data_fast()
@@ -651,6 +761,251 @@ class CacheHierarchy:
                         l1i_invalidate(victim_line)
                     if victim_line in l1d_map:
                         l1d_invalidate(victim_line)
+                if slc_exclusive:
+                    scratch.address = victim_line << line_shift
+                    scratch.access_type = _IFETCH if victim_instr else _LOAD
+                    scratch.pc = victim_pc
+                    slc_fill(
+                        victim_line, 0, False, 0,
+                        1 if victim_instr else 0,
+                        temp_none, victim_pc, True, scratch,
+                    )
+            if not slc_exclusive:
+                slc_fill(
+                    line_no, 0, False, dirty_new, instr_new,
+                    temperature, pc, is_prefetch, request,
+                )
+            if evicted is None:
+                l1_fill(
+                    line_no, 0, False, dirty_new, instr_new,
+                    temperature, pc, is_prefetch, request,
+                )
+            else:
+                victim = l1_fill(
+                    line_no, 1, False, dirty_new, instr_new,
+                    temperature, pc, is_prefetch, request,
+                )
+                if victim is not None:
+                    evicted.append(victim[0] << line_shift)
+            return latency, 4
+
+        return walk
+
+    def _make_walk_shared(self):
+        """The below-L1 walk for a core attached to a :class:`SharedCacheSystem`.
+
+        Identical to :meth:`_make_walk` in every lookup, statistic and
+        replacement-hook transition, with two sharing extensions at the L2
+        fill sites: the owner map records this core as the filler, and an
+        evicted line owned by *another* core bumps the inter-core eviction
+        counters.  Back-invalidation consults every registered core's L1s
+        through the shared registry (for one registered core that is exactly
+        the private walk's behaviour, so N=1 stays bit-identical).
+        """
+        hier = self
+        shared = self.shared
+        core_id = self.core_id
+        owners = shared.owners
+        inter_core = shared.inter_core_evictions
+        caused = shared.evictions_caused
+        l1_registry = shared._l1_registry
+        l2 = self.l2
+        slc = self.slc
+        l2_map = l2._line_map
+        slc_map = slc._line_map
+        l2_stats = l2.stats
+        slc_stats = slc.stats
+        l2_dirty = l2._dirty
+        slc_dirty = slc._dirty
+        l2_ways = l2.associativity
+        slc_ways = slc.associativity
+        l2_set_mask = l2._set_mask
+        slc_set_mask = slc._set_mask
+        l2_touch_kind = l2._touch_kind
+        l2_touch_rows = l2._touch_rows
+        l2_touch_arg = l2._touch_arg
+        l2_policy_touch = l2._policy_touch
+        l2_on_hit = l2.policy.on_hit
+        slc_touch_kind = slc._touch_kind
+        slc_touch_rows = slc._touch_rows
+        slc_touch_arg = slc._touch_arg
+        slc_policy_touch = slc._policy_touch
+        slc_on_hit = slc.policy.on_hit
+        l2_fill = l2._fill_scalars
+        slc_fill = slc._fill_scalars
+        slc_invalidate = slc.invalidate_line
+        temp_none = self._slc_scratch.temperature
+        lat_l1i = self._lat_l1i
+        lat_l1d = self._lat_l1d
+        lat_l2 = self._lat_l2
+        lat_slc = self._lat_slc
+        lat_slc_dram = self._lat_slc + self._lat_dram
+        l2_inclusive = self._l2_inclusive
+        slc_exclusive = self._slc_exclusive
+        line_shift = self._line_shift
+        scratch = self._slc_scratch
+
+        def walk(
+            request: MemoryRequest,
+            l1: SetAssociativeCache,
+            evicted: Optional[list[int]],
+            line_no: int = -1,
+        ) -> tuple[int, int]:
+            if line_no < 0:
+                line_no = request.address >> line_shift
+            access_type = request.access_type
+            is_ifetch = access_type is _IFETCH
+            is_prefetch = request.is_prefetch
+            latency = (lat_l1i if is_ifetch else lat_l1d) + lat_l2
+            observer = hier.l2_access_observer
+            l1_fill = l1._fill_scalars
+            dirty_new = 1 if access_type is _STORE else 0
+            instr_new = 1 if is_ifetch else 0
+            temperature = request.temperature
+            pc = request.pc
+
+            # L2 lookup (shared instance).
+            way = l2_map.get(line_no)
+            if way is not None:
+                if is_prefetch:
+                    l2_stats.prefetch_hits += 1
+                elif is_ifetch:
+                    l2_stats.inst_hits += 1
+                else:
+                    l2_stats.data_hits += 1
+                set_index = line_no & l2_set_mask
+                if access_type is _STORE:
+                    l2_dirty[set_index * l2_ways + way] = 1
+                if l2_touch_kind == 1:
+                    l2_touch_rows[set_index][way] = l2_touch_arg
+                elif l2_touch_kind == 2:
+                    clock = l2_touch_arg[0] + 1
+                    l2_touch_arg[0] = clock
+                    l2_touch_rows[set_index][way] = clock
+                elif l2_touch_kind == 0:
+                    if l2_policy_touch is not None:
+                        l2_policy_touch(set_index, way)
+                    else:
+                        l2_on_hit(set_index, way, request)
+                if observer is not None and not is_prefetch:
+                    observer(request, True)
+                if evicted is None:
+                    l1_fill(
+                        line_no, 0, False, dirty_new, instr_new,
+                        temperature, pc, is_prefetch, request,
+                    )
+                else:
+                    victim = l1_fill(
+                        line_no, 1, False, dirty_new, instr_new,
+                        temperature, pc, is_prefetch, request,
+                    )
+                    if victim is not None:
+                        evicted.append(victim[0] << line_shift)
+                return latency, 2
+            if is_prefetch:
+                l2_stats.prefetch_misses += 1
+            elif is_ifetch:
+                l2_stats.inst_misses += 1
+            else:
+                l2_stats.data_misses += 1
+            if observer is not None and not is_prefetch:
+                observer(request, False)
+
+            # SLC lookup (shared instance).
+            way = slc_map.get(line_no)
+            if way is not None:
+                if is_prefetch:
+                    slc_stats.prefetch_hits += 1
+                elif is_ifetch:
+                    slc_stats.inst_hits += 1
+                else:
+                    slc_stats.data_hits += 1
+                set_index = line_no & slc_set_mask
+                if access_type is _STORE:
+                    slc_dirty[set_index * slc_ways + way] = 1
+                if slc_touch_kind == 2:
+                    clock = slc_touch_arg[0] + 1
+                    slc_touch_arg[0] = clock
+                    slc_touch_rows[set_index][way] = clock
+                elif slc_touch_kind == 1:
+                    slc_touch_rows[set_index][way] = slc_touch_arg
+                elif slc_touch_kind == 0:
+                    if slc_policy_touch is not None:
+                        slc_policy_touch(set_index, way)
+                    else:
+                        slc_on_hit(set_index, way, request)
+                latency += lat_slc
+                if slc_exclusive:
+                    slc_invalidate(line_no)
+                victim = l2_fill(
+                    line_no, 1, False, dirty_new, instr_new,
+                    temperature, pc, is_prefetch, request,
+                )
+                owners[line_no] = core_id
+                if victim is not None:
+                    victim_line, victim_instr, victim_pc = victim
+                    owner = owners.pop(victim_line, core_id)
+                    if owner != core_id:
+                        inter_core[owner] += 1
+                        caused[core_id] += 1
+                    if evicted is not None:
+                        evicted.append(victim_line << line_shift)
+                    if l2_inclusive:
+                        for l1i_map, l1d_map, l1i_inv, l1d_inv in l1_registry:
+                            if victim_line in l1i_map:
+                                l1i_inv(victim_line)
+                            if victim_line in l1d_map:
+                                l1d_inv(victim_line)
+                    if slc_exclusive:
+                        scratch.address = victim_line << line_shift
+                        scratch.access_type = _IFETCH if victim_instr else _LOAD
+                        scratch.pc = victim_pc
+                        slc_fill(
+                            victim_line, 0, False, 0,
+                            1 if victim_instr else 0,
+                            temp_none, victim_pc, True, scratch,
+                        )
+                if evicted is None:
+                    l1_fill(
+                        line_no, 0, False, dirty_new, instr_new,
+                        temperature, pc, is_prefetch, request,
+                    )
+                else:
+                    victim = l1_fill(
+                        line_no, 1, False, dirty_new, instr_new,
+                        temperature, pc, is_prefetch, request,
+                    )
+                    if victim is not None:
+                        evicted.append(victim[0] << line_shift)
+                return latency, 3
+            if is_prefetch:
+                slc_stats.prefetch_misses += 1
+            elif is_ifetch:
+                slc_stats.inst_misses += 1
+            else:
+                slc_stats.data_misses += 1
+
+            # DRAM.
+            latency += lat_slc_dram
+            victim = l2_fill(
+                line_no, 1, False, dirty_new, instr_new,
+                temperature, pc, is_prefetch, request,
+            )
+            owners[line_no] = core_id
+            if victim is not None:
+                victim_line, victim_instr, victim_pc = victim
+                owner = owners.pop(victim_line, core_id)
+                if owner != core_id:
+                    inter_core[owner] += 1
+                    caused[core_id] += 1
+                if evicted is not None:
+                    evicted.append(victim_line << line_shift)
+                if l2_inclusive:
+                    for l1i_map, l1d_map, l1i_inv, l1d_inv in l1_registry:
+                        if victim_line in l1i_map:
+                            l1i_inv(victim_line)
+                        if victim_line in l1d_map:
+                            l1d_inv(victim_line)
                 if slc_exclusive:
                     scratch.address = victim_line << line_shift
                     scratch.access_type = _IFETCH if victim_instr else _LOAD

@@ -34,6 +34,7 @@ from repro.cache.replacement.belady import OptimalPolicy
 from repro.cache.replacement.clip import CLIPPolicy
 from repro.cache.replacement.drrip import DRRIPPolicy
 from repro.cache.replacement.emissary import EmissaryPolicy
+from repro.cache.replacement.partition import PartitionPolicy
 from repro.cache.replacement.rrip import BRRIPPolicy, SRRIPPolicy
 from repro.cache.replacement.ship import SHiPPolicy
 from repro.common.errors import ConfigurationError
@@ -168,6 +169,26 @@ POLICY_REGISTRY: dict[str, PolicyInfo] = {
                     "rotate priority ways when saturated",
                 ),
                 PolicyParam("seed", int, 0, "RNG seed"),
+            ),
+        ),
+        PolicyInfo(
+            "partition",
+            "static per-core way partitioning (QoS) over a base policy",
+            PartitionPolicy,
+            params=(
+                PolicyParam(
+                    "ways",
+                    str,
+                    "",
+                    "'+'-separated per-core way counts, e.g. 4+4 "
+                    "(empty = even two-way split)",
+                ),
+                PolicyParam(
+                    "base",
+                    str,
+                    "lru",
+                    "bare policy name each partition runs internally",
+                ),
             ),
         ),
         PolicyInfo(

@@ -7,6 +7,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from repro.api.scenario import Scenario, resolve_token
 from repro.api.session import Session
 from repro.cache.replacement.factory import available_policies
 from repro.cache.replacement.spec import PolicySpec, describe_policies
@@ -25,11 +26,10 @@ from repro.experiments.table3 import format_table3
 from repro.experiments.figure6 import format_figure6
 from repro.sim.config import BASELINE_POLICY, EVALUATED_POLICIES, NAMED_CONFIGS
 from repro.workloads.capture import TraceArchive
-from repro.workloads.families import describe_families, resolve_workload
+from repro.workloads.families import describe_families
 from repro.workloads.spec import (
     PROXY_BENCHMARKS,
     SYSTEM_COMPONENTS,
-    get_spec,
     tiny_spec,
 )
 
@@ -82,14 +82,39 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         "--benchmarks",
         metavar="NAMES",
         default=None,
-        help="comma-separated benchmark subset (default: the experiment's "
-        "paper benchmark list)",
+        help="deprecated alias for repeated --spec (comma-separated tokens)",
     )
     workload_group.add_argument(
         "--tiny",
         action="store_true",
         help="run on the miniature smoke-test workload instead of the paper "
         "benchmarks (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--spec",
+        action="append",
+        default=None,
+        metavar="TOKEN",
+        dest="spec",
+        help="workload to run: a benchmark name (sqlite), a family token "
+        "(zipf:alpha=1.2) or 'tiny'; repeatable, composes with --tiny.  "
+        "One grammar for every workload axis — see `repro workloads`",
+    )
+    parser.add_argument(
+        "--core",
+        action="append",
+        default=None,
+        metavar="TOKEN",
+        dest="core",
+        help="multi-core experiments (interference): one workload per core "
+        "(same tokens as --spec); repeat once per core",
+    )
+    parser.add_argument(
+        "--interleave",
+        metavar="N,M,...",
+        default=None,
+        help="round-robin quanta per core for --core runs, e.g. 2,1 "
+        "(default: 1 per core)",
     )
     parser.add_argument(
         "--jobs",
@@ -123,9 +148,7 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="FAMILY[:P=V,...]",
         dest="workload",
-        help="workload-family token to add to the benchmark list "
-        "(e.g. zipf:alpha=1.2 or streaming); repeatable, composes with "
-        "--tiny and --benchmarks.  See `repro workloads` for the catalog",
+        help="deprecated alias for --spec",
     )
     _add_cache_options(parser)
 
@@ -346,12 +369,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks",
         metavar="NAMES",
         default=None,
-        help="comma-separated benchmarks ('tiny' = the smoke workload)",
+        help="deprecated alias for repeated --spec (comma-separated tokens)",
     )
     submit_parser.add_argument(
         "--tiny",
         action="store_true",
         help="submit the miniature smoke-test workload",
+    )
+    submit_parser.add_argument(
+        "--spec",
+        action="append",
+        default=None,
+        metavar="TOKEN",
+        dest="spec",
+        help="workload to submit: a benchmark name, family token or 'tiny'; "
+        "repeatable (same grammar as `repro run --spec`)",
+    )
+    submit_parser.add_argument(
+        "--core",
+        action="append",
+        default=None,
+        metavar="TOKEN",
+        dest="core",
+        help="multi-core submission: one workload per core; repeat once per "
+        "core.  Mutually exclusive with --spec/--tiny/--benchmarks",
+    )
+    submit_parser.add_argument(
+        "--interleave",
+        metavar="N,M,...",
+        default=None,
+        help="round-robin quanta per core for --core submissions, e.g. 2,1",
     )
     submit_parser.add_argument(
         "--policies",
@@ -450,29 +497,75 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ------------------------------------------------------------------- helpers
-def _parse_benchmarks(args) -> Optional[list]:
-    """Workloads from ``--tiny`` / ``--benchmarks`` / repeated ``--workload``.
+#: Deprecated flags already warned about this process (warn once per flag).
+_WARNED_FLAGS: set = set()
 
-    ``--workload`` family tokens synthesize eagerly (an unknown family or
-    parameter fails here, before any simulation) and *append* to whatever the
-    other two flags selected, so e.g. ``--tiny --workload zipf:alpha=1.2``
-    runs both the smoke workload and the family point.
+
+def _warn_deprecated(flag: str, replacement: str) -> None:
+    if flag in _WARNED_FLAGS:
+        return
+    _WARNED_FLAGS.add(flag)
+    print(
+        f"repro: warning: {flag} is deprecated; use {replacement}",
+        file=sys.stderr,
+    )
+
+
+def _parse_benchmarks(args) -> Optional[list]:
+    """Workloads from ``--tiny`` / ``--spec`` (plus the deprecated aliases).
+
+    Every token — benchmark name, family token, ``tiny`` — goes through
+    :func:`repro.api.scenario.resolve_token`, the same resolution path
+    scenario wire payloads use, so an unknown name or bad family parameter
+    fails here, before any simulation, with the same message everywhere.
+    ``--benchmarks`` (comma-separated) and ``--workload`` are deprecated
+    aliases that feed the same list.
     """
     benchmarks: list = []
     if getattr(args, "tiny", False):
         benchmarks.append(tiny_spec())
-    elif args.benchmarks is not None:
+    elif getattr(args, "benchmarks", None) is not None:
+        _warn_deprecated("--benchmarks", "--spec TOKEN (repeatable)")
         names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
         if not names:
             raise ConfigurationError(
                 "--benchmarks named no workloads (the benchmark axis is empty)"
             )
-        for name in names:
-            get_spec(name)  # raises WorkloadError with the known-benchmark list
-        benchmarks.extend(names)
+        benchmarks.extend(resolve_token(name) for name in names)
     for token in getattr(args, "workload", None) or ():
-        benchmarks.append(resolve_workload(token))
+        _warn_deprecated("--workload", "--spec TOKEN")
+        benchmarks.append(resolve_token(token))
+    for token in getattr(args, "spec", None) or ():
+        benchmarks.append(resolve_token(token))
     return benchmarks or None
+
+
+def _parse_cores(args) -> Optional[list]:
+    """Per-core workloads from repeated ``--core`` (same tokens as --spec)."""
+    tokens = getattr(args, "core", None)
+    if not tokens:
+        return None
+    return [resolve_token(token) for token in tokens]
+
+
+def _parse_interleave(args) -> Optional[list]:
+    """Round-robin quanta from ``--interleave N,M,...`` (requires --core)."""
+    raw = getattr(args, "interleave", None)
+    if raw is None:
+        return None
+    if not getattr(args, "core", None):
+        raise ConfigurationError(
+            "--interleave only applies to multi-core runs (add --core)"
+        )
+    try:
+        quanta = [int(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise ConfigurationError(
+            f"--interleave must be comma-separated integers, got {raw!r}"
+        )
+    if not quanta:
+        raise ConfigurationError("--interleave named no quanta")
+    return quanta
 
 
 def _parse_policies(args) -> Optional[list]:
@@ -523,6 +616,8 @@ def _make_context(args) -> ExperimentContext:
         benchmarks=_parse_benchmarks(args),
         policies=_parse_policies(args),
         jobs=args.jobs,
+        cores=_parse_cores(args),
+        interleave=_parse_interleave(args),
     )
 
 
@@ -638,8 +733,9 @@ def _cmd_workloads(args) -> int:
         if params:
             print(f"  {'':14s} params:  {params}")
     print(
-        "\nuse with `repro run EXPERIMENT --workload FAMILY[:param=value,...]`"
-        " (repeatable),\nor programmatically via"
+        "\nuse with `repro run EXPERIMENT --spec FAMILY[:param=value,...]`"
+        " (repeatable; --workload\nis a deprecated alias), or"
+        " programmatically via"
         " repro.workloads.WorkloadFamilySpec.parse(...).synthesize().\n"
         "add `--trace-dir DIR` to capture generated traces once and replay"
         " them on every\nlater run (see EXPERIMENTS.md for the archive"
@@ -836,7 +932,13 @@ def _cmd_serve(args) -> int:
 
 
 def _build_submission(args) -> dict:
-    """A submission payload from ``repro submit`` flags (or ``--json``)."""
+    """A submission payload from ``repro submit`` flags (or ``--json``).
+
+    Flag-built payloads go through :meth:`Scenario.to_dict` — the same
+    serializer the server's ``Scenario.from_dict`` consumes — so the CLI
+    validates every token locally (unknown workloads/policies fail before
+    any HTTP) and the wire form cannot drift from the scenario schema.
+    """
     if args.json is not None:
         if args.json == "-":
             raw = sys.stdin.read()
@@ -854,24 +956,53 @@ def _build_submission(args) -> dict:
     if args.tiny:
         benchmarks.append("tiny")
     if args.benchmarks:
+        _warn_deprecated("--benchmarks", "--spec TOKEN (repeatable)")
         benchmarks.extend(
             name.strip() for name in args.benchmarks.split(",") if name.strip()
         )
-    if not benchmarks:
+    benchmarks.extend(args.spec or ())
+    cores = list(args.core or ())
+    if not benchmarks and not cores:
         raise ConfigurationError(
-            "repro submit needs --tiny, --benchmarks or --json"
+            "repro submit needs --tiny, --spec, --core or --json"
         )
-    submission: dict = {"benchmarks": benchmarks}
+    if benchmarks and cores:
+        raise ConfigurationError(
+            "--core (multi-core) and --spec/--tiny/--benchmarks (single-core) "
+            "are mutually exclusive"
+        )
+    policies = None
     if args.policies:
-        submission["policies"] = [
+        policies = [
             token.strip() for token in args.policies.split(",") if token.strip()
         ]
-    if args.config:
-        submission["config"] = args.config
-    if args.track_reuse:
-        submission["track_reuse"] = True
-    if args.label:
-        submission["label"] = args.label
+    scenario = Scenario(
+        benchmarks=[resolve_token(t) for t in benchmarks],
+        cores=[resolve_token(t) for t in cores],
+        interleave=_parse_interleave(args) or (),
+        policies=policies or ("lru",),
+        track_reuse=args.track_reuse,
+        label=args.label or "",
+    )
+    submission = scenario.to_dict()
+    # Fields the user did not set stay off the wire so the server applies
+    # its own defaults (notably --config: the daemon's default, not ours).
+    submission["config"] = args.config  # to_dict: None when we set no config
+    if policies is None:
+        del submission["policies"]
+    for field in (
+        "benchmarks",
+        "cores",
+        "interleave",
+        "config",
+        "warmup_instructions",
+        "measure_instructions",
+        "label",
+    ):
+        if not submission.get(field):
+            del submission[field]
+    if not args.track_reuse:
+        del submission["track_reuse"]
     return submission
 
 
@@ -881,7 +1012,13 @@ def _client_call(args, call) -> int:
     Stdout stays machine-readable (JSON only); every diagnostic goes to
     stderr with exit 1.
     """
-    from repro.client import JobFailed, ReproClient, ServiceError
+    from repro.client import (
+        ConnectionFailed,
+        JobFailed,
+        MalformedResponse,
+        ReproClient,
+        ServiceError,
+    )
 
     client = ReproClient(args.url, timeout=args.timeout)
     try:
@@ -894,18 +1031,11 @@ def _client_call(args, call) -> int:
             file=sys.stderr,
         )
         return 1
-    except ServiceError as error:
+    except (ServiceError, ConnectionFailed, MalformedResponse) as error:
         print(f"repro: {error}", file=sys.stderr)
         return 1
     except TimeoutError as error:
         print(f"repro: {error}", file=sys.stderr)
-        return 1
-    except OSError as error:
-        print(
-            f"repro: cannot reach {client.url} ({error}) — is `repro serve` "
-            "running?",
-            file=sys.stderr,
-        )
         return 1
 
 

@@ -38,6 +38,42 @@ def default_url() -> str:
     return os.environ.get(URL_ENV_VAR) or f"http://127.0.0.1:{DEFAULT_PORT}"
 
 
+class ConnectionFailed(ReproError):
+    """The server could not be reached at all (refused, DNS, timeout).
+
+    Wraps the underlying :class:`OSError` so callers — the CLI above all —
+    get one structured "is the daemon running?" failure instead of a raw
+    socket traceback.
+    """
+
+    def __init__(self, url: str, cause: OSError):
+        super().__init__(
+            f"cannot reach repro server at {url}: {cause} "
+            "(is `repro serve` running?)"
+        )
+        self.url = url
+        self.cause = cause
+
+
+class MalformedResponse(ReproError):
+    """The server answered, but the body was not valid JSON.
+
+    Usually means the URL points at something that is not ``repro serve``
+    (a proxy error page, a different service); :attr:`snippet` holds the
+    start of the offending body for diagnosis.
+    """
+
+    def __init__(self, url: str, status: int, raw: bytes):
+        snippet = raw[:120].decode("utf-8", errors="replace")
+        super().__init__(
+            f"server at {url} returned status {status} with a body that is "
+            f"not JSON: {snippet!r}"
+        )
+        self.url = url
+        self.status = status
+        self.snippet = snippet
+
+
 class ServiceError(ReproError):
     """The server answered with an error status."""
 
@@ -87,7 +123,12 @@ class ReproClient:
     def _request(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> tuple[int, dict, dict]:
-        """One HTTP round trip; returns (status, headers, decoded body)."""
+        """One HTTP round trip; returns (status, headers, decoded body).
+
+        Transport failures surface as :class:`ConnectionFailed`, non-JSON
+        bodies as :class:`MalformedResponse` — callers never see raw socket
+        or ``json`` tracebacks.
+        """
         connection = HTTPConnection(self._host, self._port, timeout=self.timeout)
         try:
             body = None
@@ -95,10 +136,18 @@ class ReproClient:
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
-            decoded = json.loads(raw) if raw else {}
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except OSError as error:
+                raise ConnectionFailed(self.url, error) from error
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except ValueError as error:
+                raise MalformedResponse(
+                    self.url, response.status, raw
+                ) from error
             return response.status, dict(response.getheaders()), decoded
         finally:
             connection.close()
@@ -186,8 +235,10 @@ class ReproClient:
 
 
 __all__ = [
+    "ConnectionFailed",
     "DEFAULT_PORT",
     "JobFailed",
+    "MalformedResponse",
     "ReproClient",
     "ServerBusy",
     "ServiceError",

@@ -9,7 +9,10 @@ the evaluated replacement policies consume:
 * ``pc`` — the program counter, used by SHiP signatures and stride prefetch;
 * ``starvation_hint`` — Emissary's "this line previously caused decode
   starvation" bit (Section 4.3);
-* ``is_prefetch`` — demand vs. prefetch, so MPKI only counts demand misses.
+* ``is_prefetch`` — demand vs. prefetch, so MPKI only counts demand misses;
+* ``core`` — the issuing core's index, so shared-cache policies (static way
+  partitioning) can attribute requests in multi-core interleaved runs.
+  Single-core paths leave it at 0.
 """
 
 from __future__ import annotations
@@ -60,6 +63,7 @@ class MemoryRequest:
     temperature: Temperature = Temperature.NONE
     starvation_hint: bool = False
     is_prefetch: bool = False
+    core: int = 0
 
     def __post_init__(self) -> None:
         if self.address < 0:
@@ -84,6 +88,7 @@ class MemoryRequest:
             temperature=self.temperature,
             starvation_hint=self.starvation_hint,
             is_prefetch=True,
+            core=self.core,
         )
 
     def with_temperature(self, temperature: Temperature) -> "MemoryRequest":
@@ -114,6 +119,7 @@ class ScratchRequest:
         "temperature",
         "starvation_hint",
         "is_prefetch",
+        "core",
     )
 
     def __init__(self) -> None:
@@ -123,6 +129,7 @@ class ScratchRequest:
         self.temperature = Temperature.NONE
         self.starvation_hint = False
         self.is_prefetch = False
+        self.core = 0
 
     @property
     def is_instruction(self) -> bool:
@@ -141,6 +148,7 @@ class ScratchRequest:
             temperature=self.temperature,
             starvation_hint=self.starvation_hint,
             is_prefetch=True,
+            core=self.core,
         )
 
 

@@ -71,15 +71,19 @@ class BackendModel:
         translator: AddressTranslator | None = None,
         config: BackendConfig | None = None,
         line_size: int = CACHE_LINE_SIZE,
+        core: int = 0,
     ) -> None:
         self.hierarchy = hierarchy
         self.translator = translator or IdentityTranslator()
         self.config = config or BackendConfig()
         self.config.validate()
         self.line_size = line_size
+        #: Issuing core index, stamped into every request (multi-core mode).
+        self.core = core
         self.stats = BackendStats()
         #: Reusable request object for the packed-trace data fast path.
         self._scratch = ScratchRequest()
+        self._scratch.core = core
         #: Identity translation (no OS model): physical == virtual, so the
         #: fast path skips the per-access translator call entirely.
         self._identity = type(self.translator) is IdentityTranslator
@@ -104,6 +108,7 @@ class BackendModel:
             address=paddr,
             access_type=AccessType.DATA_STORE if is_store else AccessType.DATA_LOAD,
             pc=pc,
+            core=self.core,
         )
         result = self.hierarchy.access_data(request)
         self.stats.data_accesses += 1

@@ -124,16 +124,19 @@ class CoreModel:
         translator: Optional[AddressTranslator] = None,
         config: Optional[CoreConfig] = None,
         line_size: int = CACHE_LINE_SIZE,
+        core: int = 0,
     ) -> None:
         self.config = config or CoreConfig()
         self.config.validate()
         self.hierarchy = hierarchy
         self.line_size = line_size
+        #: Core index in a multi-core system (0 for single-core runs).
+        self.core = core
         self.frontend = FetchEngine(
-            hierarchy, translator, self.config.frontend, line_size
+            hierarchy, translator, self.config.frontend, line_size, core=core
         )
         self.backend = BackendModel(
-            hierarchy, translator, self.config.backend, line_size
+            hierarchy, translator, self.config.backend, line_size, core=core
         )
         self.branch_unit = BranchPredictionUnit(self.config.branch)
 
@@ -468,6 +471,259 @@ def run_packed_lockstep(
                 topdown=topdown,
                 branches=branches,
                 branch_mispredictions=mispredictions,
+                line_stall_cycles=dict(core.frontend.line_stall_cycles),
+                line_miss_counts=dict(core.frontend.line_miss_counts),
+            )
+        )
+    return results
+
+
+class _CoreCursor:
+    """Resumable replay position of one core in an interleaved run.
+
+    Holds everything :meth:`CoreModel.run_packed` keeps in loop locals —
+    the decoded event columns, the fetch-line automaton, and the per-category
+    float accumulators — so the round-robin scheduler can advance a core a
+    quantum at a time and the accumulation order within each core stays
+    exactly the solo loop's.
+    """
+
+    __slots__ = (
+        "core",
+        "fetch_fast",
+        "data_fast",
+        "predict_raw",
+        "backend_stats",
+        "penalty",
+        "retire_inc",
+        "sizes",
+        "targets",
+        "mems",
+        "depends",
+        "issues",
+        "event_indices",
+        "event_pcs",
+        "event_flags",
+        "event_lines",
+        "mem_lines",
+        "instructions",
+        "events",
+        "pos",
+        "bound",
+        "current_line",
+        "ifetch",
+        "mispred",
+        "depend",
+        "issue",
+        "mem",
+        "branches_before",
+        "mispredictions_before",
+    )
+
+
+def _advance_cursor(state: _CoreCursor, bound: int) -> None:
+    """Process one core's events with instruction index below ``bound``.
+
+    The body is a verbatim copy of :meth:`CoreModel.run_packed`'s event loop
+    over a slice of the event stream; locals are reloaded from / stored back
+    to the cursor so repeated calls chain into the identical computation.
+    """
+    pos = state.pos
+    events = state.events
+    if pos >= events:
+        return
+    event_indices = state.event_indices
+    event_pcs = state.event_pcs
+    event_flags = state.event_flags
+    event_lines = state.event_lines
+    sizes = state.sizes
+    targets = state.targets
+    mems = state.mems
+    depends = state.depends
+    issues = state.issues
+    mem_lines = state.mem_lines
+    fetch_fast = state.fetch_fast
+    data_fast = state.data_fast
+    predict_raw = state.predict_raw
+    backend_stats = state.backend_stats
+    penalty = state.penalty
+    current_line = state.current_line
+    ifetch = state.ifetch
+    mispred = state.mispred
+    depend = state.depend
+    issue = state.issue
+    mem = state.mem
+
+    while pos < events:
+        index = event_indices[pos]
+        if index >= bound:
+            break
+        pc = event_pcs[pos]
+        flags = event_flags[pos]
+        fetch_line = event_lines[pos]
+        if fetch_line != current_line:
+            current_line = fetch_line
+            stall = fetch_fast(fetch_line)
+            if stall > 0.0:
+                ifetch += stall
+
+        if flags:
+            if flags & FLAG_BRANCH:
+                outcome = predict_raw(
+                    pc,
+                    sizes[index],
+                    flags & FLAG_TAKEN != 0,
+                    targets[index],
+                    flags & FLAG_INDIRECT != 0,
+                    flags & FLAG_CALL != 0,
+                    flags & FLAG_RETURN != 0,
+                )
+                if outcome[2]:
+                    mispred += penalty
+                if flags & FLAG_TAKEN:
+                    # Fetch redirects to the branch target.
+                    current_line = -1
+            if flags & FLAG_MEM:
+                stall = data_fast(
+                    mems[index],
+                    pc,
+                    flags & FLAG_STORE != 0,
+                    mem_lines[index],
+                )
+                if stall > 0.0:
+                    mem += stall
+            if flags & FLAG_DEPEND:
+                cycles = depends[index]
+                backend_stats.depend_stall_cycles += cycles
+                depend += cycles
+            if flags & FLAG_ISSUE:
+                cycles = issues[index]
+                backend_stats.issue_stall_cycles += cycles
+                issue += cycles
+        pos += 1
+
+    state.pos = pos
+    state.current_line = current_line
+    state.ifetch = ifetch
+    state.mispred = mispred
+    state.depend = depend
+    state.issue = issue
+    state.mem = mem
+
+
+def run_packed_interleaved(
+    cores: Sequence["CoreModel"],
+    traces: Sequence[PackedTrace],
+    quanta: Optional[Sequence[int]] = None,
+) -> list[CoreResult]:
+    """Replay N packed traces through N cores in a deterministic interleave.
+
+    The inversion of :func:`run_packed_lockstep`: instead of one trace
+    advancing N memory systems, N independent trace streams advance their own
+    cores — each with its private branch unit, frontend and L1s — typically
+    against hierarchies built over one
+    :class:`~repro.cache.hierarchy.SharedCacheSystem`, so the streams contend
+    for the shared L2/SLC.  Cores take turns in strict round-robin order;
+    core ``i`` advances ``quanta[i]`` instructions per turn (default 1:1),
+    and a core whose trace is exhausted drops out while the rest continue.
+    The interleave — and therefore every shared-cache state transition — is a
+    pure function of the traces and ratios, independent of host scheduling.
+
+    Per-core accounting is exactly :meth:`CoreModel.run_packed`'s: the same
+    event iteration, the same accumulation order of every float, the same
+    retire-bandwidth fold.  With a single core the loop degenerates to the
+    solo replay and produces bit-identical results
+    (``tests/test_multicore.py``).
+    """
+    count = len(cores)
+    if len(traces) != count:
+        raise ValueError("run_packed_interleaved needs one trace per core")
+    if quanta is None:
+        quanta = (1,) * count
+    quanta = tuple(int(q) for q in quanta)
+    if len(quanta) != count:
+        raise ValueError("run_packed_interleaved needs one quantum per core")
+    if any(q <= 0 for q in quanta):
+        raise ValueError("interleave quanta must be positive")
+    if not cores:
+        return []
+
+    states: list[_CoreCursor] = []
+    for core, trace in zip(cores, traces):
+        frontend = core.frontend
+        frontend.line_stall_cycles.clear()
+        frontend.line_miss_counts.clear()
+        branch_unit = core.branch_unit
+        event_indices, event_pcs, event_flags, event_lines = trace.fetch_events(
+            core.line_size
+        )
+        state = _CoreCursor()
+        state.core = core
+        state.fetch_fast = frontend.fetch_line_fast
+        state.data_fast = core.backend.access_data_fast
+        state.predict_raw = branch_unit.predict_and_update_raw
+        state.backend_stats = core.backend.stats
+        state.penalty = float(core.config.branch.mispredict_penalty)
+        state.retire_inc = 1.0 / core.config.dispatch_width
+        state.sizes = trace.size
+        state.targets = trace.branch_target
+        state.mems = trace.mem_address
+        state.depends = trace.depend_stall
+        state.issues = trace.issue_stall
+        state.event_indices = event_indices
+        state.event_pcs = event_pcs
+        state.event_flags = event_flags
+        state.event_lines = event_lines
+        state.mem_lines = trace.mem_lines(core.line_size)
+        state.instructions = len(trace.pc)
+        state.events = len(event_indices)
+        state.pos = 0
+        state.bound = 0
+        state.current_line = -1
+        state.ifetch = 0.0
+        state.mispred = 0.0
+        state.depend = 0.0
+        state.issue = 0.0
+        state.mem = 0.0
+        state.branches_before = branch_unit.stats.branches
+        state.mispredictions_before = branch_unit.stats.mispredictions
+        states.append(state)
+
+    active = True
+    while active:
+        active = False
+        for state, quantum in zip(states, quanta):
+            if state.bound >= state.instructions and state.pos >= state.events:
+                continue
+            bound = state.bound + quantum
+            if bound > state.instructions:
+                bound = state.instructions
+            state.bound = bound
+            _advance_cursor(state, bound)
+            if state.bound < state.instructions or state.pos < state.events:
+                active = True
+
+    results = []
+    for state in states:
+        core = state.core
+        topdown = TopDownBreakdown(
+            retire=_retire_total(state.retire_inc, state.instructions),
+            ifetch=state.ifetch,
+            mispred=state.mispred,
+            depend=state.depend,
+            issue=state.issue,
+            mem=state.mem,
+        )
+        branch_stats = core.branch_unit.stats
+        results.append(
+            CoreResult(
+                instructions=state.instructions,
+                cycles=topdown.total_cycles,
+                topdown=topdown,
+                branches=branch_stats.branches - state.branches_before,
+                branch_mispredictions=(
+                    branch_stats.mispredictions - state.mispredictions_before
+                ),
                 line_stall_cycles=dict(core.frontend.line_stall_cycles),
                 line_miss_counts=dict(core.frontend.line_miss_counts),
             )

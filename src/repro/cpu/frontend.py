@@ -79,12 +79,15 @@ class FetchEngine:
         translator: AddressTranslator | None = None,
         config: FrontendConfig | None = None,
         line_size: int = CACHE_LINE_SIZE,
+        core: int = 0,
     ) -> None:
         self.hierarchy = hierarchy
         self.translator = translator or IdentityTranslator()
         self.config = config or FrontendConfig()
         self.config.validate()
         self.line_size = line_size
+        #: Issuing core index, stamped into every request (multi-core mode).
+        self.core = core
         self.stats = FrontendStats()
         #: Virtual line addresses whose demand miss starved decode; requests
         #: to these lines carry Emissary's starvation hint when refetched.
@@ -122,6 +125,7 @@ class FetchEngine:
             pc=vline,
             temperature=temperature,
             starvation_hint=self._starved_lines.get(vline, False),
+            core=self.core,
         )
         result = self.hierarchy.access_instruction(request)
         self.stats.demand_fetches += 1
@@ -168,6 +172,7 @@ class FetchEngine:
         line_miss_counts = self.line_miss_counts
         hidden_latency = self._hidden_latency
         line_shift = self._line_shift
+        core = self.core
 
         def fetch_line_fast(vline: int) -> float:
             cached = request_cache.get(vline)
@@ -179,6 +184,7 @@ class FetchEngine:
                     pc=vline,
                     temperature=temperature,
                     starvation_hint=vline in starved_lines,
+                    core=core,
                 )
                 cached = (request, paddr >> line_shift)
                 request_cache[vline] = cached

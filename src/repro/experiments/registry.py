@@ -16,7 +16,7 @@ from typing import Any, Callable, Optional, Sequence
 from repro.api.session import Session
 from repro.cache.replacement.spec import PolicySpec
 from repro.experiments import ablations, figure3, figure6, figure7, figure8
-from repro.experiments import figure9, table3, tables, topdown_figures
+from repro.experiments import figure9, interference, table3, tables, topdown_figures
 from repro.experiments.runner import BenchmarkRunner
 from repro.experiments.store import ResultStore
 from repro.sim.config import SimulatorConfig
@@ -48,6 +48,11 @@ class ExperimentContext:
     benchmarks: Optional[Sequence[str | WorkloadSpec]] = None
     policies: Optional[Sequence[str | PolicySpec]] = None
     jobs: Optional[int] = None
+    #: Multi-core experiments (``repro run interference --core ...``): one
+    #: workload token/spec per core, plus the optional interleave quanta.
+    #: ``None`` lets the experiment pick its default co-run pair.
+    cores: Optional[Sequence[str | WorkloadSpec]] = None
+    interleave: Optional[Sequence[int]] = None
 
     def __post_init__(self) -> None:
         if self.session is None:
@@ -263,6 +268,24 @@ register(
             benchmarks=ctx.benchmarks, session=ctx.session
         ),
         format=figure9.format_figure9b,
+    )
+)
+register(
+    Experiment(
+        name="interference",
+        artifact="Contention",
+        description="co-run vs solo slowdown per core over one shared L2/SLC",
+        run=lambda ctx: interference.run_interference(
+            cores=ctx.cores,
+            policies=ctx.policies,
+            interleave=ctx.interleave,
+            benchmarks=ctx.benchmarks,
+            session=ctx.session,
+            jobs=ctx.jobs,
+        ),
+        format=interference.format_interference,
+        supports_jobs=True,
+        supports_policies=True,
     )
 )
 register(

@@ -34,10 +34,20 @@ from repro.cache.replacement.spec import PolicySpec
 from repro.common.faults import fire_point
 from repro.common.trace import PackedTrace, TraceRecord
 from repro.core.pipeline import CoDesignPipeline, PipelineOptions, PreparedWorkload
-from repro.experiments.store import ResultStore, StoredRun, run_key
+from repro.experiments.store import (
+    ResultStore,
+    StoredRun,
+    multicore_run_key,
+    run_key,
+)
 from repro.experiments.supervisor import SupervisedPool, SupervisionPolicy
 from repro.common.errors import ConfigurationError
 from repro.sim.config import BASELINE_POLICY, SimulatorConfig
+from repro.sim.multicore import (
+    MulticoreResult,
+    MulticoreSimulator,
+    normalize_interleave,
+)
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import ENGINES, SystemSimulator
 from repro.workloads.capture import TraceArchive
@@ -47,9 +57,15 @@ from repro.workloads.spec import resolve_spec as resolve_workload_spec
 
 @dataclass
 class RunArtifacts:
-    """A simulation result plus optional analysis side-products."""
+    """A simulation result plus optional analysis side-products.
 
-    result: SimulationResult
+    ``result`` is a :class:`~repro.sim.results.SimulationResult` for
+    single-core points and a :class:`~repro.sim.multicore.MulticoreResult`
+    for interleaved multi-core points (``prepared`` is then core 0's
+    workload).
+    """
+
+    result: "SimulationResult | MulticoreResult"
     prepared: PreparedWorkload
     reuse: Optional[ReuseDistanceTracker] = None
 
@@ -305,6 +321,65 @@ class BenchmarkRunner:
                         options=effective_options,
                     )
         return [artifacts[position] for position in range(len(wanted))]
+
+    def run_cores_resolved(
+        self,
+        specs: Sequence[WorkloadSpec],
+        policy: str | PolicySpec = BASELINE_POLICY,
+        options: PipelineOptions | None = None,
+        interleave: Sequence[int] = (),
+        config: SimulatorConfig | None = None,
+    ) -> RunArtifacts:
+        """Simulate N resolved per-core specs interleaved over one shared
+        L2/SLC (:class:`~repro.sim.multicore.MulticoreSimulator`).
+
+        Store-cached like :meth:`run_resolved`, under
+        :func:`~repro.experiments.store.multicore_run_key` — the key space
+        is disjoint from single-core entries.  The returned artifacts carry
+        a :class:`~repro.sim.multicore.MulticoreResult` and core 0's
+        prepared workload.
+        """
+        policy = PolicySpec.of(policy)
+        specs = list(specs)
+        if not specs:
+            raise ConfigurationError("multi-core run needs at least one core")
+        effective_options = options or self.pipeline_options
+        run_config = (config or self.config).with_l2_policy(policy)
+        ratio = normalize_interleave(interleave, len(specs))
+
+        key: Optional[str] = None
+        if self.store is not None:
+            key = multicore_run_key(
+                specs, policy, run_config, effective_options, ratio
+            )
+            cached = self.store.load_multicore(key)
+            if cached is not None:
+                prepared = self._prepare_resolved(specs[0], effective_options)
+                return RunArtifacts(result=cached, prepared=prepared)
+
+        prepared_cores = [
+            self._prepare_resolved(spec, effective_options) for spec in specs
+        ]
+        pairs = [self.packed_traces(prepared) for prepared in prepared_cores]
+        simulator = MulticoreSimulator(
+            run_config,
+            [prepared.mmu() for prepared in prepared_cores],
+            [prepared.spec.name for prepared in prepared_cores],
+            interleave=ratio,
+        )
+        simulator.warm_up([warmup for warmup, _ in pairs])
+        result = simulator.run([measured for _, measured in pairs])
+        self.simulations_run += 1
+        if self.store is not None and key is not None:
+            self.store.save_multicore(
+                key,
+                result,
+                specs,
+                policy=policy,
+                config=run_config,
+                options=effective_options,
+            )
+        return RunArtifacts(result=result, prepared=prepared_cores[0])
 
     def _simulate(
         self,

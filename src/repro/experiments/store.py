@@ -45,6 +45,7 @@ from repro.common.faults import fire_point
 from repro.common.hashing import canonical_payload, stable_hash
 from repro.core.pipeline import PipelineOptions
 from repro.sim.config import SimulatorConfig
+from repro.sim.multicore import MulticoreResult
 from repro.sim.results import SimulationResult
 from repro.workloads.spec import WorkloadSpec
 
@@ -81,6 +82,33 @@ def run_key(
             "policy": PolicySpec.of(policy).canonical(),
             "config": canonical_payload(config),
             "options": canonical_payload(options),
+        }
+    )
+
+
+def multicore_run_key(
+    specs: "list[WorkloadSpec] | tuple[WorkloadSpec, ...]",
+    policy: "str | PolicySpec",
+    config: SimulatorConfig,
+    options: PipelineOptions,
+    interleave: "tuple[int, ...]",
+) -> str:
+    """Content hash identifying one interleaved multi-core run.
+
+    The payload carries an explicit ``kind`` discriminator absent from
+    :func:`run_key` payloads, so multi-core keys can never collide with —
+    or invalidate — legacy single-core entries.  Core order matters (core 0
+    of ``a,b`` is not core 0 of ``b,a``), so specs hash as an ordered list.
+    """
+    return stable_hash(
+        {
+            "schema": SCHEMA_VERSION,
+            "kind": "multicore",
+            "specs": [canonical_payload(spec) for spec in specs],
+            "policy": PolicySpec.of(policy).canonical(),
+            "config": canonical_payload(config),
+            "options": canonical_payload(options),
+            "interleave": list(interleave),
         }
     )
 
@@ -228,6 +256,50 @@ class ResultStore:
                 if run.has_reuse
                 else None
             ),
+        }
+        self._write_entry("runs", key, entry)
+        self.writes += 1
+
+    # --------------------------------------------------------- multicore runs
+    def load_multicore(
+        self, key: str, record: bool = True
+    ) -> Optional[MulticoreResult]:
+        """The cached multi-core run for ``key``, or ``None`` on a miss."""
+        entry = None
+        if not self.refresh:
+            entry = self._read_entry("runs", key)
+        if (
+            entry is not None
+            and entry.get("schema") == SCHEMA_VERSION
+            and entry.get("kind") == "multicore"
+        ):
+            if record:
+                self.hits += 1
+            return MulticoreResult.from_dict(entry["result"])
+        if record:
+            self.misses += 1
+        return None
+
+    def save_multicore(
+        self,
+        key: str,
+        result: MulticoreResult,
+        specs: "list[WorkloadSpec] | tuple[WorkloadSpec, ...]",
+        policy: "str | PolicySpec",
+        config: SimulatorConfig,
+        options: PipelineOptions,
+    ) -> None:
+        """Persist a finished multi-core run under ``key`` (atomic overwrite)."""
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "kind": "multicore",
+            "benchmarks": [spec.name for spec in specs],
+            "policy": PolicySpec.of(policy).canonical(),
+            "config_name": config.name,
+            "config_hash": config.content_hash(),
+            "options": canonical_payload(options),
+            "interleave": list(result.interleave),
+            "result": result.to_dict(),
         }
         self._write_entry("runs", key, entry)
         self.writes += 1

@@ -8,7 +8,7 @@ on the :class:`~repro.server.jobs.JobManager` worker threads.
 Endpoints::
 
     POST /jobs              submit a scenario     -> 202 {job, state, ...}
-                            invalid payload       -> 400 {error}
+                            invalid payload       -> 400 {error[, token]}
                             queue full            -> 429 + Retry-After
                             draining              -> 503 {error}
     GET  /jobs/<id>         status snapshot       -> 200 / 404
@@ -92,7 +92,13 @@ class _Handler(BaseHTTPRequestHandler):
                 payload, default_config=self.server.app.default_config
             )
         except SubmissionError as error:
-            self._error(400, str(error))
+            # Token-level rejections (unknown workload/policy/core token)
+            # carry the offending token structurally, so clients can point
+            # at it without parsing the prose message.
+            body = {"error": str(error)}
+            if error.token is not None:
+                body["token"] = error.token
+            self._send(400, body)
             return
         try:
             job, deduped = self.manager.submit(parsed)

@@ -12,9 +12,12 @@ from repro.sim.results import (
     geomean_speedup,
     geometric_mean,
 )
+from repro.sim.multicore import MulticoreResult, MulticoreSimulator
 from repro.sim.simulator import SystemSimulator
 
 __all__ = [
+    "MulticoreResult",
+    "MulticoreSimulator",
     "SimulatorConfig",
     "table1_rows",
     "EVALUATED_POLICIES",

@@ -1,0 +1,150 @@
+"""Client error paths: every failure is a typed, structured exception.
+
+``repro.client`` is the only HTTP client in the tree, so the CLI's error
+story is exactly these paths: a dead endpoint raises
+:class:`~repro.client.ConnectionFailed` (not a raw socket traceback), a
+body that is not JSON raises :class:`~repro.client.MalformedResponse` (with
+a snippet for diagnosis), and a 429 is absorbed by honoring the server's
+``Retry-After`` before the retry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.client import (
+    ConnectionFailed,
+    MalformedResponse,
+    ReproClient,
+    ServerBusy,
+)
+from repro.common.errors import ReproError
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Serves a scripted list of (status, headers, raw_body) responses."""
+
+    protocol_version = "HTTP/1.1"
+
+    def _reply(self) -> None:
+        status, headers, body = self.server.script[
+            min(self.server.calls, len(self.server.script) - 1)
+        ]
+        self.server.calls += 1
+        if self.command == "POST":
+            self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _reply
+    do_POST = _reply
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server naming
+        pass
+
+
+@pytest.fixture
+def scripted_server():
+    """A one-thread HTTP server replaying a caller-provided response script."""
+    server = HTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.script = [(200, {}, b"{}")]
+    server.calls = 0
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def client_for(server) -> ReproClient:
+    host, port = server.server_address
+    return ReproClient(f"http://{host}:{port}", timeout=5.0)
+
+
+# ------------------------------------------------------------------ connection
+class TestConnectionFailed:
+    def test_connection_refused_is_structured(self):
+        # Bind an ephemeral port, then close it: the port is free again, so
+        # connecting is a fast deterministic refusal.
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        client = ReproClient(f"http://127.0.0.1:{port}", timeout=2.0)
+        with pytest.raises(ConnectionFailed) as caught:
+            client.health()
+        assert "repro serve" in str(caught.value)
+        assert isinstance(caught.value.cause, OSError)
+
+    def test_connection_failed_is_a_repro_error(self):
+        # The CLI's ReproError handling covers it — no raw OSError escapes.
+        assert issubclass(ConnectionFailed, ReproError)
+
+
+# -------------------------------------------------------------- malformed body
+class TestMalformedResponse:
+    def test_non_json_body_is_structured(self, scripted_server):
+        scripted_server.script = [
+            (200, {"Content-Type": "text/html"}, b"<html>proxy error</html>")
+        ]
+        with pytest.raises(MalformedResponse) as caught:
+            client_for(scripted_server).health()
+        assert caught.value.status == 200
+        assert "proxy error" in caught.value.snippet
+
+    def test_truncated_json_is_structured(self, scripted_server):
+        scripted_server.script = [(200, {}, b'{"status": "ok"')]
+        with pytest.raises(MalformedResponse):
+            client_for(scripted_server).health()
+
+    def test_malformed_response_is_a_repro_error(self):
+        assert issubclass(MalformedResponse, ReproError)
+
+
+# ------------------------------------------------------------------------- 429
+class TestBusyRetry:
+    ACCEPTED = json.dumps({"job": "j1", "state": "queued"}).encode()
+
+    def test_429_without_retries_raises_server_busy(self, scripted_server):
+        scripted_server.script = [
+            (429, {"Retry-After": "7"}, json.dumps({"error": "full"}).encode())
+        ]
+        with pytest.raises(ServerBusy) as caught:
+            client_for(scripted_server).submit({"benchmarks": ["tiny"]})
+        assert caught.value.retry_after == 7
+        assert caught.value.status == 429
+
+    def test_retry_after_is_honored_before_the_retry(self, scripted_server):
+        scripted_server.script = [
+            (429, {"Retry-After": "1"}, json.dumps({"error": "full"}).encode()),
+            (202, {}, self.ACCEPTED),
+        ]
+        started = time.monotonic()
+        accepted = client_for(scripted_server).submit(
+            {"benchmarks": ["tiny"]}, busy_retries=1
+        )
+        elapsed = time.monotonic() - started
+        assert accepted["job"] == "j1"
+        assert scripted_server.calls == 2
+        assert elapsed >= 1.0  # slept the advertised Retry-After
+
+    def test_retries_exhausted_still_raises(self, scripted_server):
+        scripted_server.script = [
+            (429, {"Retry-After": "0"}, json.dumps({"error": "full"}).encode())
+        ]
+        with pytest.raises(ServerBusy):
+            client_for(scripted_server).submit(
+                {"benchmarks": ["tiny"]}, busy_retries=2
+            )
+        assert scripted_server.calls == 3

@@ -16,6 +16,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.api.scenario import resolve_token
 from repro.cli.main import build_parser
 from repro.experiments.registry import REGISTRY
 from repro.workloads.spec import get_spec
@@ -67,6 +68,12 @@ def _validate_repro_args(argv: list[str], context: str) -> None:
     if benchmarks:
         for name in benchmarks.split(","):
             get_spec(name.strip())  # raises on unknown benchmarks
+    # The unified workload-token flags (--spec, --core, --workload) accept
+    # catalog names, family tokens and "tiny"; validate each through the
+    # same resolution path the scenario serializer uses.
+    for attr in ("spec", "core", "workload"):
+        for token in getattr(args, attr, None) or ():
+            resolve_token(token)  # raises on unknown tokens/parameters
 
 
 def _validate_python_invocation(tokens: list[str], context: str) -> None:

@@ -32,6 +32,7 @@ EXPECTED_NAMES = {
     "figure9b",
     "ablation-page-size",
     "ablation-kill-switch",
+    "interference",
 }
 
 SIMULATING = sorted(name for name, e in REGISTRY.items() if e.simulates)
