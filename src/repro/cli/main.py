@@ -340,6 +340,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(lets scripts/CI wait for startup without polling)",
     )
     serve_parser.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="submission journal path (default: "
+        "<store>/serve/journal-<replica>.jsonl when a store is configured); "
+        "accepted jobs are recorded before queueing and re-enqueued on "
+        "restart",
+    )
+    serve_parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the submission journal (accepted jobs die with the "
+        "process)",
+    )
+    serve_parser.add_argument(
+        "--replica-id",
+        metavar="ID",
+        default="r0",
+        help="identity of this daemon for journal naming and store claim "
+        "markers; every replica sharing a store MUST use a distinct id "
+        "(default: r0)",
+    )
+    serve_parser.add_argument(
+        "--claim-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat TTL of store claim markers; another replica adopts "
+        "a job whose claim has lapsed this long (default: 30)",
+    )
+    serve_parser.add_argument(
         "--verbose",
         action="store_true",
         help="log each HTTP request to stderr",
@@ -360,6 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
             default=60.0,
             metavar="SECONDS",
             help="per-request HTTP timeout (default: 60)",
+        )
+        client_parser.add_argument(
+            "--retries",
+            type=int,
+            default=2,
+            metavar="N",
+            help="transport retries with exponential backoff when the "
+            "server is unreachable — rides out a daemon restart "
+            "(default: 2; 0 fails fast)",
         )
 
     submit_parser = sub.add_parser(
@@ -453,6 +493,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="JOB",
         help="job id from `repro submit` (omit for /metrics)",
+    )
+    status_parser.add_argument(
+        "--jobs",
+        action="store_true",
+        help="list every job the daemon knows (queued, running, finished) "
+        "instead of metrics",
     )
     _add_client_options(status_parser)
 
@@ -904,10 +950,34 @@ def _cmd_serve(args) -> int:
             engine=args.engine,
         )
 
+    # Durability wiring: the journal records accepted submissions for
+    # restart recovery, and the claim markers (on the shared store's
+    # backend) dedup across replicas.  Both need a store to anchor to; a
+    # cacheless daemon (--no-cache) runs without them unless --journal
+    # names an explicit path.
+    from repro.server.journal import SubmissionJournal
+
+    anchor_store = _make_store(args)
+    journal = None
+    claims = None
+    if not args.no_journal:
+        if args.journal is not None:
+            journal = SubmissionJournal(args.journal)
+        elif anchor_store is not None:
+            journal = SubmissionJournal.for_store(
+                anchor_store.root, args.replica_id
+            )
+    if anchor_store is not None:
+        claims = anchor_store.backend
+
     manager = JobManager(
         session_factory=session_factory,
         workers=args.workers,
         queue_size=args.queue_size,
+        journal=journal,
+        claims=claims,
+        replica_id=args.replica_id,
+        claim_ttl=args.claim_ttl,
     )
     server = ReproServer(
         manager,
@@ -917,12 +987,22 @@ def _cmd_serve(args) -> int:
         verbose=args.verbose,
     )
     server.install_signal_handlers()
+    durability = (
+        f"journal {journal.path}" if journal is not None else "no journal"
+    )
     print(
         f"repro serve: listening on {server.url} "
         f"({args.workers} worker(s), queue capacity {args.queue_size}, "
-        f"config {config_name})",
+        f"config {config_name}, replica {args.replica_id}, {durability})",
         file=sys.stderr,
     )
+    recovered = manager.recover()
+    if recovered:
+        print(
+            f"repro serve: recovered {recovered} unfinished job(s) from "
+            f"{journal.path}",
+            file=sys.stderr,
+        )
     if args.ready_file:
         with open(args.ready_file, "w", encoding="utf-8") as handle:
             handle.write(server.url + "\n")
@@ -1020,7 +1100,9 @@ def _client_call(args, call) -> int:
         ServiceError,
     )
 
-    client = ReproClient(args.url, timeout=args.timeout)
+    client = ReproClient(
+        args.url, timeout=args.timeout, retry=getattr(args, "retries", 0)
+    )
     try:
         print(json.dumps(call(client), indent=1))
         return 0
@@ -1053,6 +1135,12 @@ def _cmd_submit(args) -> int:
 
 
 def _cmd_status(args) -> int:
+    if args.jobs:
+        if args.job is not None:
+            raise ConfigurationError(
+                "repro status --jobs lists every job; drop the job id"
+            )
+        return _client_call(args, lambda client: client.jobs())
     if args.job is None:
         return _client_call(args, lambda client: client.metrics())
     return _client_call(args, lambda client: client.status(args.job))
@@ -1089,6 +1177,11 @@ def _cmd_report(args) -> int:
         f"{stats['hits']} hit(s), {stats['corrupt']} corrupt this lookup",
         file=sys.stderr,
     )
+    from repro.server.journal import summarize_journals
+
+    journal_line = summarize_journals(store.root)
+    if journal_line is not None:
+        print(f"# {journal_line}", file=sys.stderr)
     if args.format == "text":
         rendered = payload["text"]
     elif args.format == "json":

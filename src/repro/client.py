@@ -10,18 +10,35 @@ Backpressure is first-class: a 429 raises :class:`ServerBusy` carrying the
 server's ``Retry-After`` estimate, and :meth:`ReproClient.submit` can
 optionally absorb it by sleeping and retrying (``busy_retries``), which is
 what the CLI's ``repro submit --wait`` does.
+
+Transport failures are retryable too: a :class:`RetryPolicy` re-issues a
+request that died with :class:`ConnectionFailed` after a bounded,
+deterministic exponential backoff (the same formula as the sweep
+supervisor's :class:`~repro.experiments.supervisor.SupervisionPolicy`, so
+chaos runs reproduce).  Every call the client retries is idempotent by
+construction — GETs trivially, and ``POST /jobs`` because submissions are
+content-addressed: a resubmission after a daemon restart attaches to (or
+recreates) the same job key and never re-simulates a stored point.
+:meth:`ReproClient.wait` additionally rides out a daemon *bounce* mid-poll:
+a connection failure during polling counts against the wait deadline, not
+as an error, because a journal-backed daemon comes back with the same job
+ids.  The ``client.transport`` fault point (``REPRO_FAULTS``) injects
+transport failures without touching a socket.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import time
+from dataclasses import dataclass
 from http.client import HTTPConnection
 from typing import Optional
 from urllib.parse import urlsplit
 
-from repro.common.errors import ReproError
+from repro.common.errors import JobTimeout, ReproError
+from repro.common.faults import fire_point
 
 #: Default port of ``repro serve`` (and the ``repro submit|...`` commands).
 DEFAULT_PORT = 8642
@@ -31,6 +48,12 @@ URL_ENV_VAR = "REPRO_SERVER_URL"
 
 #: Job states the server reports as final.
 TERMINAL_STATES = ("done", "failed")
+
+#: Default total wait budget of :meth:`ReproClient.wait` (seconds).  Waits
+#: are always bounded: a job adopted by another replica, or a daemon that
+#: never comes back, must end in a :class:`~repro.common.errors.JobTimeout`
+#: naming the job, not an indefinite poll loop.
+DEFAULT_WAIT_TIMEOUT = 600.0
 
 
 def default_url() -> str:
@@ -105,10 +128,54 @@ class JobFailed(ServiceError):
         self.error = payload.get("error") or {}
 
 
-class ReproClient:
-    """Blocking client for one ``repro serve`` endpoint."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Transport-retry knobs for :class:`ReproClient`.
 
-    def __init__(self, url: Optional[str] = None, timeout: float = 60.0):
+    The backoff formula is byte-for-byte the sweep supervisor's
+    (:meth:`~repro.experiments.supervisor.SupervisionPolicy.backoff`):
+    exponential growth from ``backoff_base`` capped at ``backoff_max``,
+    with fractional jitter seeded per ``(seed, request ordinal, attempt)``
+    — integer-keyed :class:`random.Random`, so delays are identical across
+    processes and runs and chaos tests stay reproducible.
+    """
+
+    #: Retries after the first attempt (a request runs at most
+    #: ``1 + retries`` times).  0 disables transport retry entirely.
+    retries: int = 0
+    backoff_base: float = 0.2
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    #: Fractional jitter (+/-) applied to each delay.
+    jitter: float = 0.25
+    seed: int = 0
+
+    def backoff(self, ordinal: int, failed_attempt: int) -> float:
+        """Delay before retrying request ``ordinal`` after ``failed_attempt``."""
+        base = min(
+            self.backoff_base * self.backoff_factor ** (failed_attempt - 1),
+            self.backoff_max,
+        )
+        if base <= 0:
+            return 0.0
+        rng = random.Random((self.seed << 24) ^ (ordinal << 8) ^ failed_attempt)
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+class ReproClient:
+    """Blocking client for one ``repro serve`` endpoint.
+
+    ``retry`` takes a :class:`RetryPolicy` (or a plain int, shorthand for
+    ``RetryPolicy(retries=n)``); the default of zero retries preserves
+    fail-fast behaviour for interactive use — the CLI passes ``--retries``.
+    """
+
+    def __init__(
+        self,
+        url: Optional[str] = None,
+        timeout: float = 60.0,
+        retry: "RetryPolicy | int | None" = None,
+    ):
         self.url = (url or default_url()).rstrip("/")
         parsed = urlsplit(self.url)
         if parsed.scheme != "http" or not parsed.hostname:
@@ -118,9 +185,15 @@ class ReproClient:
         self._host = parsed.hostname
         self._port = parsed.port or 80
         self.timeout = timeout
+        if retry is None:
+            retry = RetryPolicy()
+        elif isinstance(retry, int):
+            retry = RetryPolicy(retries=retry)
+        self.retry = retry
+        self._ordinal = 0
 
     # ---------------------------------------------------------------- plumbing
-    def _request(
+    def _request_once(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> tuple[int, dict, dict]:
         """One HTTP round trip; returns (status, headers, decoded body).
@@ -137,6 +210,10 @@ class ReproClient:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"
             try:
+                # The transport failure point: REPRO_FAULTS=
+                # "client.transport:N=enospc" makes the N-th request this
+                # process issues die exactly like a refused connection.
+                fire_point("client.transport")
                 connection.request(method, path, body=body, headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
@@ -152,8 +229,35 @@ class ReproClient:
         finally:
             connection.close()
 
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        retry: bool = False,
+    ) -> tuple[int, dict, dict]:
+        """A round trip, optionally retried on :class:`ConnectionFailed`.
+
+        Only ever called with ``retry=True`` for idempotent requests (all
+        GETs, and submission POSTs — content-addressing makes resubmission
+        attach, not duplicate).  The last failure propagates unchanged once
+        the policy's budget is spent.
+        """
+        budget = self.retry.retries if retry else 0
+        ordinal = self._ordinal
+        self._ordinal += 1
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ConnectionFailed:
+                attempt += 1
+                if attempt > budget:
+                    raise
+                time.sleep(self.retry.backoff(ordinal, attempt))
+
     def _get(self, path: str) -> dict:
-        status, _, payload = self._request("GET", path)
+        status, _, payload = self._request("GET", path, retry=True)
         if status >= 400:
             raise ServiceError(status, payload)
         return payload
@@ -168,7 +272,9 @@ class ReproClient:
         meantime is attached to, never re-simulated).
         """
         for attempt in range(busy_retries + 1):
-            status, headers, payload = self._request("POST", "/jobs", submission)
+            status, headers, payload = self._request(
+                "POST", "/jobs", submission, retry=True
+            )
             if status == 429:
                 retry_after = int(headers.get("Retry-After", "1"))
                 if attempt < busy_retries:
@@ -191,7 +297,9 @@ class ReproClient:
         for failed jobs and :class:`ServiceError` with ``status=409`` when
         the job has not finished yet — poll via :meth:`wait` first.
         """
-        status, _, payload = self._request("GET", f"/jobs/{job_id}/result")
+        status, _, payload = self._request(
+            "GET", f"/jobs/{job_id}/result", retry=True
+        )
         if status == 500 and payload.get("state") == "failed":
             raise JobFailed(payload)
         if status >= 400:
@@ -199,32 +307,67 @@ class ReproClient:
         return payload
 
     def wait(
-        self, job_id: str, timeout: Optional[float] = None, poll: float = 0.2
+        self,
+        job_id: str,
+        timeout: Optional[float] = DEFAULT_WAIT_TIMEOUT,
+        poll: float = 0.2,
     ) -> dict:
-        """Poll until the job reaches a terminal state; returns its status."""
+        """Poll until the job reaches a terminal state; returns its status.
+
+        The wait is bounded (:data:`DEFAULT_WAIT_TIMEOUT` unless
+        overridden; ``timeout=None`` waits forever) and ends in a
+        :class:`~repro.common.errors.JobTimeout` naming the job.  A daemon
+        *bounce* mid-poll — connection refused while it restarts — is
+        absorbed: a journal-backed daemon recovers the same job ids, so the
+        poll simply resumes when it answers again, and the outage counts
+        against the deadline rather than failing the wait.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
+        state = "unknown"
         while True:
-            snapshot = self.status(job_id)
-            if snapshot.get("state") in TERMINAL_STATES:
+            try:
+                snapshot = self.status(job_id)
+            except ConnectionFailed:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise JobTimeout(
+                        f"job {job_id} still unconfirmed after {timeout}s: "
+                        f"server at {self.url} is unreachable"
+                    ) from None
+                time.sleep(poll)
+                continue
+            state = snapshot.get("state")
+            if state in TERMINAL_STATES:
                 return snapshot
             if deadline is not None and time.monotonic() >= deadline:
-                raise TimeoutError(
-                    f"job {job_id} still {snapshot.get('state')!r} "
-                    f"after {timeout}s"
+                raise JobTimeout(
+                    f"job {job_id} still {state!r} after {timeout}s"
                 )
             time.sleep(poll)
 
     def run(
         self,
         submission: dict,
-        timeout: Optional[float] = None,
+        timeout: Optional[float] = DEFAULT_WAIT_TIMEOUT,
         poll: float = 0.2,
         busy_retries: int = 0,
     ) -> dict:
-        """Submit, wait, fetch: the blocking one-call shape."""
+        """Submit, wait, fetch: the blocking one-call shape.
+
+        Survives a daemon restart mid-run: when the restarted daemon no
+        longer knows the job id (it ran without a journal), the submission
+        is re-posted once — content-addressing guarantees the resubmission
+        reuses every stored point instead of re-simulating.
+        """
         accepted = self.submit(submission, busy_retries=busy_retries)
-        self.wait(accepted["job"], timeout=timeout, poll=poll)
-        return self.result(accepted["job"])
+        try:
+            self.wait(accepted["job"], timeout=timeout, poll=poll)
+            return self.result(accepted["job"])
+        except ServiceError as error:
+            if error.status != 404:
+                raise
+            accepted = self.submit(submission, busy_retries=busy_retries)
+            self.wait(accepted["job"], timeout=timeout, poll=poll)
+            return self.result(accepted["job"])
 
     # ------------------------------------------------------------- diagnostics
     def health(self) -> dict:
@@ -233,13 +376,20 @@ class ReproClient:
     def metrics(self) -> dict:
         return self._get("/metrics")
 
+    def jobs(self) -> dict:
+        """GET the compact listing of every job the daemon knows."""
+        return self._get("/jobs")
+
 
 __all__ = [
     "ConnectionFailed",
     "DEFAULT_PORT",
+    "DEFAULT_WAIT_TIMEOUT",
     "JobFailed",
+    "JobTimeout",
     "MalformedResponse",
     "ReproClient",
+    "RetryPolicy",
     "ServerBusy",
     "ServiceError",
     "TERMINAL_STATES",

@@ -43,5 +43,16 @@ class SweepExecutionError(ReproError):
     """A checkpointed sweep finished with failed units (retries exhausted)."""
 
 
+class JobTimeout(ReproError, TimeoutError):
+    """A served job did not reach a terminal state within the wait budget.
+
+    Raised by :meth:`repro.server.jobs.JobManager.wait` and
+    :meth:`repro.client.ReproClient.wait` instead of spinning forever — a
+    job adopted by another replica (or a daemon that never comes back) must
+    surface as a bounded, named failure.  Subclasses :class:`TimeoutError`
+    so pre-existing ``except TimeoutError`` call sites keep working.
+    """
+
+
 class LoaderError(ReproError):
     """Raised by the OS model when an ELF image cannot be mapped."""

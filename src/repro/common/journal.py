@@ -1,0 +1,84 @@
+"""Append-only JSONL journals with torn-tail-tolerant replay.
+
+Two subsystems keep crash-durable, human-greppable logs of accepted work:
+the checkpointed sweep scheduler
+(:class:`~repro.experiments.sweep.SweepJournal`) and the ``repro serve``
+daemon's submission journal
+(:class:`~repro.server.journal.SubmissionJournal`).  Both share one write
+and replay discipline, implemented here once:
+
+* **writing** — one JSON object per line, appended, flushed and fsynced, so
+  a crashed process (SIGKILL included) leaves at most one torn final line;
+* **replay** — every intact line, oldest first; a torn or otherwise
+  undecodable line is skipped, because an event that never hit the disk
+  whole never happened.
+
+The journal is an *audit log with recovery hints*: correctness never rests
+on it alone — the content-addressed result store remains the source of
+truth for what is durably done, which is why replaying a journal can only
+re-enqueue work, never corrupt results.
+
+This module is deliberately import-light (stdlib only) so both the
+experiments layer and the server can use it without layering cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+class AppendOnlyJournal:
+    """One append-only JSONL event log (see module docstring).
+
+    The write handle opens lazily on the first :meth:`record` and stays
+    open until :meth:`close`; replay reads are independent of the handle,
+    so another process (or a restarted one) can replay a journal that is
+    still being written.
+    """
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self._handle = None
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # --------------------------------------------------------------- writing
+    def record(self, event: str, **fields) -> None:
+        """Append one event line (crash-durable: flush + fsync)."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps({"event": event, **fields}) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # --------------------------------------------------------------- reading
+    def replay(self) -> list[dict]:
+        """Every intact event line, oldest first (a torn tail is skipped)."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        events = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn write mid-line: the event never happened
+            if isinstance(entry, dict) and "event" in entry:
+                events.append(entry)
+        return events
+
+
+__all__ = ["AppendOnlyJournal"]

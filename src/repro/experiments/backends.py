@@ -14,6 +14,29 @@ interface:
   live and quarantined entries of a namespace (ops introspection, tests,
   ``/metrics``).
 
+On top of storage, every backend also implements **cross-process claim
+markers** — the coordination primitive that lets N ``repro serve`` replicas
+share one store without executing a job twice:
+
+* :meth:`StoreBackend.acquire_claim` — atomically claim a key for an owner
+  with a heartbeat TTL.  Returns ``"acquired"`` (free or already ours),
+  ``"adopted"`` (another owner's claim had *expired* — its replica crashed
+  or wedged, and we took the work over), or ``"held"`` (another owner's
+  claim is still live);
+* :meth:`StoreBackend.renew_claim` — the heartbeat: extend our claim's
+  expiry; returns ``False`` when the claim is no longer ours (someone
+  adopted it after we missed heartbeats);
+* :meth:`StoreBackend.release_claim` — drop our claim (idempotent, never
+  touches a claim we do not own);
+* :meth:`StoreBackend.claims` — enumerate live markers (ops introspection).
+
+Claims are advisory leases, not locks: expiry is wall-clock (``time.time``)
+so a claim survives exactly as long as its owner keeps heartbeating, and a
+SIGKILLed owner's claim simply times out.  The ``dir`` backend serializes
+claim mutations with an ``flock`` on ``claims/.lock``; the ``sqlite``
+backend uses an immediate transaction.  Both are exercised by the
+multi-replica tests in ``tests/test_server_durability.py``.
+
 Namespaces (``"runs"``, ``"reports"``) keep one backend instance shared by
 the run cache and the report cache.  Two backends ship:
 
@@ -40,11 +63,17 @@ import json
 import os
 import sqlite3
 import tempfile
+import time
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Optional
 
 from repro.common.errors import ConfigurationError
+
+try:  # POSIX only; claims degrade to best-effort without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 #: Environment variable naming the default backend (CLI: ``--store-backend``).
 ENV_VAR = "REPRO_STORE_BACKEND"
@@ -91,6 +120,53 @@ class StoreBackend(ABC):
     @abstractmethod
     def quarantined(self, space: str) -> list[str]:
         """Every quarantined key in ``space``, sorted."""
+
+    # ---------------------------------------------------------------- claims
+    @abstractmethod
+    def acquire_claim(
+        self, key: str, owner: str, ttl: float, now: "float | None" = None
+    ) -> str:
+        """Atomically claim ``key`` for ``owner`` until ``now + ttl``.
+
+        Returns ``"acquired"`` (the key was free, or already ours — the call
+        is re-entrant and doubles as a renew), ``"adopted"`` (another
+        owner's claim had expired and we took it over), or ``"held"``
+        (another owner's claim is still live; nothing was written).
+        """
+
+    @abstractmethod
+    def renew_claim(
+        self, key: str, owner: str, ttl: float, now: "float | None" = None
+    ) -> bool:
+        """Heartbeat: extend our claim on ``key``; ``False`` if not ours."""
+
+    @abstractmethod
+    def release_claim(self, key: str, owner: str) -> None:
+        """Drop our claim on ``key`` (idempotent; never touches others')."""
+
+    @abstractmethod
+    def claims(self) -> dict[str, dict]:
+        """Live claim markers: ``{key: {"owner", "expires"}}``."""
+
+    @staticmethod
+    def _claim_decision(
+        current: "dict | None", owner: str, now: float
+    ) -> "str | None":
+        """Shared lease arbitration for :meth:`acquire_claim`.
+
+        ``"acquired"``/``"adopted"`` mean *write the new marker*;
+        ``None`` means the claim is held by a live other owner (report
+        ``"held"``, write nothing).
+        """
+        if current is None or current.get("owner") == owner:
+            return "acquired"
+        try:
+            expires = float(current.get("expires", 0.0))
+        except (TypeError, ValueError):
+            expires = 0.0  # a damaged marker is treated as expired
+        if expires <= now:
+            return "adopted"
+        return None
 
     def describe(self) -> str:
         """One-line human-readable identity for CLI summaries."""
@@ -157,6 +233,103 @@ class DirBackend(StoreBackend):
         pattern = "*/*.corrupt" if space in SHARDED_SPACES else "*.corrupt"
         return sorted(path.stem for path in (self.root / space).glob(pattern))
 
+    # ---------------------------------------------------------------- claims
+    #
+    # One ``claims/<key>.claim`` JSON marker per claimed key.  All mutations
+    # run under an ``flock`` on ``claims/.lock`` so a read-modify-write
+    # (check the current lease, then replace it) is atomic across processes
+    # on one host; the marker file itself is written with the same tmp +
+    # ``os.replace`` discipline as entries, so readers never see torn JSON.
+
+    def _claims_dir(self) -> Path:
+        return self.root / "claims"
+
+    def _claim_path(self, key: str) -> Path:
+        return self._claims_dir() / f"{key}.claim"
+
+    def _claim_lock(self):
+        """Context manager holding the cross-process claims mutex."""
+        directory = self._claims_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        handle = open(directory / ".lock", "a+")
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        return handle
+
+    def _read_claim(self, key: str) -> Optional[dict]:
+        try:
+            with open(self._claim_path(key), "r", encoding="utf-8") as handle:
+                marker = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return marker if isinstance(marker, dict) else None
+
+    def _write_claim(self, key: str, marker: dict) -> None:
+        path = self._claim_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(marker, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def acquire_claim(
+        self, key: str, owner: str, ttl: float, now: "float | None" = None
+    ) -> str:
+        now = time.time() if now is None else now
+        with self._claim_lock():
+            decision = self._claim_decision(self._read_claim(key), owner, now)
+            if decision is None:
+                return "held"
+            self._write_claim(
+                key, {"owner": owner, "expires": now + ttl, "claimed": now}
+            )
+            return decision
+
+    def renew_claim(
+        self, key: str, owner: str, ttl: float, now: "float | None" = None
+    ) -> bool:
+        now = time.time() if now is None else now
+        with self._claim_lock():
+            current = self._read_claim(key)
+            if current is None or current.get("owner") != owner:
+                return False
+            current["expires"] = now + ttl
+            self._write_claim(key, current)
+            return True
+
+    def release_claim(self, key: str, owner: str) -> None:
+        with self._claim_lock():
+            current = self._read_claim(key)
+            if current is None or current.get("owner") != owner:
+                return
+            try:
+                os.unlink(self._claim_path(key))
+            except OSError:
+                pass
+
+    def claims(self) -> dict[str, dict]:
+        markers: dict[str, dict] = {}
+        directory = self._claims_dir()
+        if not directory.is_dir():
+            return markers
+        for path in sorted(directory.glob("*.claim")):
+            try:
+                marker = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if isinstance(marker, dict):
+                markers[path.name[: -len(".claim")]] = marker
+        return markers
+
 
 class SQLiteBackend(StoreBackend):
     """Every entry in one ``store.sqlite3`` database under the root.
@@ -189,6 +362,11 @@ class SQLiteBackend(StoreBackend):
             "CREATE TABLE IF NOT EXISTS quarantine ("
             " space TEXT NOT NULL, key TEXT NOT NULL, payload TEXT NOT NULL,"
             " PRIMARY KEY (space, key))"
+        )
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS claims ("
+            " key TEXT PRIMARY KEY, owner TEXT NOT NULL,"
+            " expires REAL NOT NULL, claimed REAL NOT NULL)"
         )
         return connection
 
@@ -243,6 +421,61 @@ class SQLiteBackend(StoreBackend):
                 (space,),
             ).fetchall()
         return [row[0] for row in rows]
+
+    # ---------------------------------------------------------------- claims
+    #
+    # One row per claimed key.  ``BEGIN IMMEDIATE`` takes the database write
+    # lock up front so the read-modify-write (inspect the lease, then
+    # replace it) is atomic across replicas sharing the file.
+
+    def acquire_claim(
+        self, key: str, owner: str, ttl: float, now: "float | None" = None
+    ) -> str:
+        now = time.time() if now is None else now
+        with self._connect() as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            row = connection.execute(
+                "SELECT owner, expires FROM claims WHERE key = ?", (key,)
+            ).fetchone()
+            current = (
+                None if row is None else {"owner": row[0], "expires": row[1]}
+            )
+            decision = self._claim_decision(current, owner, now)
+            if decision is None:
+                return "held"
+            connection.execute(
+                "INSERT OR REPLACE INTO claims (key, owner, expires, claimed)"
+                " VALUES (?, ?, ?, ?)",
+                (key, owner, now + ttl, now),
+            )
+            return decision
+
+    def renew_claim(
+        self, key: str, owner: str, ttl: float, now: "float | None" = None
+    ) -> bool:
+        now = time.time() if now is None else now
+        with self._connect() as connection:
+            cursor = connection.execute(
+                "UPDATE claims SET expires = ? WHERE key = ? AND owner = ?",
+                (now + ttl, key, owner),
+            )
+            return cursor.rowcount > 0
+
+    def release_claim(self, key: str, owner: str) -> None:
+        with self._connect() as connection:
+            connection.execute(
+                "DELETE FROM claims WHERE key = ? AND owner = ?", (key, owner)
+            )
+
+    def claims(self) -> dict[str, dict]:
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT key, owner, expires, claimed FROM claims ORDER BY key"
+            ).fetchall()
+        return {
+            row[0]: {"owner": row[1], "expires": row[2], "claimed": row[3]}
+            for row in rows
+        }
 
     def describe(self) -> str:
         return f"{self.database_path} [{self.name}]"

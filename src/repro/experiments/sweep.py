@@ -33,7 +33,6 @@ report are byte-identical to an uninterrupted run's.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -47,6 +46,7 @@ from repro.common.errors import (
 )
 from repro.common.faults import fire_point
 from repro.common.hashing import stable_hash
+from repro.common.journal import AppendOnlyJournal
 from repro.core.pipeline import PipelineOptions
 from repro.experiments.runner import BenchmarkRunner, _run_sweep_unit
 from repro.experiments.store import run_key
@@ -232,61 +232,20 @@ def build_manifest(
 
 
 # =================================================================== journal
-class SweepJournal:
+class SweepJournal(AppendOnlyJournal):
     """Append-only JSONL checkpoint journal for one sweep manifest.
 
-    One JSON object per line; every write is flushed and fsynced so a
-    crashed process leaves at most one torn final line, which
-    :meth:`replay` skips.  The journal is an *audit log with resume
-    hints* — correctness never depends on it, because the result store is
-    the source of truth for what is durably done.
+    The write/replay discipline (fsync per line, torn-tail-tolerant replay)
+    lives in :class:`~repro.common.journal.AppendOnlyJournal`; this adds
+    the manifest naming convention and the ``done``-unit view ``--resume``
+    plans from.  The journal is an *audit log with resume hints* —
+    correctness never depends on it, because the result store is the
+    source of truth for what is durably done.
     """
-
-    def __init__(self, path: Path):
-        self.path = Path(path)
-        self._handle = None
 
     @classmethod
     def for_manifest(cls, store_root: Path, manifest_key: str) -> "SweepJournal":
         return cls(Path(store_root) / "journals" / f"{manifest_key}.jsonl")
-
-    def exists(self) -> bool:
-        return self.path.exists()
-
-    # --------------------------------------------------------------- writing
-    def record(self, event: str, **fields) -> None:
-        """Append one event line (crash-durable: flush + fsync)."""
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps({"event": event, **fields}) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-
-    # --------------------------------------------------------------- reading
-    def replay(self) -> list[dict]:
-        """Every intact event line, oldest first (a torn tail is skipped)."""
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except OSError:
-            return []
-        events = []
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except ValueError:
-                continue  # torn write mid-line: the event never happened
-            if isinstance(entry, dict) and "event" in entry:
-                events.append(entry)
-        return events
 
     def done_units(self) -> set[int]:
         """Unit indices the journal saw complete (any prior run)."""

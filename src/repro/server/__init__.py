@@ -15,8 +15,17 @@ someone runs:
   the same :func:`~repro.experiments.store.run_key` hashes the result store
   uses;
 * :mod:`repro.server.app` — the stdlib ``ThreadingHTTPServer`` API layer
-  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/result``,
-  ``GET /healthz``, ``GET /metrics``) plus SIGTERM/SIGINT drain.
+  (``POST /jobs``, ``GET /jobs``, ``GET /jobs/<id>``,
+  ``GET /jobs/<id>/result``, ``GET /healthz``, ``GET /metrics``) plus
+  SIGTERM/SIGINT drain;
+* :mod:`repro.server.journal` — the crash-durable submission journal:
+  accepted jobs are recorded before they are enqueued and re-enqueued by
+  :meth:`~repro.server.jobs.JobManager.recover` after a restart, so a
+  ``SIGKILL`` never silently drops a promised job.
+
+Cross-replica coordination (N daemons over one shared store executing each
+job key exactly once) rides on the store backends' claim markers —
+:meth:`~repro.experiments.backends.StoreBackend.acquire_claim` and friends.
 
 The matching blocking client lives in :mod:`repro.client`; the CLI wires
 everything up as ``repro serve`` / ``repro submit`` / ``repro status`` /
@@ -25,6 +34,7 @@ everything up as ``repro serve`` / ``repro submit`` / ``repro status`` /
 
 from repro.server.app import ReproServer
 from repro.server.jobs import Job, JobManager, QueueFullError, ShuttingDownError
+from repro.server.journal import SubmissionJournal, summarize_journals
 from repro.server.submission import SubmissionError, parse_submission
 
 __all__ = [
@@ -34,5 +44,7 @@ __all__ = [
     "ReproServer",
     "ShuttingDownError",
     "SubmissionError",
+    "SubmissionJournal",
     "parse_submission",
+    "summarize_journals",
 ]

@@ -10,7 +10,9 @@ Endpoints::
     POST /jobs              submit a scenario     -> 202 {job, state, ...}
                             invalid payload       -> 400 {error[, token]}
                             queue full            -> 429 + Retry-After
-                            draining              -> 503 {error}
+                            draining / journal
+                            unavailable           -> 503 {error}
+    GET  /jobs              enumerate all jobs    -> 200 {jobs: [...]}
     GET  /jobs/<id>         status snapshot       -> 200 / 404
     GET  /jobs/<id>/result  results when done     -> 200
                             job failed            -> 500 {error: {...}}
@@ -34,6 +36,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
+from repro.common.errors import ReproError
 from repro.server.jobs import (
     DONE,
     FAILED,
@@ -108,6 +111,13 @@ class _Handler(BaseHTTPRequestHandler):
         except ShuttingDownError as error:
             self._error(503, str(error))
             return
+        except ReproError as error:
+            # Admission infrastructure failure (a journal that cannot take
+            # the accepted record, an injected serve.journal fault): the
+            # submission was NOT accepted — 503 tells the client to retry,
+            # which is safe because submissions are content-addressed.
+            self._error(503, str(error))
+            return
         self._send(
             202,
             {
@@ -128,6 +138,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if path == "/metrics":
             self._send(200, self.manager.metrics())
+            return
+        if path == "/jobs":
+            self._send(200, {"jobs": self.manager.jobs_snapshot()})
             return
         parts = path.strip("/").split("/")
         if parts[0] == "jobs" and len(parts) == 2:

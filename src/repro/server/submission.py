@@ -107,6 +107,25 @@ class ParsedSubmission:
     def unique_points(self) -> int:
         return len(self.plan.unique)
 
+    def wire(self) -> dict:
+        """The submission's journal form: a re-parseable wire payload.
+
+        Built from the *parsed* scenario's versioned serialization (not the
+        raw client payload) so the journal always holds a normalized,
+        schema-versioned document.  Fields :meth:`Scenario.to_dict` emits
+        as empty/``None`` that :func:`parse_submission` would reject or
+        treat differently are dropped; re-parsing the result yields the
+        same job key — pinned by ``tests/test_server_durability.py``.
+        """
+        payload = self.scenario.to_dict()
+        for field in ("benchmarks", "cores", "interleave"):
+            if not payload.get(field):
+                payload.pop(field, None)
+        for field in ("warmup_instructions", "measure_instructions"):
+            if payload.get(field) is None:
+                payload.pop(field, None)
+        return payload
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:

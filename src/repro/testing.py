@@ -84,6 +84,7 @@ __all__ = [
     "reset_fault_counters",
     "small_lru_cache",
     "small_srrip_cache",
+    "wait_until",
     "workload_family_names",
 ]
 
@@ -194,6 +195,31 @@ def read_quarantined_entry(
     raise NotImplementedError(  # pragma: no cover
         f"cannot read quarantine of {backend!r}"
     )
+
+
+def wait_until(
+    predicate,
+    timeout: float = 10.0,
+    poll: float = 0.02,
+    message: str = "condition not met",
+):
+    """Poll ``predicate`` until truthy; returns its value.
+
+    The standard test-side rendezvous with asynchronous daemon state (a job
+    entering ``running``, a ready-file appearing, a second replica catching
+    up): bounded, cheap, and failing with ``message`` instead of hanging
+    the suite.
+    """
+    import time
+
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"{message} (after {timeout}s)")
+        time.sleep(poll)
 
 
 def make_session(

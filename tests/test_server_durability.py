@@ -1,0 +1,652 @@
+"""Durability tests for the serve daemon: journal, recovery, claims, retry.
+
+Three layers of proof:
+
+* **in-process** — journal record/replay semantics, manager recovery, the
+  submit-vs-shutdown race, claim arbitration on both store backends,
+  two managers over one shared store executing each job key once, and the
+  client's transport retry / bounded wait / bounce-riding poll loop;
+* **process-level** — the acceptance chaos sequence: a ``repro serve``
+  daemon SIGKILLed with one job running and one queued, restarted over the
+  same store and journal, finishes everything under the original job ids
+  with a store byte-identical to an uninterrupted run;
+* **cross-replica** — a stale claim left by a dead owner is adopted after
+  its TTL lapses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.api.session import Session
+from repro.client import (
+    ConnectionFailed,
+    ReproClient,
+    RetryPolicy,
+    ServiceError,
+)
+from repro.common.errors import InjectedFault, JobTimeout
+from repro.experiments.backends import open_backend
+from repro.experiments.store import ResultStore
+from repro.experiments.supervisor import SupervisionPolicy
+from repro.server import JobManager, ReproServer, parse_submission
+from repro.server.journal import SubmissionJournal, summarize_journals
+from repro.sim.config import SimulatorConfig
+from repro.testing import REPRO_FAULTS_ENV, reset_fault_counters, wait_until
+
+TINY = {"benchmarks": ["tiny"], "policies": ["lru", "trrip-1"]}
+TINY_LRU = {"benchmarks": ["tiny"], "policies": ["lru"]}
+
+
+def store_session_factory(root):
+    def factory() -> Session:
+        return Session(config=SimulatorConfig.scaled(), store=ResultStore(root))
+
+    return factory
+
+
+def make_manager(tmp_path, workers=1, **kwargs):
+    return JobManager(
+        session_factory=store_session_factory(tmp_path / "store"),
+        workers=workers,
+        queue_size=8,
+        **kwargs,
+    )
+
+
+def store_bytes(root: Path) -> dict:
+    return {
+        path.relative_to(root): path.read_bytes()
+        for path in sorted(Path(root).rglob("runs/*/*.json"))
+    }
+
+
+# ------------------------------------------------------------------- journal
+class TestSubmissionJournal:
+    def test_pending_tracks_terminal_records(self, tmp_path):
+        journal = SubmissionJournal.for_store(tmp_path / "store", "r0")
+        journal.record("accepted", job="a-1", key="ka", submission=TINY)
+        journal.record("accepted", job="b-2", key="kb", submission=TINY_LRU)
+        journal.record("done", job="a-1", key="ka")
+        journal.close()
+
+        replayed = SubmissionJournal(journal.path)
+        pending = replayed.pending()
+        assert [entry["job"] for entry in pending] == ["b-2"]
+        assert replayed.counts() == {"accepted": 2, "done": 1}
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        journal = SubmissionJournal.for_store(tmp_path / "store", "r0")
+        journal.record("accepted", job="a-1", key="ka", submission=TINY)
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "accepted", "job": "b-2", "key"')  # torn
+        replayed = SubmissionJournal(journal.path)
+        assert [entry["job"] for entry in replayed.pending()] == ["a-1"]
+
+    def test_summarize_journals(self, tmp_path):
+        store_root = tmp_path / "store"
+        assert summarize_journals(store_root) is None
+        journal = SubmissionJournal.for_store(store_root, "r0")
+        journal.record("accepted", job="a-1", key="ka", submission=TINY)
+        journal.close()
+        line = summarize_journals(store_root)
+        assert "1 replica(s)" in line
+        assert "1 accepted" in line
+        assert "1 pending recovery" in line
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            TINY,
+            {"benchmarks": ["tiny"]},
+            {"benchmarks": ["tiny"], "warmup_instructions": 500,
+             "measure_instructions": 900, "track_reuse": True, "label": "x"},
+        ],
+    )
+    def test_wire_round_trip_preserves_job_key(self, payload):
+        parsed = parse_submission(payload)
+        again = parse_submission(parsed.wire())
+        assert again.job_key == parsed.job_key
+        # And the wire form is a fixed point: re-wiring changes nothing.
+        assert parse_submission(again.wire()).wire() == parsed.wire()
+
+
+# ------------------------------------------------------------------ recovery
+class TestRecovery:
+    def test_restart_reenqueues_unfinished_jobs_under_original_ids(
+        self, tmp_path
+    ):
+        journal_path = tmp_path / "store" / "serve" / "journal-r0.jsonl"
+        before = make_manager(
+            tmp_path, workers=0, journal=SubmissionJournal(journal_path)
+        )
+        one, _ = before.submit(parse_submission(TINY))
+        two, _ = before.submit(parse_submission(TINY_LRU))
+        before.shutdown()  # workers=0: the backlog dies with the process
+
+        after = make_manager(
+            tmp_path, workers=1, journal=SubmissionJournal(journal_path)
+        )
+        after.start()
+        assert after.recovered == 2
+        assert after.journal_replayed == 2
+        recovered_one = after.wait(one.id, timeout=120)
+        recovered_two = after.wait(two.id, timeout=120)
+        assert recovered_one.state == "done" and recovered_two.state == "done"
+        assert recovered_one.recovered and recovered_two.recovered
+        metrics = after.metrics()
+        assert metrics["durability"]["recovered"] == 2
+        assert metrics["durability"]["journal_replayed"] == 2
+        after.shutdown()
+
+        # New job ids never collide with recovered ones: the sequence
+        # advanced past every journaled id.
+        fresh = make_manager(
+            tmp_path, workers=0, journal=SubmissionJournal(journal_path)
+        )
+        fresh.recover()
+        job, _ = fresh.submit(
+            parse_submission({"benchmarks": ["tiny"], "policies": ["srrip"]})
+        )
+        assert job.id.rsplit("-", 1)[1] == "3"
+        fresh.shutdown()
+
+    def test_completed_jobs_are_not_recovered(self, tmp_path):
+        journal_path = tmp_path / "store" / "serve" / "journal-r0.jsonl"
+        before = make_manager(
+            tmp_path, workers=1, journal=SubmissionJournal(journal_path)
+        )
+        before.start()
+        job, _ = before.submit(parse_submission(TINY))
+        before.wait(job.id, timeout=120)
+        before.shutdown()
+
+        after = make_manager(
+            tmp_path, workers=0, journal=SubmissionJournal(journal_path)
+        )
+        assert after.recover() == 0
+        assert after.recovered == 0
+        after.shutdown()
+
+    def test_recovery_repeats_zero_simulations(self, tmp_path):
+        """A recovered job whose points are already stored is pure cache."""
+        journal_path = tmp_path / "store" / "serve" / "journal-r0.jsonl"
+        before = make_manager(
+            tmp_path, workers=0, journal=SubmissionJournal(journal_path)
+        )
+        job, _ = before.submit(parse_submission(TINY))
+        before.shutdown()
+
+        # The "crashed" daemon's work happened anyway (another replica, a
+        # direct CLI run): make every point durable out of band.
+        direct = Session(
+            config=SimulatorConfig.scaled(),
+            store=ResultStore(tmp_path / "store"),
+        )
+        direct.execute(parse_submission(TINY).plan)
+        snapshot = store_bytes(tmp_path / "store")
+        assert snapshot
+
+        after = make_manager(
+            tmp_path, workers=1, journal=SubmissionJournal(journal_path)
+        )
+        after.start()
+        finished = after.wait(job.id, timeout=120)
+        assert finished.state == "done"
+        stats = after.metrics()["store"]
+        assert stats["misses"] == 0 and stats["writes"] == 0
+        assert store_bytes(tmp_path / "store") == snapshot
+        after.shutdown()
+
+    def test_unparseable_journaled_submission_is_skipped(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        journal = SubmissionJournal(journal_path)
+        journal.record(
+            "accepted",
+            job="dead-1",
+            key="k",
+            submission={"benchmarks": ["no-such-bench"]},
+        )
+        journal.close()
+        manager = make_manager(
+            tmp_path, workers=0, journal=SubmissionJournal(journal_path)
+        )
+        assert manager.recover() == 0
+        events = SubmissionJournal(journal_path).replay()
+        assert events[-1]["event"] == "skipped"
+        assert events[-1]["job"] == "dead-1"
+        manager.shutdown()
+
+
+# ---------------------------------------------------------- admission safety
+class TestAdmissionSafety:
+    def test_journal_failure_rejects_the_submission(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(REPRO_FAULTS_ENV, "serve.journal:0=raise")
+        reset_fault_counters()
+        manager = make_manager(
+            tmp_path,
+            workers=0,
+            journal=SubmissionJournal(tmp_path / "journal.jsonl"),
+        )
+        with pytest.raises(InjectedFault):
+            manager.submit(parse_submission(TINY))
+        assert manager.rejected == 1
+        assert manager.metrics()["jobs"]["queued"] == 0
+        # The very next submission (fault disarmed) is accepted normally.
+        job, _ = manager.submit(parse_submission(TINY))
+        assert job.state == "queued"
+        manager.shutdown()
+
+    def test_journal_failure_maps_to_503_over_http(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(REPRO_FAULTS_ENV, "serve.journal:0=enospc")
+        reset_fault_counters()
+        manager = make_manager(
+            tmp_path,
+            workers=0,
+            journal=SubmissionJournal(tmp_path / "journal.jsonl"),
+        )
+        with ReproServer(manager, port=0) as server:
+            client = ReproClient(server.url, timeout=30)
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(TINY)
+            assert excinfo.value.status == 503
+            # Content-addressed resubmission after the 503 succeeds.
+            assert client.submit(TINY)["state"] == "queued"
+
+    def test_submission_racing_shutdown_is_never_accepted_and_lost(
+        self, tmp_path
+    ):
+        """Satellite (d): every 202 is journaled and drained; everything
+        else is a clean rejection."""
+        journal_path = tmp_path / "journal.jsonl"
+        manager = make_manager(
+            tmp_path, workers=1, journal=SubmissionJournal(journal_path)
+        )
+        policies = ["lru", "trrip-1", "srrip", "brrip", "ship:shct_bits=3"]
+        outcomes: list = [None] * len(policies)
+        with ReproServer(manager, port=0) as server:
+            manager.start()
+            barrier = threading.Barrier(len(policies) + 1)
+
+            def submit(slot: int, policy: str) -> None:
+                client = ReproClient(server.url, timeout=30)
+                barrier.wait()
+                try:
+                    outcomes[slot] = ("accepted", client.submit(
+                        {"benchmarks": ["tiny"], "policies": [policy]}
+                    ))
+                except ServiceError as error:
+                    outcomes[slot] = ("rejected", error.status)
+
+            threads = [
+                threading.Thread(target=submit, args=(slot, policy))
+                for slot, policy in enumerate(policies)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()  # shutdown races the submissions
+            manager.shutdown(drain=True)
+            for thread in threads:
+                thread.join()
+
+        journaled = {
+            entry["job"]
+            for entry in SubmissionJournal(journal_path).replay()
+            if entry["event"] == "accepted"
+        }
+        for outcome in outcomes:
+            kind, detail = outcome
+            if kind == "accepted":
+                # Journaled at admission, completed by the drain.
+                assert detail["job"] in journaled
+                job = manager.get(detail["job"])
+                assert job is not None and job.state == "done"
+            else:
+                assert detail in (503, 429)
+
+
+# -------------------------------------------------------------------- claims
+class TestClaims:
+    @pytest.mark.parametrize("backend_name", ["dir", "sqlite"])
+    def test_claim_lease_arbitration(self, tmp_path, backend_name):
+        backend = open_backend(backend_name, tmp_path / "store")
+        assert backend.acquire_claim("k", "r1", ttl=30.0) == "acquired"
+        assert backend.acquire_claim("k", "r1", ttl=30.0) == "acquired"
+        assert backend.acquire_claim("k", "r2", ttl=30.0) == "held"
+        assert backend.renew_claim("k", "r1", ttl=30.0)
+        assert not backend.renew_claim("k", "r2", ttl=30.0)
+        # A second instance over the same root sees the same lease state —
+        # that is the cross-process story in miniature.
+        twin = open_backend(backend_name, tmp_path / "store")
+        assert twin.acquire_claim("k", "r2", ttl=30.0) == "held"
+        # Expiry: r1's lease lapses, r2 adopts, r1 can no longer renew.
+        future = time.time() + 120.0
+        assert twin.acquire_claim("k", "r2", ttl=30.0, now=future) == "adopted"
+        assert not backend.renew_claim("k", "r1", ttl=30.0)
+        assert backend.claims()["k"]["owner"] == "r2"
+        twin.release_claim("k", "r2")
+        assert backend.claims() == {}
+
+    @pytest.mark.parametrize("backend_name", ["dir", "sqlite"])
+    def test_two_replicas_execute_each_job_key_once(
+        self, tmp_path, backend_name
+    ):
+        """Shared store + claims: one execution, both replicas converge."""
+        store_root = tmp_path / "store"
+
+        def replica(name: str) -> JobManager:
+            def factory() -> Session:
+                return Session(
+                    config=SimulatorConfig.scaled(),
+                    store=ResultStore(store_root, backend=backend_name),
+                )
+
+            return JobManager(
+                session_factory=factory,
+                workers=1,
+                queue_size=8,
+                claims=open_backend(backend_name, store_root),
+                replica_id=name,
+                claim_ttl=30.0,
+            )
+
+        left, right = replica("rA"), replica("rB")
+        job_left, _ = left.submit(parse_submission(TINY))
+        job_right, _ = right.submit(parse_submission(TINY))
+        left.start()
+        right.start()
+        assert left.wait(job_left.id, timeout=120).state == "done"
+        assert right.wait(job_right.id, timeout=120).state == "done"
+        # Exactly one replica simulated each unique point; the other served
+        # the shared store.  Two points total, split misses+hits across the
+        # two managers' sessions.
+        misses = (
+            left.metrics()["store"]["misses"]
+            + right.metrics()["store"]["misses"]
+        )
+        assert misses == parse_submission(TINY).unique_points
+        assert json.dumps(
+            [entry["result"] for entry in job_left.results], sort_keys=True
+        ) == json.dumps(
+            [entry["result"] for entry in job_right.results], sort_keys=True
+        )
+        left.shutdown()
+        right.shutdown()
+        # Nothing leaks: both replicas released their markers.
+        assert open_backend(backend_name, store_root).claims() == {}
+
+    def test_stale_claim_of_dead_replica_is_adopted(self, tmp_path):
+        store_root = tmp_path / "store"
+        backend = open_backend("dir", store_root)
+        parsed = parse_submission(TINY)
+        # A replica that died mid-job: its claim exists but nobody renews.
+        assert backend.acquire_claim(
+            parsed.job_key, "dead", ttl=0.2
+        ) == "acquired"
+
+        manager = JobManager(
+            session_factory=store_session_factory(store_root),
+            workers=1,
+            queue_size=8,
+            claims=open_backend("dir", store_root),
+            replica_id="live",
+            claim_ttl=5.0,
+            claim_poll=0.05,
+        )
+        job, _ = manager.submit(parsed)
+        manager.start()
+        assert manager.wait(job.id, timeout=120).state == "done"
+        durability = manager.metrics()["durability"]
+        assert durability["adopted"] == 1
+        assert durability["stale_claims_expired"] == 1
+        manager.shutdown()
+
+    def test_held_claim_with_stored_results_serves_the_cache(self, tmp_path):
+        """A live holder's finished results unblock the waiter without any
+        claim transfer (and without duplicate simulation)."""
+        store_root = tmp_path / "store"
+        parsed = parse_submission(TINY)
+        direct = Session(
+            config=SimulatorConfig.scaled(), store=ResultStore(store_root)
+        )
+        direct.execute(parsed.plan)  # the holder's durable output
+        backend = open_backend("dir", store_root)
+        assert backend.acquire_claim(
+            parsed.job_key, "holder", ttl=3600.0
+        ) == "acquired"  # still nominally running, never expires in-test
+
+        manager = JobManager(
+            session_factory=store_session_factory(store_root),
+            workers=1,
+            queue_size=8,
+            claims=open_backend("dir", store_root),
+            replica_id="waiter",
+            claim_ttl=30.0,
+        )
+        job, _ = manager.submit(parsed)
+        manager.start()
+        assert manager.wait(job.id, timeout=120).state == "done"
+        stats = manager.metrics()["store"]
+        assert stats["misses"] == 0 and stats["writes"] == 0
+        assert backend.claims()[parsed.job_key]["owner"] == "holder"
+        manager.shutdown()
+
+
+# ------------------------------------------------------------- bounded waits
+class TestBoundedWaits:
+    def test_manager_wait_raises_job_timeout(self, tmp_path):
+        manager = make_manager(tmp_path, workers=0)
+        job, _ = manager.submit(parse_submission(TINY))
+        with pytest.raises(JobTimeout, match=job.id):
+            manager.wait(job.id, timeout=0.05)
+        assert issubclass(JobTimeout, TimeoutError)  # old call sites survive
+        manager.shutdown()
+
+    def test_client_wait_raises_job_timeout_naming_the_job(self, tmp_path):
+        manager = make_manager(tmp_path, workers=0)
+        with ReproServer(manager, port=0) as server:
+            client = ReproClient(server.url, timeout=30)
+            accepted = client.submit(TINY)
+            with pytest.raises(JobTimeout, match=accepted["job"]):
+                client.wait(accepted["job"], timeout=0.3, poll=0.05)
+
+    def test_client_wait_timeout_when_server_never_answers(self):
+        client = ReproClient("http://127.0.0.1:9", timeout=1)
+        with pytest.raises(JobTimeout, match="unreachable"):
+            client.wait("ghost-1", timeout=0.3, poll=0.05)
+
+
+# ------------------------------------------------------------- client retry
+class TestClientRetry:
+    def test_backoff_mirrors_the_sweep_supervisor(self):
+        ours = RetryPolicy(
+            retries=3, backoff_base=0.25, backoff_factor=2.0,
+            backoff_max=30.0, jitter=0.25, seed=7,
+        )
+        theirs = SupervisionPolicy(
+            backoff_base=0.25, backoff_factor=2.0,
+            backoff_max=30.0, backoff_jitter=0.25, seed=7,
+        )
+        for ordinal in range(4):
+            for attempt in range(1, 5):
+                assert ours.backoff(ordinal, attempt) == theirs.backoff(
+                    ordinal, attempt
+                )
+
+    def test_transport_fault_is_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(REPRO_FAULTS_ENV, "client.transport:0=enospc")
+        reset_fault_counters()
+        manager = make_manager(tmp_path, workers=0)
+        with ReproServer(manager, port=0) as server:
+            client = ReproClient(
+                server.url,
+                timeout=30,
+                retry=RetryPolicy(retries=2, backoff_base=0.01),
+            )
+            accepted = client.submit(TINY)  # first attempt dies, retry lands
+            assert accepted["state"] == "queued"
+
+    def test_without_retries_the_fault_surfaces(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(REPRO_FAULTS_ENV, "client.transport:0=enospc")
+        reset_fault_counters()
+        manager = make_manager(tmp_path, workers=0)
+        with ReproServer(manager, port=0) as server:
+            client = ReproClient(server.url, timeout=30)
+            with pytest.raises(ConnectionFailed):
+                client.submit(TINY)
+
+    def test_wait_rides_out_a_daemon_bounce(self, tmp_path):
+        """The client polls across a restart; the journal-backed daemon
+        comes back with the same job id and finishes it."""
+        journal_path = tmp_path / "journal.jsonl"
+        before = make_manager(
+            tmp_path, workers=0, journal=SubmissionJournal(journal_path)
+        )
+        first_server = ReproServer(before, port=0)
+        first_server.start_background()
+        port = first_server.port
+        client = ReproClient(first_server.url, timeout=5)
+        accepted = client.submit(TINY)
+        first_server.stop()  # workers=0: the job survives only in the journal
+
+        def restart() -> None:
+            time.sleep(0.5)  # long enough for wait() to poll into the outage
+            after = make_manager(
+                tmp_path, workers=1, journal=SubmissionJournal(journal_path)
+            )
+            second_server = ReproServer(after, port=port)
+            second_server.start_background()
+
+        thread = threading.Thread(target=restart)
+        thread.start()
+        snapshot = client.wait(accepted["job"], timeout=120, poll=0.1)
+        thread.join()
+        assert snapshot["state"] == "done"
+        assert snapshot["recovered"] is True
+
+
+# ----------------------------------------------------------------- listings
+class TestJobListing:
+    def test_jobs_endpoint_enumerates_every_state(self, tmp_path):
+        manager = make_manager(tmp_path, workers=0)
+        with ReproServer(manager, port=0) as server:
+            client = ReproClient(server.url, timeout=30)
+            one = client.submit(TINY)
+            two = client.submit(TINY_LRU)
+            listing = client.jobs()["jobs"]
+            assert {row["job"] for row in listing} == {one["job"], two["job"]}
+            assert all(row["state"] == "queued" for row in listing)
+            manager.start(1)
+            client.wait(one["job"], timeout=120)
+            client.wait(two["job"], timeout=120)
+            listing = client.jobs()["jobs"]
+            assert all(row["state"] == "done" for row in listing)
+            assert all("key" in row and "points" in row for row in listing)
+
+
+# --------------------------------------------------------------- chaos (SIGKILL)
+def spawn_daemon(tmp_path, name, store_root, extra=(), faults=None):
+    src_dir = Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_dir)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env.pop(REPRO_FAULTS_ENV, None)
+    if faults:
+        env[REPRO_FAULTS_ENV] = faults
+    ready = tmp_path / f"ready-{name}"
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--workers", "1",
+            "--store", str(store_root),
+            "--ready-file", str(ready),
+        ]
+        + list(extra),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        wait_until(
+            lambda: ready.exists() or daemon.poll() is not None,
+            timeout=60,
+            message=f"daemon {name} never became ready",
+        )
+        if daemon.poll() is not None:
+            raise AssertionError(daemon.communicate()[1])
+    except BaseException:
+        daemon.kill()
+        raise
+    return daemon, ready.read_text(encoding="utf-8").strip()
+
+
+class TestKillRestartChaos:
+    def test_sigkill_then_restart_finishes_everything_byte_identical(
+        self, tmp_path
+    ):
+        """The acceptance chaos sequence, in-tree (CI repeats it end to end):
+        SIGKILL with one running + one queued job, restart over the same
+        store and journal, everything finishes under the original ids and
+        the store matches an uninterrupted run byte for byte."""
+        store_root = tmp_path / "store"
+        # Job 0 hangs inside the worker: guaranteed *running* (not just
+        # queued) when the KILL lands; job 1 sits behind it, queued.
+        daemon, url = spawn_daemon(
+            tmp_path, "first", store_root, faults="serve.job:0=hang:120"
+        )
+        try:
+            client = ReproClient(url, timeout=30)
+            first = client.submit(TINY)
+            second = client.submit(TINY_LRU)
+            wait_until(
+                lambda: client.status(first["job"])["state"] == "running",
+                timeout=60,
+                message="first job never started",
+            )
+            assert client.status(second["job"])["state"] == "queued"
+        finally:
+            daemon.kill()  # SIGKILL: no drain, no journal close, no cleanup
+            daemon.wait(timeout=60)
+
+        daemon, url = spawn_daemon(tmp_path, "second", store_root)
+        try:
+            client = ReproClient(url, timeout=30, retry=2)
+            metrics = client.metrics()
+            assert metrics["durability"]["recovered"] == 2
+            assert metrics["durability"]["journal_replayed"] >= 2
+            # Original ids, terminal states, real results.
+            done_first = client.wait(first["job"], timeout=180)
+            done_second = client.wait(second["job"], timeout=180)
+            assert done_first["state"] == "done"
+            assert done_second["state"] == "done"
+            assert done_first["recovered"] and done_second["recovered"]
+            assert len(client.result(first["job"])["results"]) == 2
+            daemon.send_signal(signal.SIGTERM)
+            _, stderr = daemon.communicate(timeout=120)
+            assert "recovered 2 unfinished job(s)" in stderr
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+
+        # Byte-identity against an uninterrupted run of the same work.
+        direct_root = tmp_path / "direct"
+        direct = Session(
+            config=SimulatorConfig.scaled(), store=ResultStore(direct_root)
+        )
+        direct.execute(parse_submission(TINY).plan)
+        direct.execute(parse_submission(TINY_LRU).plan)
+        chaos = store_bytes(store_root)
+        assert chaos and chaos == store_bytes(direct_root)
